@@ -1,0 +1,97 @@
+package ensemble_test
+
+// One benchmark per table and figure of the paper's evaluation (§4.2).
+// Each reports the per-segment code latencies as custom metrics in the
+// units the paper uses (ns here, µs there); `cmd/ensemble-bench` prints
+// the same data formatted as the paper's tables.
+
+import (
+	"testing"
+
+	"ensemble/internal/bench"
+	"ensemble/internal/layers"
+)
+
+func benchLatency(b *testing.B, cfg bench.Config, names []string, size int) {
+	b.Helper()
+	seg, err := bench.MeasureCodeLatency(cfg, names, size, b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(seg.DownStack, "ns/down-stack")
+	b.ReportMetric(seg.DownTransport, "ns/down-transport")
+	b.ReportMetric(seg.UpTransport, "ns/up-transport")
+	b.ReportMetric(seg.UpStack, "ns/up-stack")
+	b.ReportMetric(seg.Total(), "ns/total")
+}
+
+// Table 1(a): 10-layer stack code latency, 4-byte messages.
+
+func BenchmarkTable1a_MACH(b *testing.B) { benchLatency(b, bench.MACH, layers.Stack10(), 4) }
+func BenchmarkTable1a_IMP(b *testing.B)  { benchLatency(b, bench.IMP, layers.Stack10(), 4) }
+func BenchmarkTable1a_FUNC(b *testing.B) { benchLatency(b, bench.FUNC, layers.Stack10(), 4) }
+
+// Table 1(b): 4-layer stack code latency, 4-byte messages.
+
+func BenchmarkTable1b_HAND(b *testing.B) { benchLatency(b, bench.HAND, layers.Stack4(), 4) }
+func BenchmarkTable1b_MACH(b *testing.B) { benchLatency(b, bench.MACH, layers.Stack4(), 4) }
+func BenchmarkTable1b_IMP(b *testing.B)  { benchLatency(b, bench.IMP, layers.Stack4(), 4) }
+func BenchmarkTable1b_FUNC(b *testing.B) { benchLatency(b, bench.FUNC, layers.Stack4(), 4) }
+
+// Figure 6: 10-layer stack code latency across message sizes.
+
+func BenchmarkFigure6_MACH_4(b *testing.B)    { benchLatency(b, bench.MACH, layers.Stack10(), 4) }
+func BenchmarkFigure6_MACH_24(b *testing.B)   { benchLatency(b, bench.MACH, layers.Stack10(), 24) }
+func BenchmarkFigure6_MACH_100(b *testing.B)  { benchLatency(b, bench.MACH, layers.Stack10(), 100) }
+func BenchmarkFigure6_MACH_1024(b *testing.B) { benchLatency(b, bench.MACH, layers.Stack10(), 1024) }
+func BenchmarkFigure6_IMP_4(b *testing.B)     { benchLatency(b, bench.IMP, layers.Stack10(), 4) }
+func BenchmarkFigure6_IMP_24(b *testing.B)    { benchLatency(b, bench.IMP, layers.Stack10(), 24) }
+func BenchmarkFigure6_IMP_100(b *testing.B)   { benchLatency(b, bench.IMP, layers.Stack10(), 100) }
+func BenchmarkFigure6_IMP_1024(b *testing.B)  { benchLatency(b, bench.IMP, layers.Stack10(), 1024) }
+func BenchmarkFigure6_FUNC_4(b *testing.B)    { benchLatency(b, bench.FUNC, layers.Stack10(), 4) }
+func BenchmarkFigure6_FUNC_24(b *testing.B)   { benchLatency(b, bench.FUNC, layers.Stack10(), 24) }
+func BenchmarkFigure6_FUNC_100(b *testing.B)  { benchLatency(b, bench.FUNC, layers.Stack10(), 100) }
+func BenchmarkFigure6_FUNC_1024(b *testing.B) { benchLatency(b, bench.FUNC, layers.Stack10(), 1024) }
+
+// Table 2(a): send/recv rounds with runtime counters, original vs
+// optimized. The allocation counters are the Go analogue of the paper's
+// memory-reference and instruction counters.
+
+func benchCounters(b *testing.B, cfg bench.Config) {
+	b.Helper()
+	b.ReportAllocs()
+	c, err := bench.MeasureCounters(cfg, layers.Stack10(), 4, b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(c.Mallocs)/float64(b.N), "allocs/round")
+	b.ReportMetric(float64(c.AllocBytes)/float64(b.N), "allocB/round")
+	b.ReportMetric(float64(c.WireBytes)/float64(b.N), "wireB/round")
+}
+
+func BenchmarkTable2a_OriginalStack(b *testing.B)  { benchCounters(b, bench.IMP) }
+func BenchmarkTable2a_OptimizedStack(b *testing.B) { benchCounters(b, bench.MACH) }
+
+// §4.2: the common-case-predicate check itself ("checking the CCPs takes
+// only about 3 µs" on the paper's hardware).
+
+func BenchmarkCCPCheck(b *testing.B) {
+	d, err := bench.MeasureCCPCheck(layers.Stack10(), b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(d.Nanoseconds()), "ns/check")
+}
+
+// Ablation: the deferred-buffering optimization (§4, item 3) switched
+// off — buffering back on the critical path. Compare the down-stack
+// metric against BenchmarkTable1a_MACH.
+
+func BenchmarkAblation_MACH_InlineEffects(b *testing.B) {
+	seg, err := bench.MeasureMachInlineEffects(layers.Stack10(), 4, b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(seg.DownStack, "ns/down-stack")
+	b.ReportMetric(seg.Total(), "ns/total")
+}

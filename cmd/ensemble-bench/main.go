@@ -1,0 +1,58 @@
+// Command ensemble-bench regenerates the paper's evaluation (§4.2):
+// every table and figure, printed in the paper's layout.
+//
+// Usage:
+//
+//	ensemble-bench -table all -rounds 10000
+//	ensemble-bench -table 1a
+//	ensemble-bench -table fig6 -rounds 4000
+//
+// Tables: 1a, 1b, fig6, 2a, 2b, e2e, ccp, theorems, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ensemble/internal/bench"
+	"ensemble/internal/layers"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate: 1a, 1b, fig6, 2a, 2b, e2e, ccp, theorems, all")
+	rounds := flag.Int("rounds", 10000, "measurement rounds per configuration (the paper uses 10,000)")
+	flag.Parse()
+
+	type gen struct {
+		name string
+		run  func() (string, error)
+	}
+	gens := []gen{
+		{"1a", func() (string, error) { return bench.Table1a(*rounds) }},
+		{"1b", func() (string, error) { return bench.Table1b(*rounds) }},
+		{"fig6", func() (string, error) { return bench.Figure6(*rounds) }},
+		{"2a", func() (string, error) { return bench.Table2a(*rounds) }},
+		{"2b", func() (string, error) { return bench.Table2b() }},
+		{"e2e", func() (string, error) { return bench.E2ETable(*rounds) }},
+		{"ccp", func() (string, error) { return bench.CCPTable(*rounds) }},
+		{"theorems", func() (string, error) { return bench.TheoremListing(layers.Stack10(), 0, 2) }},
+	}
+	ran := false
+	for _, g := range gens {
+		if *table != "all" && *table != g.name {
+			continue
+		}
+		ran = true
+		out, err := g.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ensemble-bench: %s: %v\n", g.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "ensemble-bench: unknown table %q\n", *table)
+		os.Exit(2)
+	}
+}

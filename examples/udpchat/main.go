@@ -1,0 +1,109 @@
+// UDP chat: the same protocol stacks over real UDP sockets instead of
+// the simulator — the library is transport-agnostic. By default the
+// demo runs a three-member group on localhost inside one process (one
+// goroutine per member) and exchanges a few messages; with flags it runs
+// one member of a multi-process group:
+//
+//	udpchat -rank 0 -peers 127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7003
+//
+// started once per rank, each process joins the same group.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"ensemble"
+	"ensemble/internal/core"
+	"ensemble/internal/event"
+	"ensemble/internal/netsim"
+	"ensemble/internal/stack"
+)
+
+func main() {
+	rank := flag.Int("rank", -1, "this member's rank; -1 runs the in-process demo")
+	peers := flag.String("peers", "", "comma-separated host:port list, one per rank")
+	duration := flag.Duration("for", 3*time.Second, "how long to run")
+	flag.Parse()
+
+	if *rank < 0 {
+		demo()
+		return
+	}
+	list := strings.Split(*peers, ",")
+	if *rank >= len(list) {
+		panic("rank out of range of -peers")
+	}
+	if err := runMember(*rank, list, *duration, true, nil); err != nil {
+		panic(err)
+	}
+}
+
+// demo runs a whole group on localhost in one process.
+func demo() {
+	ports := []string{"127.0.0.1:17871", "127.0.0.1:17872", "127.0.0.1:17873"}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	counts := make([]int, len(ports))
+	for r := range ports {
+		r := r
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			onCast := func(origin int, payload []byte) {
+				mu.Lock()
+				counts[r]++
+				mu.Unlock()
+				fmt.Printf("[member %d] %q from member %d\n", r, payload, origin)
+			}
+			if err := runMember(r, ports, 3*time.Second, r == 0, onCast); err != nil {
+				panic(err)
+			}
+		}()
+	}
+	wg.Wait()
+	fmt.Printf("deliveries per member: %v\n", counts)
+}
+
+// runMember joins the group as one rank over UDP and chats.
+func runMember(rank int, peerList []string, d time.Duration, chatty bool, onCast func(int, []byte)) error {
+	addrs := make([]ensemble.Addr, len(peerList))
+	peerMap := map[event.Addr]string{}
+	for i, hp := range peerList {
+		addrs[i] = ensemble.Addr(i + 1)
+		peerMap[event.Addr(i+1)] = hp
+	}
+	udp, err := netsim.NewUDPNet(event.Addr(rank+1), peerList[rank], peerMap)
+	if err != nil {
+		return err
+	}
+	defer udp.Close()
+
+	view := ensemble.NewView("udpchat", 1, addrs, rank)
+	member, err := core.NewMember(udp, udp, view, ensemble.Stack10(), stack.Imp, core.Handlers{
+		OnCast: func(origin int, payload []byte) {
+			if onCast != nil {
+				onCast(origin, payload)
+			} else {
+				fmt.Printf("[member %d] %q from member %d\n", rank, payload, origin)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	member.Start()
+
+	// Chat on the run loop's goroutine.
+	for i := 0; i < 5; i++ {
+		i := i
+		udp.After(int64(200*time.Millisecond)*int64(i+1), func() {
+			member.Cast([]byte(fmt.Sprintf("msg %d from member %d", i, rank)))
+		})
+	}
+	udp.After(int64(d), func() { udp.Close() })
+	return udp.Run()
+}

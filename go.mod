@@ -1,0 +1,3 @@
+module ensemble
+
+go 1.22

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"ensemble/internal/layers"
+)
+
+// Property names a guarantee an application can require of its stack.
+// The paper (§3.2) describes Ensemble's algorithm for calculating stacks
+// from required properties: it "encodes knowledge of the protocol
+// designers" — dependencies between micro-protocols and the one legal
+// vertical order — and covers a bounded vocabulary of properties
+// ("approximately two dozen" in Ensemble; the subset our component
+// library supports here).
+type Property string
+
+const (
+	// PropReliableMcast: gap-free FIFO multicast per origin.
+	PropReliableMcast Property = "reliable-mcast"
+	// PropReliableSend: gap-free FIFO point-to-point delivery.
+	PropReliableSend Property = "reliable-send"
+	// PropTotalOrder: all members deliver all multicasts in one order.
+	PropTotalOrder Property = "total-order"
+	// PropFlowControl: bounded outstanding traffic in both patterns.
+	PropFlowControl Property = "flow-control"
+	// PropFragmentation: payloads of any size.
+	PropFragmentation Property = "fragmentation"
+	// PropStability: stability vectors reported, retransmission buffers
+	// garbage collected.
+	PropStability Property = "stability"
+	// PropSelfDelivery: a member's own multicasts are delivered to it.
+	PropSelfDelivery Property = "self-delivery"
+	// PropMembership: dynamic views with virtual synchrony.
+	PropMembership Property = "membership"
+	// PropFailureDetection: unresponsive members are suspected.
+	PropFailureDetection Property = "failure-detection"
+	// PropAuthenticity: payloads carry HMAC tags bound to the view.
+	PropAuthenticity Property = "authenticity"
+)
+
+// Properties lists every property SelectStack understands.
+func Properties() []Property {
+	return []Property{
+		PropReliableMcast, PropReliableSend, PropTotalOrder,
+		PropFlowControl, PropFragmentation, PropStability,
+		PropSelfDelivery, PropMembership, PropFailureDetection,
+		PropAuthenticity,
+	}
+}
+
+// layerOrder is the one legal vertical order of the component library,
+// top first. A configuration is the subsequence of this order induced by
+// the selected components — encoding the designers' knowledge of which
+// layer must sit above which.
+var layerOrder = []string{
+	layers.PartialAppl,
+	layers.Top,
+	layers.Total,
+	layers.Membership,
+	layers.Suspect,
+	layers.Local,
+	layers.Collect,
+	layers.Sign,
+	layers.Frag,
+	layers.Pt2ptw,
+	layers.Mflow,
+	layers.Pt2pt,
+	layers.Mnak,
+	layers.Bottom,
+}
+
+// requires maps each property to the components that implement it, and
+// needs maps components to the components they depend on.
+var (
+	requires = map[Property][]string{
+		// Reliable multicast as a *service* includes repair liveness:
+		// mnak's NAKs only fire when later traffic reveals a gap, and the
+		// collect layer's periodic gossip is that traffic. (The paper's
+		// 4-layer stack omits collect and accepts the weaker guarantee.)
+		PropReliableMcast:    {layers.Mnak, layers.Collect},
+		PropReliableSend:     {layers.Pt2pt},
+		PropTotalOrder:       {layers.Total},
+		PropFlowControl:      {layers.Mflow, layers.Pt2ptw},
+		PropFragmentation:    {layers.Frag},
+		PropStability:        {layers.Collect},
+		PropSelfDelivery:     {layers.Local},
+		PropMembership:       {layers.Membership},
+		PropFailureDetection: {layers.Suspect},
+		PropAuthenticity:     {layers.Sign},
+	}
+	needs = map[string][]string{
+		// Everything rides on the reliability base.
+		layers.Mnak:  {layers.Bottom},
+		layers.Pt2pt: {layers.Mnak, layers.Bottom},
+		// Total order assigns meaning to a member's own casts only if
+		// they are delivered back to it.
+		layers.Total: {layers.Local, layers.Mnak},
+		// Ordering and control casts must be reliable.
+		layers.Local:   {layers.Mnak},
+		layers.Collect: {layers.Mnak},
+		layers.Frag:    {layers.Mnak, layers.Pt2pt},
+		layers.Pt2ptw:  {layers.Pt2pt},
+		layers.Mflow:   {layers.Mnak, layers.Pt2pt},
+		// Membership's flush needs the receive vectors (mnak), failure
+		// detection, reliable control traffic, and the reflection of its
+		// own flush casts (local).
+		layers.Membership: {layers.Suspect, layers.Mnak, layers.Pt2pt, layers.Local},
+		layers.Suspect:    {layers.Mnak},
+		layers.Sign:       {layers.Mnak, layers.Pt2pt},
+	}
+)
+
+// SelectStack computes a protocol stack (component names, top first)
+// providing the requested properties, mirroring Ensemble's stack
+// calculation heuristic (§3.2). The result always includes the
+// reliability base and a top-of-stack application interface.
+func SelectStack(props []Property) ([]string, error) {
+	// The reliability base is always present: both reliable multicast and
+	// reliable point-to-point, as in the paper's 4-layer stack. The
+	// application interface layers assume both.
+	selected := map[string]bool{layers.Mnak: true, layers.Pt2pt: true, layers.Bottom: true}
+	var work []string
+	for _, p := range props {
+		comps, ok := requires[p]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown property %q", p)
+		}
+		work = append(work, comps...)
+	}
+	for len(work) > 0 {
+		c := work[len(work)-1]
+		work = work[:len(work)-1]
+		if selected[c] {
+			continue
+		}
+		selected[c] = true
+		work = append(work, needs[c]...)
+	}
+	// Pick the application interface: the large-stack interface when the
+	// configuration carries ordering or membership machinery, the plain
+	// top layer otherwise — matching how the paper's two stacks differ.
+	if selected[layers.Total] || selected[layers.Membership] {
+		selected[layers.PartialAppl] = true
+	} else {
+		selected[layers.Top] = true
+	}
+	idx := make(map[string]int, len(layerOrder))
+	for i, n := range layerOrder {
+		idx[n] = i
+	}
+	var out []string
+	for c := range selected {
+		if _, ok := idx[c]; !ok {
+			return nil, fmt.Errorf("core: component %q missing from layer order", c)
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return idx[out[i]] < idx[out[j]] })
+	return out, nil
+}

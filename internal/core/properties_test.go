@@ -1,0 +1,108 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"ensemble/internal/layers"
+)
+
+func contains(names []string, want string) bool {
+	for _, n := range names {
+		if n == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestSelectStackBase(t *testing.T) {
+	names, err := SelectStack(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, base := range []string{layers.Top, layers.Pt2pt, layers.Mnak, layers.Bottom} {
+		if !contains(names, base) {
+			t.Errorf("base stack %v lacks %s", names, base)
+		}
+	}
+}
+
+func TestSelectStackTotalOrderClosure(t *testing.T) {
+	names, err := SelectStack([]Property{PropTotalOrder})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total order needs self-delivery (local) and the large-stack
+	// application interface.
+	for _, need := range []string{layers.Total, layers.Local, layers.PartialAppl} {
+		if !contains(names, need) {
+			t.Errorf("total-order stack %v lacks %s", names, need)
+		}
+	}
+	if contains(names, layers.Top) {
+		t.Errorf("stack %v has both application interfaces", names)
+	}
+}
+
+func TestSelectStackOrdering(t *testing.T) {
+	names, err := SelectStack(Properties())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The full selection must be the canonical vertical order filtered.
+	idx := map[string]int{}
+	for i, n := range layerOrder {
+		idx[n] = i
+	}
+	for i := 1; i < len(names); i++ {
+		if idx[names[i-1]] >= idx[names[i]] {
+			t.Fatalf("stack %v violates the vertical order at %s/%s", names, names[i-1], names[i])
+		}
+	}
+	if names[len(names)-1] != layers.Bottom {
+		t.Fatalf("stack %v does not end at bottom", names)
+	}
+}
+
+func TestSelectStackAllPropertiesMatchesVsync(t *testing.T) {
+	// Everything except authenticity (an add-on component the predefined
+	// stacks do not carry) reproduces the vsync stack exactly.
+	var props []Property
+	for _, p := range Properties() {
+		if p != PropAuthenticity {
+			props = append(props, p)
+		}
+	}
+	names, err := SelectStack(props)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names, layers.StackVsync()) {
+		t.Fatalf("selection %v != StackVsync %v", names, layers.StackVsync())
+	}
+}
+
+func TestSelectStackAuthenticity(t *testing.T) {
+	names, err := SelectStack([]Property{PropAuthenticity})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(names, layers.Sign) {
+		t.Fatalf("stack %v lacks the sign layer", names)
+	}
+}
+
+func TestSelectStackUnknownProperty(t *testing.T) {
+	if _, err := SelectStack([]Property{"no-such-guarantee"}); err == nil {
+		t.Fatal("unknown property accepted")
+	}
+}
+
+func TestSelectStackDeterministic(t *testing.T) {
+	a, _ := SelectStack([]Property{PropTotalOrder, PropFlowControl})
+	b, _ := SelectStack([]Property{PropFlowControl, PropTotalOrder})
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("selection depends on property order: %v vs %v", a, b)
+	}
+}

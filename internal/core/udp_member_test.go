@@ -1,0 +1,122 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ensemble/internal/event"
+	"ensemble/internal/layers"
+	"ensemble/internal/netsim"
+	"ensemble/internal/stack"
+)
+
+// Real-time, real-socket integration: a vsync group over UDP loopback,
+// one member dies, the survivors install a new view and keep talking.
+// Every assertion polls with a deadline because this test runs on wall
+// time, not the simulator.
+func TestUDPGroupViewChange(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test (several seconds)")
+	}
+	const n = 3
+	// Bind ephemerally, then cross-register.
+	probe := make([]*netsim.UDPNet, n)
+	peers := map[event.Addr]string{}
+	for i := 0; i < n; i++ {
+		u, err := netsim.NewUDPNet(event.Addr(i+1), "127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		probe[i] = u
+		peers[event.Addr(i+1)] = u.LocalAddr()
+	}
+	for _, u := range probe {
+		u.Close()
+	}
+
+	var mu sync.Mutex
+	delivered := make([]int, n)
+	views := make([]*event.View, n)
+
+	nets := make([]*netsim.UDPNet, n)
+	members := make([]*Member, n)
+	addrs := make([]event.Addr, n)
+	for i := range addrs {
+		addrs[i] = event.Addr(i + 1)
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		u, err := netsim.NewUDPNet(addrs[i], peers[addrs[i]], peers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nets[i] = u
+		v := event.NewView("udp-vsync", 1, addrs, i)
+		m, err := NewMember(u, u, v, layers.StackVsync(), stack.Imp, Handlers{
+			OnCast: func(origin int, payload []byte) {
+				mu.Lock()
+				delivered[i]++
+				mu.Unlock()
+			},
+			OnView: func(v *event.View) {
+				mu.Lock()
+				views[i] = v
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		members[i] = m
+		m.Start()
+		go u.Run()
+	}
+	defer func() {
+		for _, u := range nets {
+			u.Close()
+		}
+	}()
+
+	// Clean traffic first.
+	nets[0].Do(func() { members[0].Cast([]byte("hello")) })
+	waitFor(t, 5*time.Second, "initial delivery everywhere", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return delivered[0] >= 1 && delivered[1] >= 1 && delivered[2] >= 1
+	})
+
+	// Member 2 dies hard.
+	nets[2].Close()
+
+	waitFor(t, 20*time.Second, "survivors install a 2-member view", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return views[0] != nil && views[0].N() == 2 &&
+			views[1] != nil && views[1].N() == 2 &&
+			views[0].ID == views[1].ID
+	})
+
+	// Traffic continues in the new view.
+	mu.Lock()
+	base := delivered[1]
+	mu.Unlock()
+	nets[0].Do(func() { members[0].Cast([]byte("after the failure")) })
+	waitFor(t, 10*time.Second, "post-view-change delivery", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return delivered[1] > base
+	})
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

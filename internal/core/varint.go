@@ -1,0 +1,30 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"io"
+
+	"ensemble/internal/event"
+)
+
+// appendUvarint and uvarint wrap encoding/binary for the epoch prefix on
+// wire packets.
+func appendUvarint(dst []byte, v uint64) []byte { return binary.AppendUvarint(dst, v) }
+
+func uvarint(b []byte) (uint64, int) { return binary.Uvarint(b) }
+
+// viewDigest hashes a view's full identity — group, sequence number, and
+// every member — into the epoch tag carried by each packet.
+func viewDigest(v *event.View) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, v.Group)
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(v.ID.Seq))
+	h.Write(buf[:])
+	for _, a := range v.Members {
+		binary.BigEndian.PutUint64(buf[:], uint64(a))
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}

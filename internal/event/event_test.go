@@ -1,0 +1,144 @@
+package event
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderStackLIFO(t *testing.T) {
+	var m Message
+	m.Push(NoHdr{L: "a"})
+	m.Push(NoHdr{L: "b"})
+	m.Push(NoHdr{L: "c"})
+	if got := m.Pop().(NoHdr).L; got != "c" {
+		t.Fatalf("pop = %q, want c", got)
+	}
+	if got := m.Top().(NoHdr).L; got != "b" {
+		t.Fatalf("top = %q, want b", got)
+	}
+	if got := m.Pop().(NoHdr).L; got != "b" {
+		t.Fatalf("pop = %q, want b", got)
+	}
+	if got := m.Pop().(NoHdr).L; got != "a" {
+		t.Fatalf("pop = %q, want a", got)
+	}
+	if m.Top() != nil {
+		t.Fatal("empty stack has a top")
+	}
+}
+
+func TestHeaderPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("pop on empty stack did not panic")
+		}
+	}()
+	var m Message
+	m.Pop()
+}
+
+// Property: any push sequence pops in exact reverse order.
+func TestHeaderStackProperty(t *testing.T) {
+	f := func(names []string) bool {
+		var m Message
+		for _, n := range names {
+			m.Push(NoHdr{L: n})
+		}
+		for i := len(names) - 1; i >= 0; i-- {
+			if m.Pop().(NoHdr).L != names[i] {
+				return false
+			}
+		}
+		return len(m.Headers) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolRecycling(t *testing.T) {
+	e := Alloc()
+	e.Type = ECast
+	e.Peer = 7
+	e.Msg.Payload = []byte("x")
+	e.Msg.Push(NoHdr{L: "l"})
+	Free(e)
+	e2 := Alloc()
+	// The recycled event must be zeroed.
+	if e2.Type != EInit || e2.Peer != 0 || e2.Msg.Payload != nil || len(e2.Msg.Headers) != 0 {
+		t.Fatalf("recycled event not reset: %+v", e2)
+	}
+	Free(e2)
+}
+
+func TestFreeIgnoresStackAllocated(t *testing.T) {
+	var e Event
+	e.Msg.Push(NoHdr{L: "x"})
+	Free(&e) // must not panic or pool a foreign event
+	if len(e.Msg.Headers) != 1 {
+		t.Fatal("Free modified a non-pooled event")
+	}
+}
+
+func TestConstructors(t *testing.T) {
+	c := CastEv([]byte("p"))
+	if c.Dir != Dn || c.Type != ECast || !c.ApplMsg || string(c.Msg.Payload) != "p" {
+		t.Fatalf("CastEv: %+v", c)
+	}
+	Free(c)
+	s := SendEv(3, nil)
+	if s.Dir != Dn || s.Type != ESend || s.Peer != 3 || !s.ApplMsg {
+		t.Fatalf("SendEv: %+v", s)
+	}
+	Free(s)
+	tm := TimerEv(42)
+	if tm.Dir != Up || tm.Type != ETimer || tm.Time != 42 {
+		t.Fatalf("TimerEv: %+v", tm)
+	}
+	Free(tm)
+}
+
+func TestTypeStrings(t *testing.T) {
+	for ty := Type(0); int(ty) < NumTypes(); ty++ {
+		if s := ty.String(); strings.HasPrefix(s, "Type(") {
+			t.Errorf("type %d has no name", ty)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := CastEv([]byte("abc"))
+	e.Msg.Push(NoHdr{L: "x"})
+	if s := e.String(); !strings.Contains(s, "DnCast") || !strings.Contains(s, "|msg|=3") {
+		t.Errorf("String() = %q", s)
+	}
+	Free(e)
+}
+
+func TestViewHelpers(t *testing.T) {
+	v := NewView("g", 5, []Addr{10, 20, 30}, 1)
+	if v.N() != 3 || v.Coordinator() {
+		t.Fatalf("view: %+v", v)
+	}
+	if v.RankOf(30) != 2 || v.RankOf(99) != -1 {
+		t.Fatal("RankOf wrong")
+	}
+	if v.ID.Coord != 10 || v.ID.Seq != 5 {
+		t.Fatalf("view id: %+v", v.ID)
+	}
+	w := v.Clone()
+	w.Members[0] = 99
+	if v.Members[0] != 10 {
+		t.Fatal("Clone aliases members")
+	}
+}
+
+func TestNewViewCopiesMembers(t *testing.T) {
+	addrs := []Addr{1, 2}
+	v := NewView("g", 1, addrs, 0)
+	addrs[0] = 42
+	if v.Members[0] != 1 {
+		t.Fatal("NewView aliases the caller's slice")
+	}
+}

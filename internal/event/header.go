@@ -1,0 +1,63 @@
+package event
+
+import "fmt"
+
+// Header is one layer's contribution to a message. As a message travels
+// down the stack each layer pushes its header; travelling up, each layer
+// pops and interprets its own header. There is no fixed wire format for
+// headers in Ensemble (§4, item 2) — the transport marshals whatever
+// stack of headers it is handed, and the optimizer's header compression
+// replaces the common-case stack with a short identifier.
+type Header interface {
+	// Layer names the micro-protocol the header belongs to.
+	Layer() string
+	// HdrString renders the header for traces.
+	HdrString() string
+}
+
+// NoHdr is pushed by layers that must delimit their place in the header
+// stack but have nothing to say for this event (the paper's
+// Full_nohdr(hdr) in the Bottom optimization theorem).
+type NoHdr struct{ L string }
+
+// Layer implements Header.
+func (h NoHdr) Layer() string { return h.L }
+
+// HdrString implements Header.
+func (h NoHdr) HdrString() string { return h.L + ":NoHdr" }
+
+// Message is a payload plus the stack of headers pushed so far.
+// Headers[len-1] is the most recently pushed (innermost layer last).
+type Message struct {
+	Payload []byte
+	Headers []Header
+}
+
+// Push appends a header to the stack.
+func (m *Message) Push(h Header) { m.Headers = append(m.Headers, h) }
+
+// Pop removes and returns the top header. It panics if the stack is
+// empty: a layer popping past the bottom is a wiring bug, not a runtime
+// condition.
+func (m *Message) Pop() Header {
+	n := len(m.Headers)
+	if n == 0 {
+		panic("event: header pop on empty stack")
+	}
+	h := m.Headers[n-1]
+	m.Headers = m.Headers[:n-1]
+	return h
+}
+
+// Top returns the top header without removing it, or nil when empty.
+func (m *Message) Top() Header {
+	if n := len(m.Headers); n > 0 {
+		return m.Headers[n-1]
+	}
+	return nil
+}
+
+// String renders the message for traces.
+func (m Message) String() string {
+	return fmt.Sprintf("msg(|payload|=%d, headers=%d)", len(m.Payload), len(m.Headers))
+}

@@ -1,0 +1,70 @@
+package event
+
+import "fmt"
+
+// Addr identifies an endpoint on a network. In the simulator it is a
+// small integer; over UDP it indexes a table of socket addresses.
+type Addr int32
+
+// ViewID identifies a group view: the rank of the coordinator that
+// installed it and a logical sequence number, as in Ensemble's
+// (coordinator, ltime) view identifiers.
+type ViewID struct {
+	Coord Addr
+	Seq   int64
+}
+
+// String renders the view id.
+func (v ViewID) String() string { return fmt.Sprintf("view(%d,%d)", v.Coord, v.Seq) }
+
+// View describes one group membership epoch. Every member of the view
+// runs the same protocol stack over the same member list; ranks index
+// Members.
+type View struct {
+	ID      ViewID
+	Group   string
+	Members []Addr
+	// Rank is this process's position in Members.
+	Rank int
+}
+
+// N returns the number of members.
+func (v *View) N() int { return len(v.Members) }
+
+// Coordinator reports whether this process coordinates the view
+// (rank 0 by convention, as in Ensemble).
+func (v *View) Coordinator() bool { return v.Rank == 0 }
+
+// RankOf returns the rank of the member with the given address, or -1
+// if it is not in the view.
+func (v *View) RankOf(a Addr) int {
+	for i, m := range v.Members {
+		if m == a {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the view.
+func (v *View) String() string {
+	return fmt.Sprintf("%v n=%d rank=%d", v.ID, len(v.Members), v.Rank)
+}
+
+// Clone returns a deep copy (membership lists are mutated across view
+// changes; layers must not alias the old view's slice).
+func (v *View) Clone() *View {
+	w := *v
+	w.Members = append([]Addr(nil), v.Members...)
+	return &w
+}
+
+// NewView builds a view for testing and for the membership layer.
+func NewView(group string, seq int64, members []Addr, rank int) *View {
+	return &View{
+		ID:      ViewID{Coord: members[0], Seq: seq},
+		Group:   group,
+		Members: append([]Addr(nil), members...),
+		Rank:    rank,
+	}
+}

@@ -1,0 +1,206 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"ensemble/internal/event"
+)
+
+// LValue is an assignable location: a Var or an Index.
+type LValue interface {
+	Expr
+	isLValue()
+}
+
+func (Var) isLValue()   {}
+func (Index) isLValue() {}
+
+// Action is one step of a selected rule. The shapes are constrained to
+// what the composition theorems handle: a data path rule either
+// continues the message linearly (push/pop its header), bounces a copy
+// (the local layer's self-delivery), or falls back to the full stack.
+type Action interface {
+	fmt.Stringer
+	isAction()
+}
+
+// Assign updates a state variable.
+type Assign struct {
+	Target LValue
+	Val    Expr
+}
+
+// PushHdr pushes this layer's header and continues the message downward
+// (the linear down-going shape).
+type PushHdr struct{ H HdrCons }
+
+// PopDeliver pops this layer's header and continues the message upward
+// (the linear up-going shape).
+type PopDeliver struct{}
+
+// Bounce reflects a copy of the down-going message upward before it
+// continues down (the local layer). The copy re-enters the layers above
+// this one, which is what the Bounce composition theorem captures.
+type Bounce struct{}
+
+// CallEffect invokes a named opaque operation on the layer state —
+// buffering a sent message for retransmission, typically. Effects are
+// the non-critical processing the bypass defers until after the send
+// (paper §4, optimization 3).
+type CallEffect struct {
+	Name string
+	Args []Expr
+}
+
+// Fallback abandons the bypass: this input is not a common case.
+type Fallback struct{ Reason string }
+
+func (Assign) isAction()     {}
+func (PushHdr) isAction()    {}
+func (PopDeliver) isAction() {}
+func (Bounce) isAction()     {}
+func (CallEffect) isAction() {}
+func (Fallback) isAction()   {}
+
+func (a Assign) String() string { return fmt.Sprintf("%s := %s", a.Target, a.Val) }
+func (p PushHdr) String() string {
+	return fmt.Sprintf("push %s", p.H)
+}
+func (PopDeliver) String() string { return "pop; deliver" }
+func (Bounce) String() string     { return "bounce copy up" }
+func (c CallEffect) String() string {
+	args := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = a.String()
+	}
+	return fmt.Sprintf("effect %s(%s)", c.Name, strings.Join(args, ", "))
+}
+func (f Fallback) String() string { return "fallback: " + f.Reason }
+
+// HdrFieldVal is one field of a constructed header.
+type HdrFieldVal struct {
+	Name string
+	Val  Expr
+}
+
+// HdrCons describes the header a layer pushes: a variant plus field
+// values.
+type HdrCons struct {
+	Layer   string
+	Variant string
+	Fields  []HdrFieldVal
+}
+
+// String renders the construction, e.g. mnak.Data(seqno: s.my_seq).
+func (h HdrCons) String() string {
+	if len(h.Fields) == 0 {
+		return fmt.Sprintf("%s.%s", h.Layer, h.Variant)
+	}
+	parts := make([]string, len(h.Fields))
+	for i, f := range h.Fields {
+		parts[i] = fmt.Sprintf("%s: %s", f.Name, f.Val)
+	}
+	return fmt.Sprintf("%s.%s(%s)", h.Layer, h.Variant, strings.Join(parts, ", "))
+}
+
+// Rule is one guarded alternative of a layer path: the first rule whose
+// guard holds fires.
+type Rule struct {
+	Guard   Expr
+	Actions []Action
+}
+
+// String renders the rule.
+func (r Rule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "when %s:\n", r.Guard)
+	for _, a := range r.Actions {
+		fmt.Fprintf(&b, "  %s\n", a)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// PathKey selects one of the four fundamental cases the optimizer
+// handles per layer (§4.1.2): down- or up-going events for point-to-point
+// sending and broadcasting.
+type PathKey struct {
+	Dir  event.Dir
+	Kind event.Type // ECast or ESend
+}
+
+// String renders e.g. "Dn/Cast".
+func (k PathKey) String() string { return fmt.Sprintf("%s/%s", k.Dir, k.Kind) }
+
+// The four fundamental cases.
+var (
+	DnCast = PathKey{Dir: event.Dn, Kind: event.ECast}
+	DnSend = PathKey{Dir: event.Dn, Kind: event.ESend}
+	UpCast = PathKey{Dir: event.Up, Kind: event.ECast}
+	UpSend = PathKey{Dir: event.Up, Kind: event.ESend}
+)
+
+// AllPaths lists the four fundamental cases in a fixed order.
+func AllPaths() []PathKey { return []PathKey{DnCast, DnSend, UpCast, UpSend} }
+
+// LayerIR is a layer's data-path behaviour: an ordered rule list per
+// fundamental case.
+type LayerIR struct {
+	Layer string
+	Paths map[PathKey][]Rule
+}
+
+// HdrSpec describes one header variant of a layer: its discriminant tag
+// (the value of the pseudo-field "tag"), its field names in wire order,
+// and the bridges to the executable header values.
+type HdrSpec struct {
+	Variant string
+	Tag     int64
+	Fields  []string
+	// Make builds the executable header from field values (in Fields
+	// order).
+	Make func(fields []int64) event.Header
+	// Read extracts the field values from an executable header of this
+	// variant; it reports false for other variants.
+	Read func(h event.Header) ([]int64, bool)
+}
+
+// VarSpec binds one IR state variable to a live layer state. Exactly one
+// of the scalar pair and the array pair is set.
+type VarSpec struct {
+	Name  string
+	Get   func() int64
+	Set   func(int64)
+	GetAt func(i int64) int64
+	SetAt func(i int64, v int64)
+}
+
+// StateModel is implemented by layer states that expose their variables
+// to the optimizer; the compiled bypass shares state with the running
+// stack through these accessors.
+type StateModel interface {
+	IRVars() []VarSpec
+}
+
+// EffectCtx carries the runtime arguments of an effect invocation.
+type EffectCtx struct {
+	Args    []int64
+	Payload []byte
+	ApplMsg bool
+	// Hdrs is the header stack of the message as the layers above this
+	// one would have built it — materialized by the bypass from the
+	// optimization theorem so that buffered messages are byte-identical
+	// to what the full stack would have buffered.
+	Hdrs []event.Header
+}
+
+// EffectSpec binds a named effect to a live layer state.
+type EffectSpec struct {
+	Name string
+	Run  func(ctx EffectCtx)
+}
+
+// EffectModel is implemented by layer states with bypass effects.
+type EffectModel interface {
+	IREffects() []EffectSpec
+}

@@ -1,0 +1,87 @@
+package layer
+
+import (
+	"strings"
+	"testing"
+
+	"ensemble/internal/event"
+)
+
+type nopState struct{ name string }
+
+func (s *nopState) Name() string                       { return s.name }
+func (s *nopState) HandleUp(ev *event.Event, snk Sink) { snk.PassUp(ev) }
+func (s *nopState) HandleDn(ev *event.Event, snk Sink) { snk.PassDn(ev) }
+
+func TestRegistryLookupAndNames(t *testing.T) {
+	Register("test-layer-a", func(cfg Config) State { return &nopState{name: "test-layer-a"} })
+	Register("test-layer-b", func(cfg Config) State { return &nopState{name: "test-layer-b"} })
+
+	b, err := Lookup("test-layer-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := b(Config{})
+	if st.Name() != "test-layer-a" {
+		t.Fatalf("built %q", st.Name())
+	}
+	if _, err := Lookup("never-registered"); err == nil {
+		t.Fatal("unknown component looked up")
+	}
+	names := Names()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("Names not sorted")
+		}
+	}
+	found := 0
+	for _, n := range names {
+		if strings.HasPrefix(n, "test-layer-") {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("registered components missing from Names: %v", names)
+	}
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Register("test-layer-a", nil)
+}
+
+func TestDefaultConfig(t *testing.T) {
+	v := event.NewView("g", 1, []event.Addr{1, 2}, 0)
+	cfg := DefaultConfig(v)
+	if cfg.View != v || cfg.MaxFragSize <= 0 || cfg.WindowSize <= 0 ||
+		cfg.CreditBytes <= 0 || cfg.SweepInterval <= 0 || cfg.SuspectTimeout <= 0 {
+		t.Fatalf("bad defaults: %+v", cfg)
+	}
+	if cfg.SuspectTimeout <= cfg.SweepInterval {
+		t.Fatal("suspicion must outlast several sweeps")
+	}
+}
+
+func TestPassThroughHelpers(t *testing.T) {
+	var ups, dns int
+	snk := sinkFuncs{
+		up: func(*event.Event) { ups++ },
+		dn: func(*event.Event) { dns++ },
+	}
+	ev := event.Alloc()
+	PassThroughUp(ev, snk)
+	PassThroughDn(ev, snk)
+	if ups != 1 || dns != 1 {
+		t.Fatalf("ups=%d dns=%d", ups, dns)
+	}
+	event.Free(ev)
+}
+
+type sinkFuncs struct{ up, dn func(*event.Event) }
+
+func (s sinkFuncs) PassUp(ev *event.Event) { s.up(ev) }
+func (s sinkFuncs) PassDn(ev *event.Event) { s.dn(ev) }

@@ -1,0 +1,198 @@
+package layers
+
+import (
+	"fmt"
+
+	"ensemble/internal/event"
+	"ensemble/internal/layer"
+	"ensemble/internal/transport"
+)
+
+// collectState gathers acknowledgment vectors from all members and
+// computes the stability frontier: the per-origin multicast sequence
+// number known to be received everywhere. The reliability layer below
+// (mnak) reports its contiguous-receive vector up in EAck events on
+// every timer sweep; collect multicasts that vector to the group and
+// folds the vectors it hears into an element-wise minimum. When the
+// frontier advances it emits EStable both down (so mnak can free its
+// retransmission buffers) and up (so applications and ordering layers
+// can observe stability).
+type collectState struct {
+	view *event.View
+
+	// acks[m] is the last acknowledgment vector heard from member m;
+	// acks[rank] is our own, refreshed by EAck from below.
+	acks [][]int64
+
+	// stable is the last frontier announced.
+	stable []int64
+
+	// dirty marks that our own vector changed since the last gossip.
+	dirty bool
+	// sweeps counts timer sweeps; every few sweeps a gossip goes out even
+	// when clean, because gossip casts are also what reveals trailing
+	// losses to the NAK layer below — without them a lost final message
+	// would never be repaired.
+	sweeps int64
+
+	// blocked pauses gossip during a view-change flush so the flush can
+	// quiesce; the next view's fresh stack resumes it.
+	blocked bool
+}
+
+// collect header variants.
+type (
+	// collectPass tags data passing through.
+	collectPass struct{}
+	// collectGossip carries a member's acknowledgment vector.
+	collectGossip struct{ Vector []int64 }
+)
+
+func (collectPass) Layer() string   { return Collect }
+func (collectGossip) Layer() string { return Collect }
+
+func (collectPass) HdrString() string     { return "collect:Pass" }
+func (h collectGossip) HdrString() string { return fmt.Sprintf("collect:Gossip(%v)", h.Vector) }
+
+const (
+	collectTagPass byte = iota
+	collectTagGossip
+)
+
+func init() {
+	layer.Register(Collect, func(cfg layer.Config) layer.State {
+		n := cfg.View.N()
+		s := &collectState{
+			view:   cfg.View,
+			acks:   make([][]int64, n),
+			stable: make([]int64, n),
+		}
+		for i := range s.acks {
+			s.acks[i] = make([]int64, n)
+		}
+		return s
+	})
+	transport.RegisterCodec(transport.HeaderCodec{
+		Layer: Collect,
+		ID:    idCollect,
+		Encode: func(h event.Header, w *transport.Writer) {
+			switch h := h.(type) {
+			case collectPass:
+				w.Byte(collectTagPass)
+			case collectGossip:
+				w.Byte(collectTagGossip)
+				w.Uvarint(uint64(len(h.Vector)))
+				for _, v := range h.Vector {
+					w.Varint(v)
+				}
+			default:
+				panic(fmt.Sprintf("collect: unknown header %T", h))
+			}
+		},
+		Decode: func(r *transport.Reader) (event.Header, error) {
+			switch tag := r.Byte(); tag {
+			case collectTagPass:
+				return collectPass{}, nil
+			case collectTagGossip:
+				n := r.Uvarint()
+				if n > 1<<16 {
+					return nil, transport.ErrBadWire("collect vector length %d", n)
+				}
+				vec := make([]int64, n)
+				for i := range vec {
+					vec[i] = r.Varint()
+				}
+				return collectGossip{Vector: vec}, nil
+			default:
+				return nil, transport.ErrBadWire("collect tag %d", tag)
+			}
+		},
+	})
+}
+
+func (s *collectState) Name() string { return Collect }
+
+func (s *collectState) HandleDn(ev *event.Event, snk layer.Sink) {
+	if isData(ev) {
+		ev.Msg.Push(collectPass{})
+	} else if ev.Type == event.EBlock {
+		s.blocked = true
+	}
+	snk.PassDn(ev)
+}
+
+func (s *collectState) HandleUp(ev *event.Event, snk layer.Sink) {
+	switch ev.Type {
+	case event.ECast:
+		switch h := ev.Msg.Pop().(type) {
+		case collectPass:
+			snk.PassUp(ev)
+		case collectGossip:
+			// A vector of the wrong width cannot belong to this view.
+			if len(h.Vector) == s.view.N() {
+				s.acks[ev.Peer] = h.Vector
+				s.recompute(snk)
+			}
+			event.Free(ev)
+		default:
+			panic(fmt.Sprintf("collect: unexpected up cast header %T", h))
+		}
+	case event.ESend:
+		ev.Msg.Pop()
+		snk.PassUp(ev)
+	case event.EAck:
+		// Fresh local acknowledgment vector from the reliability layer.
+		if len(ev.Stability) == s.view.N() {
+			s.acks[s.view.Rank] = ev.Stability
+			s.dirty = true
+			s.recompute(snk)
+		}
+		event.Free(ev)
+	case event.ETimer:
+		s.sweeps++
+		if (s.dirty || s.sweeps%4 == 0) && !s.blocked && s.view.N() > 1 {
+			s.dirty = false
+			s.gossip(snk)
+		}
+		snk.PassUp(ev)
+	default:
+		snk.PassUp(ev)
+	}
+}
+
+// gossip multicasts our acknowledgment vector.
+func (s *collectState) gossip(snk layer.Sink) {
+	g := event.Alloc()
+	g.Dir, g.Type = event.Dn, event.ECast
+	g.Msg.Push(collectGossip{Vector: append([]int64(nil), s.acks[s.view.Rank]...)})
+	snk.PassDn(g)
+}
+
+// recompute folds the known vectors into the element-wise minimum and
+// announces the frontier when it advances.
+func (s *collectState) recompute(snk layer.Sink) {
+	n := s.view.N()
+	advanced := false
+	for o := 0; o < n; o++ {
+		m := s.acks[0][o]
+		for r := 1; r < n; r++ {
+			if v := s.acks[r][o]; v < m {
+				m = v
+			}
+		}
+		if m > s.stable[o] {
+			s.stable[o] = m
+			advanced = true
+		}
+	}
+	if !advanced {
+		return
+	}
+	vec := append([]int64(nil), s.stable...)
+	dn := event.Alloc()
+	dn.Dir, dn.Type, dn.Stability = event.Dn, event.EStable, vec
+	snk.PassDn(dn)
+	up := event.Alloc()
+	up.Dir, up.Type, up.Stability = event.Up, event.EStable, append([]int64(nil), vec...)
+	snk.PassUp(up)
+}

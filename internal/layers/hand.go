@@ -1,0 +1,278 @@
+package layers
+
+import (
+	"encoding/binary"
+
+	"ensemble/internal/event"
+	"ensemble/internal/layer"
+	"ensemble/internal/stack"
+	"ensemble/internal/transport"
+)
+
+// HandEngine is the hand-optimized configuration (HAND in §4.2): a
+// manually written bypass for the 4-layer stack (top, pt2pt, mnak,
+// bottom), created the way the paper describes — the common path through
+// the protocol stack and the Transport module integrated into one piece
+// of straight-line code with direct access to the layers' state. The
+// integration of the transport is what makes HAND about 25% faster than
+// the machine-generated code, which bypasses the stack but not the
+// transport.
+//
+// Like the paper's hand bypass, it supports the "assume the next send
+// can use the bypass too" optimization: after a message is delivered
+// through the bypass, the next send skips the common-case check. The
+// assumption is not generally valid (the response might need to be
+// fragmented), which is exactly why the technique cannot be substituted
+// for the checked bypass in general (§4.2); TrustAfterDeliver gates it.
+type HandEngine struct {
+	Rank int
+	N    int
+
+	// TrustAfterDeliver enables the skip-check optimization.
+	TrustAfterDeliver bool
+
+	stk    stack.Stack
+	states []layer.State
+	top    *topState
+	p2p    *pt2ptState
+	mnak   *mnakState
+	bot    *bottomState
+
+	trustDn bool
+
+	// SendWire transmits a wire image (cast fans out, send to rank dst).
+	SendWire func(cast bool, dst int, wire []byte)
+	// Deliver hands an application payload up.
+	Deliver func(origin int, payload []byte, cast bool)
+
+	// MarkDnTransport and MarkUpStack are optional instrumentation hooks
+	// at the stack/transport boundary, for the code-latency benchmarks.
+	MarkDnTransport func()
+	MarkUpStack     func()
+
+	wbuf transport.Writer
+
+	// Stats counts routing decisions.
+	Stats struct {
+		DnBypass, DnFull, UpBypass, UpFull int64
+	}
+}
+
+// handMagic distinguishes the hand bypass's integrated wire format.
+const handMagic = 0xC1
+
+const (
+	handKindCast = 0
+	handKindSend = 1
+)
+
+// NewHandEngine builds the hand-optimized 4-layer configuration. The
+// fallback stack runs under the given execution model.
+func NewHandEngine(cfg layer.Config, mode stack.Mode) (*HandEngine, error) {
+	states, err := stack.BuildStates(Stack4(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	h := &HandEngine{
+		Rank:   cfg.View.Rank,
+		N:      cfg.View.N(),
+		states: states,
+		top:    states[0].(*topState),
+		p2p:    states[1].(*pt2ptState),
+		mnak:   states[2].(*mnakState),
+		bot:    states[3].(*bottomState),
+	}
+	h.stk = stack.FromStates(states, mode, stack.Callbacks{App: h.appEvent, Net: h.netEvent})
+	return h, nil
+}
+
+// Stack exposes the fallback stack.
+func (h *HandEngine) Stack() stack.Stack { return h.stk }
+
+// States exposes the shared layer states.
+func (h *HandEngine) States() []layer.State { return h.states }
+
+func (h *HandEngine) appEvent(ev *event.Event) {
+	switch ev.Type {
+	case event.ECast, event.ESend:
+		if ev.ApplMsg && h.Deliver != nil {
+			h.Deliver(ev.Peer, ev.Msg.Payload, ev.Type == event.ECast)
+		}
+	}
+}
+
+func (h *HandEngine) netEvent(ev *event.Event) {
+	switch ev.Type {
+	case event.ECast, event.ESend:
+	default:
+		return
+	}
+	if err := transport.Marshal(ev, h.Rank, &h.wbuf); err != nil {
+		panic(err)
+	}
+	if h.SendWire != nil {
+		h.SendWire(ev.Type == event.ECast, ev.Peer, h.wbuf.Bytes())
+	}
+}
+
+// Cast multicasts an application payload through the hand bypass when
+// the common case holds.
+func (h *HandEngine) Cast(payload []byte) {
+	if h.trustDn {
+		h.trustDn = false
+	} else if !h.bot.enabled {
+		h.Stats.DnFull++
+		h.stk.SubmitDn(event.CastEv(payload))
+		return
+	}
+	h.Stats.DnBypass++
+	// Straight-line integrated path: assign the sequence number, build
+	// the wire image directly, send, then buffer for retransmission.
+	seq := h.mnak.mySeq
+	h.mnak.mySeq++
+	if h.MarkDnTransport != nil {
+		h.MarkDnTransport()
+	}
+	wire := make([]byte, 0, 12+len(payload))
+	wire = append(wire, handMagic, handKindCast, byte(h.Rank))
+	wire = binary.AppendVarint(wire, seq)
+	wire = append(wire, payload...)
+	if h.SendWire != nil {
+		h.SendWire(true, 0, wire)
+	}
+	h.mnak.sendBuf[seq] = savedMsg{
+		payload: copyPayload(payload),
+		hdrs:    []event.Header{topHdr{}, p2pPass{}},
+		applMsg: true,
+	}
+}
+
+// Send transmits an application payload point-to-point through the hand
+// bypass when the common case holds.
+func (h *HandEngine) Send(dst int, payload []byte) {
+	p := &h.p2p.peers[dst]
+	if h.trustDn {
+		h.trustDn = false
+	} else if !h.bot.enabled {
+		h.Stats.DnFull++
+		h.stk.SubmitDn(event.SendEv(dst, payload))
+		return
+	}
+	h.Stats.DnBypass++
+	seq := p.sendSeq
+	p.sendSeq++
+	ack := p.recvNext
+	p.pendingAcks = 0
+	if h.MarkDnTransport != nil {
+		h.MarkDnTransport()
+	}
+	wire := make([]byte, 0, 16+len(payload))
+	wire = append(wire, handMagic, handKindSend, byte(h.Rank))
+	wire = binary.AppendVarint(wire, seq)
+	wire = binary.AppendVarint(wire, ack)
+	wire = append(wire, payload...)
+	if h.SendWire != nil {
+		h.SendWire(false, dst, wire)
+	}
+	if p.unacked == nil {
+		p.unacked = make(map[int64]savedMsg)
+	}
+	p.unacked[seq] = savedMsg{
+		payload: copyPayload(payload),
+		hdrs:    []event.Header{topHdr{}},
+		applMsg: true,
+	}
+}
+
+// Packet routes an arriving wire image.
+func (h *HandEngine) Packet(data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	if data[0] != handMagic {
+		ev, err := transport.Unmarshal(data)
+		if err != nil {
+			return
+		}
+		h.Stats.UpFull++
+		h.stk.DeliverUp(ev)
+		return
+	}
+	kind := data[1]
+	origin := int(data[2])
+	rest := data[3:]
+	seq, n := binary.Varint(rest)
+	if n <= 0 {
+		return
+	}
+	rest = rest[n:]
+	var ack int64
+	if kind == handKindSend {
+		ack, n = binary.Varint(rest)
+		if n <= 0 {
+			return
+		}
+		rest = rest[n:]
+	}
+	payload := rest
+	if h.MarkUpStack != nil {
+		h.MarkUpStack()
+	}
+
+	if kind == handKindCast {
+		if h.bot.enabled && seq == h.mnak.recvNext[origin] && len(h.mnak.recvBuf[origin]) == 0 {
+			h.Stats.UpBypass++
+			h.mnak.recvNext[origin] = seq + 1
+			h.deliverBypass(origin, payload, true)
+			return
+		}
+		h.Stats.UpFull++
+		h.uncompressToStack(origin, payload, true, seq, 0)
+		return
+	}
+	p := &h.p2p.peers[origin]
+	if h.bot.enabled && seq == p.recvNext && len(p.oooBuf) == 0 && p.pendingAcks+1 < h.p2p.ackThreshold {
+		h.Stats.UpBypass++
+		h.p2p.applyAck(origin, ack)
+		p.recvNext = seq + 1
+		p.pendingAcks++
+		h.deliverBypass(origin, payload, false)
+		return
+	}
+	h.Stats.UpFull++
+	h.uncompressToStack(origin, payload, false, seq, ack)
+}
+
+func (h *HandEngine) deliverBypass(origin int, payload []byte, cast bool) {
+	if h.TrustAfterDeliver {
+		h.trustDn = true
+	}
+	if h.Deliver != nil {
+		h.Deliver(origin, payload, cast)
+	}
+}
+
+// uncompressToStack rebuilds the full header stack for a hand-format
+// packet that missed the common case, and hands it to the original
+// stack.
+func (h *HandEngine) uncompressToStack(origin int, payload []byte, cast bool, seq, ack int64) {
+	ev := event.Alloc()
+	ev.Dir = event.Up
+	ev.Peer = origin
+	ev.ApplMsg = true
+	ev.Msg.Payload = payload
+	if cast {
+		ev.Type = event.ECast
+		ev.Msg.Headers = []event.Header{topHdr{}, p2pPass{}, mnakData{Seqno: seq}, bottomHdr{}}
+	} else {
+		ev.Type = event.ESend
+		// Push order top-down: top, pt2pt (data), mnak (pass), bottom.
+		ev.Msg.Headers = []event.Header{topHdr{}, p2pData{Seqno: seq, Ack: ack}, mnakPass{}, bottomHdr{}}
+	}
+	h.stk.DeliverUp(ev)
+}
+
+// Timer drives the housekeeping sweep through the full stack.
+func (h *HandEngine) Timer(now int64) {
+	h.stk.DeliverUp(event.TimerEv(now))
+}

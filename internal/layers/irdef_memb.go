@@ -1,0 +1,173 @@
+package layers
+
+import (
+	"ensemble/internal/event"
+	"ensemble/internal/ir"
+)
+
+// IR definitions for the membership machinery's data paths. Both layers
+// are pass-throughs for application traffic in the common case — no
+// flush in progress, the peer's liveness timestamp refreshed — and all
+// control traffic (flush rounds, view announcements, heartbeats) falls
+// back to the full stack.
+
+// ---- membership ----
+
+// IRVars exposes the flush gate.
+func (s *membershipState) IRVars() []ir.VarSpec {
+	return []ir.VarSpec{
+		scalarRO("blocked", func() int64 { return b2i(s.blocked) }),
+		scalarRO("pending_len", func() int64 { return int64(len(s.pending)) }),
+		scalarRO("flushing", func() int64 { return b2i(s.flushing) }),
+		scalarRO("proposed_seq", func() int64 { return s.proposedSeq }),
+		arrayRO("excluded", func(i int64) int64 { return b2i(s.excluded(int(i))) }),
+	}
+}
+
+func membershipDef() ir.LayerDef {
+	notBlocked := ir.Eq(ir.Var("blocked"), ir.Const(0))
+	tagIs := func(t byte) ir.Expr { return ir.Eq(ir.HdrField("tag"), ir.Const(int64(t))) }
+	dn := []ir.Rule{
+		{Guard: notBlocked, Actions: []ir.Action{
+			ir.PushHdr{H: ir.HdrCons{Layer: Membership, Variant: "Pass"}},
+		}},
+		{Guard: ir.True, Actions: []ir.Action{ir.Fallback{Reason: "view change in progress"}}},
+	}
+	up := []ir.Rule{
+		{Guard: tagIs(membTagPass), Actions: []ir.Action{ir.PopDeliver{}}},
+		{Guard: ir.True, Actions: []ir.Action{ir.Fallback{Reason: "membership control traffic"}}},
+	}
+	return ir.LayerDef{
+		Name: Membership,
+		IR: ir.LayerIR{Layer: Membership, Paths: map[ir.PathKey][]ir.Rule{
+			ir.DnCast: dn, ir.DnSend: dn, ir.UpCast: up, ir.UpSend: up,
+		}},
+		Hdrs: []ir.HdrSpec{
+			{
+				Variant: "Pass", Tag: int64(membTagPass),
+				Make: func([]int64) event.Header { return membPass{} },
+				Read: func(h event.Header) ([]int64, bool) {
+					_, ok := h.(membPass)
+					return nil, ok
+				},
+			},
+			// Control variants are recognized (so ReadHdr can classify
+			// them for fallback dispatch) but never IR-constructed.
+			{
+				Variant: "Flush", Tag: int64(membTagFlush), Fields: []string{"view_seq", "round"},
+				Make: func([]int64) event.Header { panic("membership: control headers are not IR-constructible") },
+				Read: func(h event.Header) ([]int64, bool) {
+					f, ok := h.(membFlush)
+					if !ok {
+						return nil, false
+					}
+					return []int64{f.ViewSeq, f.Round}, true
+				},
+			},
+			{
+				Variant: "View", Tag: int64(membTagView), Fields: []string{"view_seq"},
+				Make: func([]int64) event.Header { panic("membership: control headers are not IR-constructible") },
+				Read: func(h event.Header) ([]int64, bool) {
+					v, ok := h.(membView)
+					if !ok {
+						return nil, false
+					}
+					return []int64{v.ViewSeq}, true
+				},
+			},
+		},
+		CCP: map[ir.PathKey]ir.Expr{
+			ir.DnCast: notBlocked,
+			ir.DnSend: notBlocked,
+			ir.UpCast: tagIs(membTagPass),
+			ir.UpSend: tagIs(membTagPass),
+		},
+	}
+}
+
+// ---- suspect ----
+
+// IRVars exposes the failure detector's liveness clock.
+func (s *suspectState) IRVars() []ir.VarSpec {
+	return []ir.VarSpec{
+		scalarRO("suspected", func() int64 {
+			c := int64(0)
+			for _, b := range s.suspected {
+				if b {
+					c++
+				}
+			}
+			return c
+		}),
+		scalarRO("now", func() int64 { return s.now }),
+		scalarRO("inited", func() int64 { return b2i(s.lastHeard != nil) }),
+		ir.VarSpec{
+			Name: "last_heard",
+			// Reads before the first timer sweep (lastHeard still nil)
+			// answer zero; writes are gated by the `inited` CCP conjunct
+			// and can never arrive before the baseline exists.
+			GetAt: func(i int64) int64 {
+				if s.lastHeard == nil {
+					return 0
+				}
+				return s.lastHeard[i]
+			},
+			SetAt: func(i, v int64) { s.lastHeard[i] = v },
+		},
+	}
+}
+
+func suspectDef() ir.LayerDef {
+	tagIs := func(t byte) ir.Expr { return ir.Eq(ir.HdrField("tag"), ir.Const(int64(t))) }
+	inited := ir.Eq(ir.Var("inited"), ir.Const(1))
+	lastHeard := ir.Index{Name: "last_heard", Idx: ir.EvField("peer")}
+	dn := []ir.Rule{{Guard: ir.True, Actions: []ir.Action{
+		ir.PushHdr{H: ir.HdrCons{Layer: Suspect, Variant: "Pass"}},
+	}}}
+	// Refreshing the liveness timestamp is an unconditional write of
+	// `now`: the handler's max() guard is equivalent because timestamps
+	// never exceed the clock.
+	up := []ir.Rule{
+		{Guard: ir.And(tagIs(suspectTagPass), inited), Actions: []ir.Action{
+			ir.Assign{Target: lastHeard, Val: ir.Var("now")},
+			ir.PopDeliver{},
+		}},
+		{Guard: tagIs(suspectTagPass), Actions: []ir.Action{ir.PopDeliver{}}},
+		{Guard: ir.True, Actions: []ir.Action{ir.Fallback{Reason: "heartbeat"}}},
+	}
+	return ir.LayerDef{
+		Name: Suspect,
+		IR: ir.LayerIR{Layer: Suspect, Paths: map[ir.PathKey][]ir.Rule{
+			ir.DnCast: dn, ir.DnSend: dn, ir.UpCast: up, ir.UpSend: up,
+		}},
+		Hdrs: []ir.HdrSpec{
+			{
+				Variant: "Pass", Tag: int64(suspectTagPass),
+				Make: func([]int64) event.Header { return suspectPass{} },
+				Read: func(h event.Header) ([]int64, bool) {
+					_, ok := h.(suspectPass)
+					return nil, ok
+				},
+			},
+			{
+				Variant: "Ping", Tag: int64(suspectTagPing),
+				Make: func([]int64) event.Header { return suspectPing{} },
+				Read: func(h event.Header) ([]int64, bool) {
+					_, ok := h.(suspectPing)
+					return nil, ok
+				},
+			},
+		},
+		CCP: map[ir.PathKey]ir.Expr{
+			ir.DnCast: ir.True,
+			ir.DnSend: ir.True,
+			ir.UpCast: ir.And(tagIs(suspectTagPass), inited),
+			ir.UpSend: ir.And(tagIs(suspectTagPass), inited),
+		},
+	}
+}
+
+func init() {
+	ir.RegisterDef(membershipDef())
+	ir.RegisterDef(suspectDef())
+}

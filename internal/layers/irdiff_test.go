@@ -1,0 +1,405 @@
+package layers
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"ensemble/internal/event"
+	"ensemble/internal/ir"
+	"ensemble/internal/layer"
+)
+
+// These tests validate each layer's IR against its executable handler —
+// the stand-in for the paper's semantics-preserving OCaml-to-Nuprl
+// importer (§4.1.2). Two instances of a layer receive the identical
+// event stream: instance A runs the real handler; instance B runs the IR
+// interpreter whenever the IR selects a non-fallback rule (falling back
+// to the real handler otherwise, exactly as the bypass dispatch does).
+// After every event the IR-visible state of both instances must agree,
+// and whenever the IR claims a fast path, the real handler must have
+// done exactly what the IR did: same single continuation, same header,
+// no extra protocol messages.
+
+// collector gathers a handler's emissions.
+type collectorSink struct {
+	ups, dns []*event.Event
+}
+
+func (c *collectorSink) PassUp(ev *event.Event) { c.ups = append(c.ups, ev) }
+func (c *collectorSink) PassDn(ev *event.Event) { c.dns = append(c.dns, ev) }
+func (c *collectorSink) reset()                 { c.ups, c.dns = nil, nil }
+
+// cloneEvent deep-copies the fields the data path reads.
+func cloneEvent(ev *event.Event) *event.Event {
+	cp := event.Alloc()
+	cp.Dir, cp.Type, cp.Peer, cp.ApplMsg = ev.Dir, ev.Type, ev.Peer, ev.ApplMsg
+	cp.Time = ev.Time
+	cp.Msg.Payload = ev.Msg.Payload
+	cp.Msg.Headers = append(cp.Msg.Headers[:0], ev.Msg.Headers...)
+	return cp
+}
+
+type diffHarness struct {
+	t    *testing.T
+	def  *ir.LayerDef
+	n    int64
+	rank int64
+
+	a, b   layer.State
+	bindB  *ir.Binding
+	sinkA  collectorSink
+	sinkB  collectorSink
+	hits   int // events where the IR took the fast path
+	misses int
+}
+
+func newDiffHarness(t *testing.T, name string, cfg layer.Config) *diffHarness {
+	t.Helper()
+	def, err := ir.LookupDef(name)
+	if err != nil {
+		t.Fatalf("LookupDef(%s): %v", name, err)
+	}
+	build, err := layer.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &diffHarness{
+		t:    t,
+		def:  def,
+		n:    int64(cfg.View.N()),
+		rank: int64(cfg.View.Rank),
+		a:    build(cfg),
+		b:    build(cfg),
+	}
+	h.bindB, err = ir.Bind(name, h.b)
+	if err != nil {
+		t.Fatalf("Bind(%s): %v", name, err)
+	}
+	return h
+}
+
+// snapshot reads every IR-visible variable of a state.
+func (h *diffHarness) snapshot(st layer.State) map[string]any {
+	out := map[string]any{}
+	for _, v := range st.(ir.StateModel).IRVars() {
+		if v.Get != nil {
+			out[v.Name] = v.Get()
+			continue
+		}
+		vals := make([]int64, h.n)
+		for i := int64(0); i < h.n; i++ {
+			vals[i] = v.GetAt(i)
+		}
+		out[v.Name] = vals
+	}
+	return out
+}
+
+// feed drives one event through both instances and checks agreement.
+// The event is consumed. Returns A's emissions for the caller to route.
+func (h *diffHarness) feed(ev *event.Event) (ups, dns []*event.Event) {
+	h.t.Helper()
+	evA, evB := ev, cloneEvent(ev)
+
+	path := ir.PathKey{Dir: ev.Dir, Kind: ev.Type}
+	frame := &ir.Frame{
+		B:  h.bindB,
+		Ev: ir.EvInfo{Peer: int64(ev.Peer), Len: int64(len(ev.Msg.Payload)), Appl: ev.ApplMsg, Rank: h.rank},
+	}
+	var upperHdrs []event.Header
+	if ev.Dir == event.Up {
+		// The layer pops its own header: expose its fields to the IR.
+		top := evB.Msg.Top()
+		fields, err := h.def.ReadHdr(top)
+		if err != nil {
+			h.t.Fatalf("%s %s: %v", h.def.Name, path, err)
+		}
+		frame.Hdr = fields
+	} else {
+		upperHdrs = copyHdrs(ev.Msg.Headers)
+	}
+
+	out, err := ir.Interp(h.def, path, frame)
+	if err != nil {
+		h.t.Fatalf("%s %s: interp: %v", h.def.Name, path, err)
+	}
+
+	h.sinkA.reset()
+	h.dispatch(h.a, evA, &h.sinkA)
+
+	if out.Fell {
+		h.misses++
+		// Fallback: the real handler drives instance B too.
+		h.sinkB.reset()
+		h.dispatch(h.b, evB, &h.sinkB)
+	} else {
+		h.hits++
+		// Apply the IR's effects to B so buffers stay in sync.
+		for _, ec := range out.Effects {
+			spec, ok := h.bindB.Effect(ec.Name)
+			if !ok {
+				h.t.Fatalf("%s: effect %q not bound", h.def.Name, ec.Name)
+			}
+			spec.Run(ir.EffectCtx{Args: ec.Args, Payload: evB.Msg.Payload, ApplMsg: evB.ApplMsg, Hdrs: upperHdrs})
+		}
+		event.Free(evB)
+		h.checkFastPath(path, out)
+	}
+
+	// The IR-visible states of both instances must agree after every
+	// event, fast path or not.
+	sa, sb := h.snapshot(h.a), h.snapshot(h.b)
+	if !reflect.DeepEqual(sa, sb) {
+		h.t.Fatalf("%s %s: state divergence\n real: %v\n   ir: %v", h.def.Name, path, sa, sb)
+	}
+	return h.sinkA.ups, h.sinkA.dns
+}
+
+func (h *diffHarness) dispatch(st layer.State, ev *event.Event, snk layer.Sink) {
+	if ev.Dir == event.Up {
+		st.HandleUp(ev, snk)
+	} else {
+		st.HandleDn(ev, snk)
+	}
+}
+
+// checkFastPath verifies that the real handler's visible behaviour was
+// exactly what the IR's selected rule describes.
+func (h *diffHarness) checkFastPath(path ir.PathKey, out ir.Outcome) {
+	h.t.Helper()
+	name := h.def.Name
+	if path.Dir == event.Dn {
+		wantDns := 1
+		if len(h.sinkA.dns) != wantDns {
+			h.t.Fatalf("%s %s: fast path emitted %d down events, want %d", name, path, len(h.sinkA.dns), wantDns)
+		}
+		wantUps := 0
+		if out.Bounced {
+			wantUps = 1
+		}
+		if len(h.sinkA.ups) != wantUps {
+			h.t.Fatalf("%s %s: fast path emitted %d up events, want %d", name, path, len(h.sinkA.ups), wantUps)
+		}
+		got := h.sinkA.dns[0].Msg.Top()
+		if !reflect.DeepEqual(got, out.Pushed) {
+			h.t.Fatalf("%s %s: pushed header mismatch: real %v, ir %v", name, path, got, out.Pushed)
+		}
+		return
+	}
+	if !out.Delivered {
+		h.t.Fatalf("%s %s: IR fast path without delivery", name, path)
+	}
+	if len(h.sinkA.ups) != 1 || len(h.sinkA.dns) != 0 {
+		h.t.Fatalf("%s %s: fast path emitted ups=%d dns=%d, want 1/0",
+			name, path, len(h.sinkA.ups), len(h.sinkA.dns))
+	}
+}
+
+// free releases a batch of emissions the caller does not route further.
+func freeAll(evs []*event.Event) {
+	for _, e := range evs {
+		event.Free(e)
+	}
+}
+
+// testView builds a view of n members with the given rank.
+func testView(n, rank int) *event.View {
+	addrs := make([]event.Addr, n)
+	for i := range addrs {
+		addrs[i] = event.Addr(i + 1)
+	}
+	return event.NewView("diff", 1, addrs, rank)
+}
+
+// TestIRDiffDownPaths drives the down-going data paths of every layer
+// with random application traffic and checks handler/IR agreement.
+func TestIRDiffDownPaths(t *testing.T) {
+	names := []string{Bottom, Mnak, Pt2pt, Mflow, Pt2ptw, Frag, Collect, Local, Top, PartialAppl, Total, Membership, Suspect}
+	for _, name := range names {
+		for _, rank := range []int{0, 1} {
+			t.Run(fmt.Sprintf("%s/rank%d", name, rank), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(rank) + 1))
+				cfg := layer.DefaultConfig(testView(3, rank))
+				h := newDiffHarness(t, name, cfg)
+				for i := 0; i < 400; i++ {
+					size := rng.Intn(64)
+					if rng.Intn(10) == 0 {
+						size = cfg.MaxFragSize + rng.Intn(1000) // exercise frag fallback
+					}
+					payload := make([]byte, size)
+					var ev *event.Event
+					if rng.Intn(2) == 0 {
+						ev = event.CastEv(payload)
+					} else {
+						ev = event.SendEv(rng.Intn(2), payload)
+					}
+					ups, dns := h.feed(ev)
+					freeAll(ups)
+					freeAll(dns)
+				}
+				if h.hits == 0 {
+					t.Fatalf("%s: IR never took a fast path on the down stream", name)
+				}
+			})
+		}
+	}
+}
+
+// TestIRDiffUpMnak drives mnak's receive path from a real sender through
+// a lossy, duplicating, reordering channel, routing NAKs back so that
+// retransmissions (fallback paths) are exercised alongside the fast
+// path.
+func TestIRDiffUpMnak(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	senderCfg := layer.DefaultConfig(testView(2, 0))
+	recvCfg := layer.DefaultConfig(testView(2, 1))
+	sb, _ := layer.Lookup(Mnak)
+	sender := sb(senderCfg)
+	h := newDiffHarness(t, Mnak, recvCfg)
+
+	var inFlight []*event.Event
+	var senderSink collectorSink
+	pump := func(ev *event.Event) {
+		// Stamp the origin the network would provide.
+		ev.Dir = event.Up
+		ev.Peer = 0
+		inFlight = append(inFlight, ev)
+	}
+	for i := 0; i < 600; i++ {
+		senderSink.reset()
+		sender.HandleDn(event.CastEv([]byte{byte(i)}), &senderSink)
+		for _, d := range senderSink.dns {
+			switch rng.Intn(10) {
+			case 0: // lose
+				event.Free(d)
+			case 1: // duplicate
+				pump(cloneEvent(d))
+				pump(d)
+			default:
+				pump(d)
+			}
+		}
+		// Deliver a random prefix of the in-flight set, shuffled.
+		rng.Shuffle(len(inFlight), func(a, b int) { inFlight[a], inFlight[b] = inFlight[b], inFlight[a] })
+		deliver := rng.Intn(len(inFlight) + 1)
+		batch := inFlight[:deliver]
+		inFlight = append([]*event.Event(nil), inFlight[deliver:]...)
+		for _, ev := range batch {
+			ups, dns := h.feed(ev)
+			freeAll(ups)
+			for _, nak := range dns {
+				// Route receiver NAKs back to the sender; its
+				// retransmissions re-enter the channel.
+				nak.Dir = event.Up
+				nak.Peer = 1
+				senderSink.reset()
+				sender.HandleUp(nak, &senderSink)
+				for _, rt := range senderSink.dns {
+					pump(rt)
+				}
+			}
+		}
+	}
+	if h.hits < 100 {
+		t.Fatalf("mnak up: only %d fast-path hits (misses %d); stream too hostile?", h.hits, h.misses)
+	}
+	if h.misses == 0 {
+		t.Fatalf("mnak up: fallback paths never exercised")
+	}
+}
+
+// TestIRDiffUpPt2pt drives pt2pt's receive path including acknowledgment
+// thresholds (fallback every ack_threshold deliveries).
+func TestIRDiffUpPt2pt(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	senderCfg := layer.DefaultConfig(testView(2, 0))
+	recvCfg := layer.DefaultConfig(testView(2, 1))
+	sb, _ := layer.Lookup(Pt2pt)
+	sender := sb(senderCfg)
+	h := newDiffHarness(t, Pt2pt, recvCfg)
+
+	var senderSink collectorSink
+	for i := 0; i < 500; i++ {
+		senderSink.reset()
+		sender.HandleDn(event.SendEv(1, []byte{byte(i)}), &senderSink)
+		if rng.Intn(12) == 0 {
+			// Occasionally sweep the sender so retransmissions (and the
+			// receiver's duplicate handling) are exercised.
+			senderSink.reset()
+			sender.HandleUp(event.TimerEv(int64(i)), &senderSink)
+		}
+		for _, d := range senderSink.dns {
+			if rng.Intn(12) == 0 {
+				event.Free(d) // lose it; a later sweep retransmits
+				continue
+			}
+			d.Dir = event.Up
+			d.Peer = 0
+			ups, dns := h.feed(d)
+			freeAll(ups)
+			for _, ack := range dns {
+				ack.Dir = event.Up
+				ack.Peer = 1
+				senderSink2 := collectorSink{}
+				sender.HandleUp(ack, &senderSink2)
+				freeAll(senderSink2.dns)
+				freeAll(senderSink2.ups)
+			}
+		}
+	}
+	if h.hits < 100 || h.misses == 0 {
+		t.Fatalf("pt2pt up: hits=%d misses=%d; want both paths exercised", h.hits, h.misses)
+	}
+}
+
+// TestIRDiffUpPassThroughLayers validates the up paths of the layers
+// whose receive side is (conditionally) a pure pass-through, by
+// generating headed events from a sender instance of the same layer.
+func TestIRDiffUpPassThroughLayers(t *testing.T) {
+	names := []string{Bottom, Mflow, Pt2ptw, Frag, Collect, Local, Top, PartialAppl, Total, Membership, Suspect}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(23))
+			senderCfg := layer.DefaultConfig(testView(2, 0))
+			recvCfg := layer.DefaultConfig(testView(2, 1))
+			sb, _ := layer.Lookup(name)
+			sender := sb(senderCfg)
+			h := newDiffHarness(t, name, recvCfg)
+
+			var senderSink collectorSink
+			for i := 0; i < 400; i++ {
+				size := rng.Intn(128)
+				var ev *event.Event
+				if rng.Intn(2) == 0 {
+					ev = event.CastEv(make([]byte, size))
+				} else {
+					ev = event.SendEv(1, make([]byte, size))
+				}
+				senderSink.reset()
+				sender.HandleDn(ev, &senderSink)
+				freeAll(senderSink.ups)
+				for _, d := range senderSink.dns {
+					d.Dir = event.Up
+					d.Peer = 0
+					ups, dns := h.feed(d)
+					freeAll(ups)
+					// Route flow-control acknowledgments back to the
+					// sender so its window keeps moving.
+					for _, back := range dns {
+						back.Dir = event.Up
+						back.Peer = 1
+						s2 := collectorSink{}
+						sender.HandleUp(back, &s2)
+						freeAll(s2.dns)
+						freeAll(s2.ups)
+					}
+				}
+			}
+			if h.hits == 0 {
+				t.Fatalf("%s up: IR never took the fast path", name)
+			}
+		})
+	}
+}

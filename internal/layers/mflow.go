@@ -1,0 +1,193 @@
+package layers
+
+import (
+	"fmt"
+
+	"ensemble/internal/event"
+	"ensemble/internal/layer"
+	"ensemble/internal/transport"
+)
+
+// mflowState implements credit-based multicast flow control. The sender
+// may have at most CreditBytes of multicast payload outstanding to any
+// receiver; each receiver returns credit point-to-point after consuming
+// half a quantum. Casts beyond the credit limit are queued in order.
+type mflowState struct {
+	view   *event.View
+	credit int64
+
+	// sentBytes counts multicast payload bytes this member has cast.
+	sentBytes int64
+	// ackedBytes[p] is the byte count receiver p has credited back.
+	ackedBytes []int64
+	// recvBytes[o] / creditSent[o] track consumption from origin o and
+	// the byte count we last credited to it.
+	recvBytes  []int64
+	creditSent []int64
+	// queue holds casts blocked on exhausted credit.
+	queue []savedMsg
+}
+
+// mflow header variants.
+type (
+	// mflowData tags a credit-consuming multicast.
+	mflowData struct{}
+	// mflowCredit returns credit to a sender: Bytes is the cumulative
+	// byte count received from it.
+	mflowCredit struct{ Bytes int64 }
+	// mflowPass tags point-to-point traffic passing through.
+	mflowPass struct{}
+)
+
+func (mflowData) Layer() string   { return Mflow }
+func (mflowCredit) Layer() string { return Mflow }
+func (mflowPass) Layer() string   { return Mflow }
+
+func (mflowData) HdrString() string     { return "mflow:Data" }
+func (h mflowCredit) HdrString() string { return fmt.Sprintf("mflow:Credit(%d)", h.Bytes) }
+func (mflowPass) HdrString() string     { return "mflow:Pass" }
+
+const (
+	mflowTagData byte = iota
+	mflowTagCredit
+	mflowTagPass
+)
+
+func init() {
+	layer.Register(Mflow, func(cfg layer.Config) layer.State {
+		n := cfg.View.N()
+		return &mflowState{
+			view:       cfg.View,
+			credit:     cfg.CreditBytes,
+			ackedBytes: make([]int64, n),
+			recvBytes:  make([]int64, n),
+			creditSent: make([]int64, n),
+		}
+	})
+	transport.RegisterCodec(transport.HeaderCodec{
+		Layer: Mflow,
+		ID:    idMflow,
+		Encode: func(h event.Header, w *transport.Writer) {
+			switch h := h.(type) {
+			case mflowData:
+				w.Byte(mflowTagData)
+			case mflowCredit:
+				w.Byte(mflowTagCredit)
+				w.Varint(h.Bytes)
+			case mflowPass:
+				w.Byte(mflowTagPass)
+			default:
+				panic(fmt.Sprintf("mflow: unknown header %T", h))
+			}
+		},
+		Decode: func(r *transport.Reader) (event.Header, error) {
+			switch tag := r.Byte(); tag {
+			case mflowTagData:
+				return mflowData{}, nil
+			case mflowTagCredit:
+				return mflowCredit{Bytes: r.Varint()}, nil
+			case mflowTagPass:
+				return mflowPass{}, nil
+			default:
+				return nil, transport.ErrBadWire("mflow tag %d", tag)
+			}
+		},
+	})
+}
+
+func (s *mflowState) Name() string { return Mflow }
+
+// minAcked returns the smallest credit returned by any other receiver,
+// or sentBytes when there are no other members (nothing outstanding).
+// The worst-case in-flight byte count is sentBytes - minAcked.
+func (s *mflowState) minAcked() int64 {
+	m, have := int64(0), false
+	for p, acked := range s.ackedBytes {
+		if p == s.view.Rank {
+			continue
+		}
+		if !have || acked < m {
+			m, have = acked, true
+		}
+	}
+	if !have {
+		return s.sentBytes
+	}
+	return m
+}
+
+// inFlight returns the worst-case outstanding bytes across receivers.
+func (s *mflowState) inFlight() int64 { return s.sentBytes - s.minAcked() }
+
+func (s *mflowState) HandleDn(ev *event.Event, snk layer.Sink) {
+	switch ev.Type {
+	case event.ECast:
+		need := int64(len(ev.Msg.Payload))
+		// With no other members there is no receiver to exhaust: credit
+		// never applies (and nothing could ever return it).
+		if s.view.N() > 1 && (len(s.queue) > 0 || s.inFlight()+need > s.credit) {
+			s.queue = append(s.queue, saveMsg(ev))
+			event.Free(ev)
+			return
+		}
+		s.sentBytes += need
+		ev.Msg.Push(mflowData{})
+		snk.PassDn(ev)
+	case event.ESend:
+		ev.Msg.Push(mflowPass{})
+		snk.PassDn(ev)
+	default:
+		snk.PassDn(ev)
+	}
+}
+
+func (s *mflowState) HandleUp(ev *event.Event, snk layer.Sink) {
+	switch ev.Type {
+	case event.ECast:
+		ev.Msg.Pop()
+		from := ev.Peer
+		s.recvBytes[from] += int64(len(ev.Msg.Payload))
+		if s.recvBytes[from]-s.creditSent[from] >= s.credit/2 {
+			s.creditSent[from] = s.recvBytes[from]
+			cr := event.Alloc()
+			cr.Dir, cr.Type, cr.Peer = event.Dn, event.ESend, from
+			cr.Msg.Push(mflowCredit{Bytes: s.recvBytes[from]})
+			snk.PassDn(cr)
+		}
+		snk.PassUp(ev)
+	case event.ESend:
+		switch h := ev.Msg.Pop().(type) {
+		case mflowCredit:
+			if h.Bytes > s.ackedBytes[ev.Peer] {
+				s.ackedBytes[ev.Peer] = h.Bytes
+			}
+			s.flush(snk)
+			event.Free(ev)
+		case mflowPass:
+			snk.PassUp(ev)
+		default:
+			panic(fmt.Sprintf("mflow: unexpected up header %T", h))
+		}
+	default:
+		snk.PassUp(ev)
+	}
+}
+
+// flush releases queued casts that now fit under the credit limit.
+func (s *mflowState) flush(snk layer.Sink) {
+	for len(s.queue) > 0 {
+		m := s.queue[0]
+		if s.inFlight()+int64(len(m.payload)) > s.credit {
+			return
+		}
+		s.queue = s.queue[1:]
+		s.sentBytes += int64(len(m.payload))
+		out := event.Alloc()
+		out.Dir, out.Type = event.Dn, event.ECast
+		out.ApplMsg = m.applMsg
+		out.Msg.Payload = m.payload
+		out.Msg.Headers = m.hdrs
+		out.Msg.Push(mflowData{})
+		snk.PassDn(out)
+	}
+}

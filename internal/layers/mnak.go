@@ -1,0 +1,299 @@
+package layers
+
+import (
+	"fmt"
+
+	"ensemble/internal/event"
+	"ensemble/internal/layer"
+	"ensemble/internal/transport"
+)
+
+// mnakState implements reliable FIFO multicast using negative
+// acknowledgments. Senders number their casts; receivers detect gaps and
+// request retransmission point-to-point from the origin. Sent casts are
+// buffered until the stability protocol (collect layer) reports them
+// delivered everywhere. This is the classic Ensemble MNAK component.
+type mnakState struct {
+	view *event.View
+
+	// mySeq is the sequence number of the next cast this member sends.
+	mySeq int64
+
+	// sendBuf holds copies of this member's casts for retransmission,
+	// keyed by sequence number; garbage-collected on EStable.
+	sendBuf map[int64]savedMsg
+
+	// recvNext[o] is the next expected sequence number from origin o.
+	recvNext []int64
+
+	// recvBuf[o] buffers out-of-order casts from origin o.
+	recvBuf []map[int64]savedMsg
+
+	// naked[o] is the highest sequence number already NAKed to origin o,
+	// to avoid duplicate NAKs for the same gap.
+	naked []int64
+}
+
+// mnak header variants.
+type (
+	// mnakData tags a first-transmission cast.
+	mnakData struct{ Seqno int64 }
+	// mnakPass tags point-to-point traffic passing through untouched.
+	mnakPass struct{}
+	// mnakNak requests retransmission of [Lo,Hi] from the origin.
+	mnakNak struct{ Lo, Hi int64 }
+	// mnakRetrans carries a retransmitted cast point-to-point to the
+	// member that NAKed it.
+	mnakRetrans struct{ Seqno int64 }
+)
+
+func (mnakData) Layer() string    { return Mnak }
+func (mnakPass) Layer() string    { return Mnak }
+func (mnakNak) Layer() string     { return Mnak }
+func (mnakRetrans) Layer() string { return Mnak }
+
+func (h mnakData) HdrString() string    { return fmt.Sprintf("mnak:Data(%d)", h.Seqno) }
+func (mnakPass) HdrString() string      { return "mnak:Pass" }
+func (h mnakNak) HdrString() string     { return fmt.Sprintf("mnak:Nak(%d,%d)", h.Lo, h.Hi) }
+func (h mnakRetrans) HdrString() string { return fmt.Sprintf("mnak:Retrans(%d)", h.Seqno) }
+
+const (
+	mnakTagData byte = iota
+	mnakTagPass
+	mnakTagNak
+	mnakTagRetrans
+)
+
+func init() {
+	layer.Register(Mnak, func(cfg layer.Config) layer.State {
+		n := cfg.View.N()
+		s := &mnakState{
+			view:     cfg.View,
+			sendBuf:  make(map[int64]savedMsg),
+			recvNext: make([]int64, n),
+			recvBuf:  make([]map[int64]savedMsg, n),
+			naked:    make([]int64, n),
+		}
+		for i := range s.naked {
+			s.naked[i] = -1
+		}
+		return s
+	})
+	transport.RegisterCodec(transport.HeaderCodec{
+		Layer: Mnak,
+		ID:    idMnak,
+		Encode: func(h event.Header, w *transport.Writer) {
+			switch h := h.(type) {
+			case mnakData:
+				w.Byte(mnakTagData)
+				w.Varint(h.Seqno)
+			case mnakPass:
+				w.Byte(mnakTagPass)
+			case mnakNak:
+				w.Byte(mnakTagNak)
+				w.Varint(h.Lo)
+				w.Varint(h.Hi)
+			case mnakRetrans:
+				w.Byte(mnakTagRetrans)
+				w.Varint(h.Seqno)
+			default:
+				panic(fmt.Sprintf("mnak: unknown header %T", h))
+			}
+		},
+		Decode: func(r *transport.Reader) (event.Header, error) {
+			switch tag := r.Byte(); tag {
+			case mnakTagData:
+				return mnakData{Seqno: r.Varint()}, nil
+			case mnakTagPass:
+				return mnakPass{}, nil
+			case mnakTagNak:
+				return mnakNak{Lo: r.Varint(), Hi: r.Varint()}, nil
+			case mnakTagRetrans:
+				return mnakRetrans{Seqno: r.Varint()}, nil
+			default:
+				return nil, transport.ErrBadWire("mnak tag %d", tag)
+			}
+		},
+	})
+}
+
+func (s *mnakState) Name() string { return Mnak }
+
+func (s *mnakState) HandleDn(ev *event.Event, snk layer.Sink) {
+	switch ev.Type {
+	case event.ECast:
+		seq := s.mySeq
+		s.mySeq++
+		// Saved before the mnak header is pushed: a retransmission must
+		// reconstruct the message exactly as the layers above handed it
+		// to us, including their headers.
+		s.sendBuf[seq] = saveMsg(ev)
+		ev.Msg.Push(mnakData{Seqno: seq})
+		snk.PassDn(ev)
+	case event.ESend:
+		ev.Msg.Push(mnakPass{})
+		snk.PassDn(ev)
+	case event.EBlock:
+		// View-change flush (membership layer): report our
+		// contiguous-receive vector so the coordinator can decide when
+		// every surviving member holds the same casts.
+		ok := event.Alloc()
+		ok.Dir, ok.Type = event.Up, event.EBlockOk
+		ok.Stability = append([]int64(nil), s.recvNext...)
+		ok.Stability[s.view.Rank] = s.mySeq
+		snk.PassUp(ok)
+		snk.PassDn(ev)
+	case event.EAck:
+		// A frontier from the flush protocol: NAK anything some member
+		// has seen from an origin that we have not. Unlike data-driven
+		// gap detection, this path re-NAKs on every flush round — a lost
+		// NAK or retransmission would otherwise never be retried, since
+		// no new traffic flows while the group is blocked.
+		for o, have := range ev.Stability {
+			if o == s.view.Rank || o >= s.view.N() {
+				continue
+			}
+			if have > s.recvNext[o] {
+				if have-1 > s.naked[o] {
+					s.naked[o] = have - 1
+				}
+				s.sendNak(o, s.recvNext[o], have-1, snk)
+			}
+		}
+		event.Free(ev)
+	case event.EStable:
+		// Casts delivered everywhere can never be NAKed again: drop them
+		// from the retransmission buffer.
+		if me := s.view.Rank; me < len(ev.Stability) {
+			stable := ev.Stability[me]
+			for q := range s.sendBuf {
+				if q < stable {
+					delete(s.sendBuf, q)
+				}
+			}
+		}
+		snk.PassDn(ev)
+	default:
+		snk.PassDn(ev)
+	}
+}
+
+func (s *mnakState) HandleUp(ev *event.Event, snk layer.Sink) {
+	switch ev.Type {
+	case event.ECast:
+		h, ok := ev.Msg.Pop().(mnakData)
+		if !ok {
+			panic("mnak: up cast without mnak data header")
+		}
+		s.deliverCast(ev.Peer, h.Seqno, ev, true, snk)
+	case event.ETimer:
+		// Report the contiguous-receive vector upward so the stability
+		// protocol (collect layer) can gossip it. Our own slot is our
+		// send count: everything we sent, we trivially have.
+		ack := event.Alloc()
+		ack.Dir, ack.Type = event.Up, event.EAck
+		ack.Stability = append([]int64(nil), s.recvNext...)
+		ack.Stability[s.view.Rank] = s.mySeq
+		snk.PassUp(ack)
+		snk.PassUp(ev)
+	case event.ESend:
+		switch h := ev.Msg.Pop().(type) {
+		case mnakPass:
+			snk.PassUp(ev)
+		case mnakNak:
+			s.handleNak(ev.Peer, h, snk)
+			event.Free(ev)
+		case mnakRetrans:
+			// A retransmission is a cast from the original sender,
+			// carried point-to-point: re-type and deliver.
+			ev.Type = event.ECast
+			s.deliverCast(ev.Peer, h.Seqno, ev, false, snk)
+		default:
+			panic(fmt.Sprintf("mnak: unexpected up send header %T", h))
+		}
+	default:
+		snk.PassUp(ev)
+	}
+}
+
+// deliverCast applies the in-order delivery rule for a cast (or
+// retransmitted cast) with sequence number seq from origin. nak controls
+// whether gap detection triggers a NAK (retransmissions never re-NAK, to
+// avoid storms when a burst is being repaired).
+func (s *mnakState) deliverCast(origin int, seq int64, ev *event.Event, nak bool, snk layer.Sink) {
+	next := s.recvNext[origin]
+	switch {
+	case seq == next:
+		s.recvNext[origin] = next + 1
+		snk.PassUp(ev)
+		s.drain(origin, snk)
+	case seq > next:
+		if _, dup := s.recvBuf[origin][seq]; !dup {
+			if s.recvBuf[origin] == nil {
+				s.recvBuf[origin] = make(map[int64]savedMsg)
+			}
+			// The mnak header is already popped: what remains is the
+			// upper layers' stack, preserved for delivery after the gap
+			// fills.
+			s.recvBuf[origin][seq] = saveMsg(ev)
+		}
+		if nak && seq-1 > s.naked[origin] {
+			s.naked[origin] = seq - 1
+			s.sendNak(origin, next, seq-1, snk)
+		}
+		event.Free(ev)
+	default:
+		// Duplicate of an already-delivered cast.
+		event.Free(ev)
+	}
+}
+
+// drain delivers buffered casts that have become in-order.
+func (s *mnakState) drain(origin int, snk layer.Sink) {
+	buf := s.recvBuf[origin]
+	for {
+		next := s.recvNext[origin]
+		m, ok := buf[next]
+		if !ok {
+			return
+		}
+		delete(buf, next)
+		s.recvNext[origin] = next + 1
+		out := event.Alloc()
+		out.Dir, out.Type, out.Peer = event.Up, event.ECast, origin
+		out.Msg.Payload = m.payload
+		out.Msg.Headers = m.hdrs
+		out.ApplMsg = m.applMsg
+		snk.PassUp(out)
+	}
+}
+
+// sendNak emits a point-to-point retransmission request to the origin.
+func (s *mnakState) sendNak(origin int, lo, hi int64, snk layer.Sink) {
+	nak := event.Alloc()
+	nak.Dir, nak.Type, nak.Peer = event.Dn, event.ESend, origin
+	nak.Msg.Push(mnakNak{Lo: lo, Hi: hi})
+	snk.PassDn(nak)
+}
+
+// handleNak retransmits the requested range point-to-point to the
+// requester. Sequence numbers already garbage-collected by stability are
+// silently skipped: stability proves the requester cannot still need
+// them (the NAK was stale).
+func (s *mnakState) handleNak(requester int, h mnakNak, snk layer.Sink) {
+	for q := h.Lo; q <= h.Hi; q++ {
+		m, ok := s.sendBuf[q]
+		if !ok {
+			continue
+		}
+		rt := event.Alloc()
+		rt.Dir, rt.Type, rt.Peer = event.Dn, event.ESend, requester
+		rt.ApplMsg = m.applMsg
+		rt.Msg.Payload = m.payload
+		// Copy: the buffered entry may be retransmitted again and the
+		// headers appended below would otherwise share its backing array.
+		rt.Msg.Headers = copyHdrs(m.hdrs)
+		rt.Msg.Push(mnakRetrans{Seqno: q})
+		snk.PassDn(rt)
+	}
+}

@@ -1,0 +1,246 @@
+package layers
+
+import (
+	"fmt"
+
+	"ensemble/internal/event"
+	"ensemble/internal/layer"
+	"ensemble/internal/transport"
+)
+
+// pt2ptState implements reliable FIFO point-to-point delivery with a
+// sliding window: positive acknowledgments (piggybacked on reverse data
+// traffic when possible, explicit otherwise) and timer-driven
+// retransmission of unacknowledged messages.
+type pt2ptState struct {
+	view *event.View
+
+	peers []pt2ptPeer
+
+	// ackThreshold is how many deliveries may accumulate before an
+	// explicit acknowledgment is forced.
+	ackThreshold int
+}
+
+type pt2ptPeer struct {
+	// sendSeq numbers the next message to this peer.
+	sendSeq int64
+	// unacked buffers sent messages until acknowledged.
+	unacked map[int64]savedMsg
+	// recvNext is the next in-order sequence number expected.
+	recvNext int64
+	// oooBuf holds messages received ahead of recvNext.
+	oooBuf map[int64]savedMsg
+	// pendingAcks counts deliveries not yet acknowledged.
+	pendingAcks int
+}
+
+// pt2pt header variants.
+type (
+	// p2pData tags a first transmission; Ack piggybacks the receive
+	// window position for the reverse direction.
+	p2pData struct{ Seqno, Ack int64 }
+	// p2pRetrans tags a timer-driven retransmission.
+	p2pRetrans struct{ Seqno, Ack int64 }
+	// p2pAck is an explicit acknowledgment carrying no payload.
+	p2pAck struct{ Ack int64 }
+	// p2pPass tags multicast traffic passing through untouched.
+	p2pPass struct{}
+)
+
+func (p2pData) Layer() string    { return Pt2pt }
+func (p2pRetrans) Layer() string { return Pt2pt }
+func (p2pAck) Layer() string     { return Pt2pt }
+func (p2pPass) Layer() string    { return Pt2pt }
+
+func (h p2pData) HdrString() string    { return fmt.Sprintf("pt2pt:Data(%d,ack=%d)", h.Seqno, h.Ack) }
+func (h p2pRetrans) HdrString() string { return fmt.Sprintf("pt2pt:Retrans(%d,ack=%d)", h.Seqno, h.Ack) }
+func (h p2pAck) HdrString() string     { return fmt.Sprintf("pt2pt:Ack(%d)", h.Ack) }
+func (p2pPass) HdrString() string      { return "pt2pt:Pass" }
+
+const (
+	p2pTagData byte = iota
+	p2pTagRetrans
+	p2pTagAck
+	p2pTagPass
+)
+
+func init() {
+	layer.Register(Pt2pt, func(cfg layer.Config) layer.State {
+		return &pt2ptState{
+			view:         cfg.View,
+			peers:        make([]pt2ptPeer, cfg.View.N()),
+			ackThreshold: 4,
+		}
+	})
+	transport.RegisterCodec(transport.HeaderCodec{
+		Layer: Pt2pt,
+		ID:    idPt2pt,
+		Encode: func(h event.Header, w *transport.Writer) {
+			switch h := h.(type) {
+			case p2pData:
+				w.Byte(p2pTagData)
+				w.Varint(h.Seqno)
+				w.Varint(h.Ack)
+			case p2pRetrans:
+				w.Byte(p2pTagRetrans)
+				w.Varint(h.Seqno)
+				w.Varint(h.Ack)
+			case p2pAck:
+				w.Byte(p2pTagAck)
+				w.Varint(h.Ack)
+			case p2pPass:
+				w.Byte(p2pTagPass)
+			default:
+				panic(fmt.Sprintf("pt2pt: unknown header %T", h))
+			}
+		},
+		Decode: func(r *transport.Reader) (event.Header, error) {
+			switch tag := r.Byte(); tag {
+			case p2pTagData:
+				return p2pData{Seqno: r.Varint(), Ack: r.Varint()}, nil
+			case p2pTagRetrans:
+				return p2pRetrans{Seqno: r.Varint(), Ack: r.Varint()}, nil
+			case p2pTagAck:
+				return p2pAck{Ack: r.Varint()}, nil
+			case p2pTagPass:
+				return p2pPass{}, nil
+			default:
+				return nil, transport.ErrBadWire("pt2pt tag %d", tag)
+			}
+		},
+	})
+}
+
+func (s *pt2ptState) Name() string { return Pt2pt }
+
+func (s *pt2ptState) HandleDn(ev *event.Event, snk layer.Sink) {
+	switch ev.Type {
+	case event.ESend:
+		p := &s.peers[ev.Peer]
+		seq := p.sendSeq
+		p.sendSeq++
+		if p.unacked == nil {
+			p.unacked = make(map[int64]savedMsg)
+		}
+		p.unacked[seq] = saveMsg(ev)
+		p.pendingAcks = 0 // the piggybacked ack covers everything pending
+		ev.Msg.Push(p2pData{Seqno: seq, Ack: p.recvNext})
+		snk.PassDn(ev)
+	case event.ECast:
+		ev.Msg.Push(p2pPass{})
+		snk.PassDn(ev)
+	default:
+		snk.PassDn(ev)
+	}
+}
+
+func (s *pt2ptState) HandleUp(ev *event.Event, snk layer.Sink) {
+	switch ev.Type {
+	case event.ECast:
+		ev.Msg.Pop()
+		snk.PassUp(ev)
+	case event.ESend:
+		from := ev.Peer
+		switch h := ev.Msg.Pop().(type) {
+		case p2pData:
+			s.applyAck(from, h.Ack)
+			s.deliver(from, h.Seqno, ev, snk)
+		case p2pRetrans:
+			s.applyAck(from, h.Ack)
+			s.deliver(from, h.Seqno, ev, snk)
+		case p2pAck:
+			s.applyAck(from, h.Ack)
+			event.Free(ev)
+		default:
+			panic(fmt.Sprintf("pt2pt: unexpected up header %T", h))
+		}
+	case event.ETimer:
+		s.sweep(snk)
+		snk.PassUp(ev)
+	default:
+		snk.PassUp(ev)
+	}
+}
+
+// applyAck discards retransmission buffers covered by an acknowledgment:
+// ack acknowledges every sequence number below it.
+func (s *pt2ptState) applyAck(peer int, ack int64) {
+	p := &s.peers[peer]
+	for q := range p.unacked {
+		if q < ack {
+			delete(p.unacked, q)
+		}
+	}
+}
+
+// deliver applies the in-order rule for a point-to-point message.
+func (s *pt2ptState) deliver(from int, seq int64, ev *event.Event, snk layer.Sink) {
+	p := &s.peers[from]
+	switch {
+	case seq == p.recvNext:
+		p.recvNext++
+		p.pendingAcks++
+		snk.PassUp(ev)
+		for {
+			m, ok := p.oooBuf[p.recvNext]
+			if !ok {
+				break
+			}
+			delete(p.oooBuf, p.recvNext)
+			p.recvNext++
+			p.pendingAcks++
+			out := event.Alloc()
+			out.Dir, out.Type, out.Peer = event.Up, event.ESend, from
+			out.Msg.Payload = m.payload
+			out.Msg.Headers = m.hdrs
+			out.ApplMsg = m.applMsg
+			snk.PassUp(out)
+		}
+		if p.pendingAcks >= s.ackThreshold {
+			s.sendAck(from, snk)
+		}
+	case seq > p.recvNext:
+		if p.oooBuf == nil {
+			p.oooBuf = make(map[int64]savedMsg)
+		}
+		if _, dup := p.oooBuf[seq]; !dup {
+			p.oooBuf[seq] = saveMsg(ev)
+		}
+		event.Free(ev)
+	default:
+		// Duplicate: the sender had not yet seen our ack. Re-ack so it
+		// stops retransmitting.
+		s.sendAck(from, snk)
+		event.Free(ev)
+	}
+}
+
+func (s *pt2ptState) sendAck(peer int, snk layer.Sink) {
+	p := &s.peers[peer]
+	p.pendingAcks = 0
+	ack := event.Alloc()
+	ack.Dir, ack.Type, ack.Peer = event.Dn, event.ESend, peer
+	ack.Msg.Push(p2pAck{Ack: p.recvNext})
+	snk.PassDn(ack)
+}
+
+// sweep retransmits every unacknowledged message and flushes pending
+// acknowledgments. Driven by the housekeeping timer.
+func (s *pt2ptState) sweep(snk layer.Sink) {
+	for peer := range s.peers {
+		p := &s.peers[peer]
+		for seq, m := range p.unacked {
+			rt := event.Alloc()
+			rt.Dir, rt.Type, rt.Peer = event.Dn, event.ESend, peer
+			rt.ApplMsg = m.applMsg
+			rt.Msg.Payload = m.payload
+			rt.Msg.Headers = copyHdrs(m.hdrs)
+			rt.Msg.Push(p2pRetrans{Seqno: seq, Ack: p.recvNext})
+			snk.PassDn(rt)
+		}
+		if p.pendingAcks > 0 {
+			s.sendAck(peer, snk)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package layers
+
+import (
+	"fmt"
+
+	"ensemble/internal/event"
+	"ensemble/internal/layer"
+	"ensemble/internal/transport"
+)
+
+// seqnoState sequences multicasts per origin without retransmission: a
+// lighter-weight alternative to mnak for networks that reorder and
+// duplicate but do not lose (Ensemble keeps several implementations of
+// the same task for different environments, §1 — this is the ordering
+// task's cheap variant). Out-of-order casts are buffered until the gap
+// fills; over a lossy network a lost message stalls its origin's stream
+// permanently, which is why the configuration checker does not accept
+// this layer as a reliability substrate.
+type seqnoState struct {
+	view *event.View
+
+	mySeq    int64
+	recvNext []int64
+	recvBuf  []map[int64]savedMsg
+}
+
+// seqno header variants.
+type (
+	seqnoData struct{ Seqno int64 }
+	seqnoPass struct{}
+)
+
+func (seqnoData) Layer() string { return Seqno }
+func (seqnoPass) Layer() string { return Seqno }
+
+func (h seqnoData) HdrString() string { return fmt.Sprintf("seqno:Data(%d)", h.Seqno) }
+func (seqnoPass) HdrString() string   { return "seqno:Pass" }
+
+const (
+	seqnoTagData byte = iota
+	seqnoTagPass
+)
+
+func init() {
+	layer.Register(Seqno, func(cfg layer.Config) layer.State {
+		n := cfg.View.N()
+		return &seqnoState{
+			view:     cfg.View,
+			recvNext: make([]int64, n),
+			recvBuf:  make([]map[int64]savedMsg, n),
+		}
+	})
+	transport.RegisterCodec(transport.HeaderCodec{
+		Layer: Seqno,
+		ID:    idSeqno,
+		Encode: func(h event.Header, w *transport.Writer) {
+			switch h := h.(type) {
+			case seqnoData:
+				w.Byte(seqnoTagData)
+				w.Varint(h.Seqno)
+			case seqnoPass:
+				w.Byte(seqnoTagPass)
+			default:
+				panic(fmt.Sprintf("seqno: unknown header %T", h))
+			}
+		},
+		Decode: func(r *transport.Reader) (event.Header, error) {
+			switch tag := r.Byte(); tag {
+			case seqnoTagData:
+				return seqnoData{Seqno: r.Varint()}, nil
+			case seqnoTagPass:
+				return seqnoPass{}, nil
+			default:
+				return nil, transport.ErrBadWire("seqno tag %d", tag)
+			}
+		},
+	})
+}
+
+func (s *seqnoState) Name() string { return Seqno }
+
+func (s *seqnoState) HandleDn(ev *event.Event, snk layer.Sink) {
+	switch ev.Type {
+	case event.ECast:
+		ev.Msg.Push(seqnoData{Seqno: s.mySeq})
+		s.mySeq++
+		snk.PassDn(ev)
+	case event.ESend:
+		ev.Msg.Push(seqnoPass{})
+		snk.PassDn(ev)
+	default:
+		snk.PassDn(ev)
+	}
+}
+
+func (s *seqnoState) HandleUp(ev *event.Event, snk layer.Sink) {
+	switch ev.Type {
+	case event.ECast:
+		h, ok := ev.Msg.Pop().(seqnoData)
+		if !ok {
+			panic("seqno: up cast without data header")
+		}
+		origin := ev.Peer
+		next := s.recvNext[origin]
+		switch {
+		case h.Seqno == next:
+			s.recvNext[origin] = next + 1
+			snk.PassUp(ev)
+			s.drain(origin, snk)
+		case h.Seqno > next:
+			if s.recvBuf[origin] == nil {
+				s.recvBuf[origin] = make(map[int64]savedMsg)
+			}
+			if _, dup := s.recvBuf[origin][h.Seqno]; !dup {
+				s.recvBuf[origin][h.Seqno] = saveMsg(ev)
+			}
+			event.Free(ev)
+		default:
+			event.Free(ev) // duplicate
+		}
+	case event.ESend:
+		ev.Msg.Pop()
+		snk.PassUp(ev)
+	default:
+		snk.PassUp(ev)
+	}
+}
+
+func (s *seqnoState) drain(origin int, snk layer.Sink) {
+	buf := s.recvBuf[origin]
+	for {
+		m, ok := buf[s.recvNext[origin]]
+		if !ok {
+			return
+		}
+		delete(buf, s.recvNext[origin])
+		s.recvNext[origin]++
+		out := event.Alloc()
+		out.Dir, out.Type, out.Peer = event.Up, event.ECast, origin
+		out.Msg.Payload = m.payload
+		out.Msg.Headers = m.hdrs
+		out.ApplMsg = m.applMsg
+		snk.PassUp(out)
+	}
+}

@@ -1,0 +1,100 @@
+package layers
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ensemble/internal/event"
+)
+
+// TestSeqnoReordersLosslessStream: under arbitrary reordering and
+// duplication — but no loss — seqno restores per-origin FIFO order.
+func TestSeqnoReordersLosslessStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sender := mkState(t, Seqno, 2, 0)
+	recv := mkState(t, Seqno, 2, 1)
+
+	var inFlight []*event.Event
+	const msgs = 200
+	for i := 0; i < msgs; i++ {
+		_, dns := dn(sender, event.CastEv([]byte(fmt.Sprintf("%d", i))))
+		for _, d := range dns {
+			d.Dir, d.Peer = event.Up, 0
+			inFlight = append(inFlight, d)
+			if rng.Intn(4) == 0 {
+				inFlight = append(inFlight, cloneEvent(d)) // duplicate
+			}
+		}
+	}
+	rng.Shuffle(len(inFlight), func(a, b int) { inFlight[a], inFlight[b] = inFlight[b], inFlight[a] })
+
+	var got []string
+	for _, ev := range inFlight {
+		ups, dns := up(recv, ev)
+		freeAll(dns)
+		for _, u := range ups {
+			got = append(got, string(u.Msg.Payload))
+			event.Free(u)
+		}
+	}
+	if len(got) != msgs {
+		t.Fatalf("delivered %d, want %d", len(got), msgs)
+	}
+	for i, g := range got {
+		if g != fmt.Sprintf("%d", i) {
+			t.Fatalf("delivery %d = %q: FIFO violated", i, g)
+		}
+	}
+}
+
+// TestSeqnoStallsOnLoss documents the layer's limitation: a lost message
+// stalls everything behind it (which is why the configuration checker
+// refuses seqno as a reliability substrate).
+func TestSeqnoStallsOnLoss(t *testing.T) {
+	sender := mkState(t, Seqno, 2, 0)
+	recv := mkState(t, Seqno, 2, 1)
+	delivered := 0
+	for i := 0; i < 10; i++ {
+		_, dns := dn(sender, event.CastEv([]byte{byte(i)}))
+		for _, d := range dns {
+			if i == 3 {
+				event.Free(d) // lost
+				continue
+			}
+			d.Dir, d.Peer = event.Up, 0
+			ups, _ := up(recv, d)
+			delivered += len(ups)
+			freeAll(ups)
+		}
+	}
+	if delivered != 3 {
+		t.Fatalf("delivered %d, want 3 (stream stalls at the loss)", delivered)
+	}
+}
+
+func TestChkDetectsCorruption(t *testing.T) {
+	sender := mkState(t, Chk, 2, 0)
+	recv := mkState(t, Chk, 2, 1).(*chkState)
+
+	_, dns := dn(sender, event.CastEv([]byte("intact")))
+	ev := dns[0]
+	ev.Dir, ev.Peer = event.Up, 0
+	ups, _ := up(recv, ev)
+	if len(ups) != 1 {
+		t.Fatal("intact payload dropped")
+	}
+	freeAll(ups)
+
+	_, dns = dn(sender, event.CastEv([]byte("damaged")))
+	ev = dns[0]
+	ev.Dir, ev.Peer = event.Up, 0
+	ev.Msg.Payload = []byte("dAmaged")
+	ups, _ = up(recv, ev)
+	if len(ups) != 0 {
+		t.Fatal("corrupted payload delivered")
+	}
+	if recv.BadSums() != 1 {
+		t.Fatalf("badSums = %d", recv.BadSums())
+	}
+}

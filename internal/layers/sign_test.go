@@ -1,0 +1,206 @@
+package layers
+
+import (
+	"testing"
+
+	"ensemble/internal/event"
+	"ensemble/internal/layer"
+	"ensemble/internal/stack"
+	"ensemble/internal/transport"
+)
+
+func signCfg(n, rank int, key string) layer.Config {
+	cfg := layer.DefaultConfig(testView(n, rank))
+	cfg.SignKey = []byte(key)
+	return cfg
+}
+
+func buildSign(t *testing.T, n, rank int, key string) *signState {
+	t.Helper()
+	b, err := layer.Lookup(Sign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b(signCfg(n, rank, key)).(*signState)
+}
+
+func TestSignRoundtrip(t *testing.T) {
+	sender := buildSign(t, 2, 0, "k")
+	recv := buildSign(t, 2, 1, "k")
+	_, dns := dn(sender, event.CastEv([]byte("payload")))
+	if len(dns) != 1 {
+		t.Fatal("sign swallowed the cast")
+	}
+	ev := dns[0]
+	ev.Dir, ev.Peer = event.Up, 0
+	ups, _ := up(recv, ev)
+	if len(ups) != 1 || string(ups[0].Msg.Payload) != "payload" {
+		t.Fatalf("verified delivery failed: %v", ups)
+	}
+	if recv.BadMacs() != 0 {
+		t.Fatalf("badMacs = %d", recv.BadMacs())
+	}
+	freeAll(ups)
+}
+
+func TestSignRejectsTamperedPayload(t *testing.T) {
+	sender := buildSign(t, 2, 0, "k")
+	recv := buildSign(t, 2, 1, "k")
+	_, dns := dn(sender, event.CastEv([]byte("payload")))
+	ev := dns[0]
+	ev.Dir, ev.Peer = event.Up, 0
+	ev.Msg.Payload = []byte("PAYLOAD") // tampered in flight
+	ups, _ := up(recv, ev)
+	if len(ups) != 0 {
+		t.Fatalf("tampered payload delivered: %v", ups)
+	}
+	if recv.BadMacs() != 1 {
+		t.Fatalf("badMacs = %d, want 1", recv.BadMacs())
+	}
+}
+
+func TestSignRejectsWrongKey(t *testing.T) {
+	sender := buildSign(t, 2, 0, "key-a")
+	recv := buildSign(t, 2, 1, "key-b")
+	_, dns := dn(sender, event.CastEv([]byte("x")))
+	ev := dns[0]
+	ev.Dir, ev.Peer = event.Up, 0
+	if ups, _ := up(recv, ev); len(ups) != 0 {
+		t.Fatal("wrong-key message delivered")
+	}
+}
+
+func TestSignRejectsForgedOrigin(t *testing.T) {
+	// The tag binds the origin rank: replaying member 0's message as
+	// member 1's fails verification.
+	sender := buildSign(t, 3, 0, "k")
+	recv := buildSign(t, 3, 2, "k")
+	_, dns := dn(sender, event.CastEv([]byte("x")))
+	ev := dns[0]
+	ev.Dir, ev.Peer = event.Up, 1 // forged origin
+	if ups, _ := up(recv, ev); len(ups) != 0 {
+		t.Fatal("origin-forged message delivered")
+	}
+}
+
+func TestSignRejectsCrossEpochReplay(t *testing.T) {
+	sender := buildSign(t, 2, 0, "k")
+	// Same group, later view epoch.
+	laterView := event.NewView("diff", 9, []event.Addr{1, 2}, 1)
+	cfgLater := layer.DefaultConfig(laterView)
+	cfgLater.SignKey = []byte("k")
+	b, _ := layer.Lookup(Sign)
+	recv := b(cfgLater).(*signState)
+
+	_, dns := dn(sender, event.CastEv([]byte("x")))
+	ev := dns[0]
+	ev.Dir, ev.Peer = event.Up, 0
+	if ups, _ := up(recv, ev); len(ups) != 0 {
+		t.Fatal("cross-epoch replay delivered")
+	}
+}
+
+func TestSignRequiresKey(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("sign layer built without a key")
+		}
+	}()
+	b, _ := layer.Lookup(Sign)
+	b(layer.DefaultConfig(testView(2, 0)))
+}
+
+// TestSignedStackEndToEnd runs a signed stack pair over a link with a
+// man-in-the-middle: clean traffic flows, tampered payloads are dropped
+// at the signature boundary and never reach the application.
+func TestSignedStackEndToEnd(t *testing.T) {
+	names := []string{Top, Local, Sign, Frag, Pt2pt, Mnak, Bottom}
+	var delivered []string
+	var tamper bool
+	var stks [2]stack.Stack
+	var signs [2]*signState
+	for m := 0; m < 2; m++ {
+		m := m
+		states, err := stack.BuildStates(names, signCfg(2, m, "shared"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, st := range states {
+			if s, ok := st.(*signState); ok {
+				signs[m] = s
+			}
+		}
+		stks[m] = stack.FromStates(states, stack.Imp, stack.Callbacks{
+			App: func(ev *event.Event) {
+				if (ev.Type == event.ECast || ev.Type == event.ESend) && ev.ApplMsg {
+					delivered = append(delivered, string(ev.Msg.Payload))
+				}
+			},
+			Net: func(ev *event.Event) {
+				if ev.Type != event.ECast && ev.Type != event.ESend {
+					return
+				}
+				var w transport.Writer
+				if err := transport.Marshal(ev, m, &w); err != nil {
+					t.Fatal(err)
+				}
+				wire := w.Bytes()
+				if tamper && len(wire) > 0 {
+					wire[len(wire)-1] ^= 0xFF // flip a payload byte in flight
+				}
+				got, err := transport.Unmarshal(wire)
+				if err != nil {
+					return
+				}
+				stks[1-m].DeliverUp(got)
+			},
+		})
+	}
+	stks[0].SubmitDn(event.CastEv([]byte("clean")))
+	tamper = true
+	stks[0].SubmitDn(event.CastEv([]byte("dirty")))
+	tamper = false
+
+	// "clean" delivered at both (self-delivery + receiver); "dirty" only
+	// self-delivered at the sender (the copy never crosses the wire).
+	want := map[string]int{"clean": 2, "dirty": 1}
+	got := map[string]int{}
+	for _, d := range delivered {
+		got[d]++
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("deliveries = %v, want %v", got, want)
+		}
+	}
+	if signs[1].BadMacs() != 1 {
+		t.Fatalf("receiver badMacs = %d, want 1", signs[1].BadMacs())
+	}
+}
+
+func TestTraceLayerObserves(t *testing.T) {
+	b, err := layer.Lookup(Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := b(layer.DefaultConfig(testView(2, 0))).(*traceState)
+	var seen int
+	st.SetSink(func(event.Dir, *event.Event) { seen++ })
+	_, dns := dn(st, event.CastEv([]byte("x")))
+	freeAll(dns)
+	ev := event.Alloc()
+	ev.Dir, ev.Type, ev.Peer = event.Up, event.ESend, 1
+	ev.Msg.Push(traceHdr{})
+	ups, _ := up(st, ev)
+	freeAll(ups)
+	if st.Count(event.Dn, event.ECast) != 1 || st.Count(event.Up, event.ESend) != 1 {
+		t.Fatalf("counts wrong: dn-cast=%d up-send=%d",
+			st.Count(event.Dn, event.ECast), st.Count(event.Up, event.ESend))
+	}
+	if seen != 2 {
+		t.Fatalf("sink saw %d events", seen)
+	}
+	if len(st.Recent()) != 2 {
+		t.Fatalf("ring has %d entries", len(st.Recent()))
+	}
+}

@@ -1,0 +1,254 @@
+package layers
+
+import (
+	"fmt"
+
+	"ensemble/internal/event"
+	"ensemble/internal/layer"
+	"ensemble/internal/transport"
+)
+
+// totalState implements sequencer-based total ordering of multicasts on
+// top of the FIFO reliable multicast provided by the layers below. The
+// view coordinator is the sequencer: its own casts are stamped with a
+// global sequence number at send time; other members' casts are assigned
+// a number when they reach the coordinator, which multicasts the
+// assignment. Every member delivers strictly in global-sequence order,
+// so all members deliver all casts in the same order — the property whose
+// manual proof located a subtle bug in Ensemble's implementation
+// (paper §3.1, [11]).
+type totalState struct {
+	view *event.View
+
+	// myLocalSeq numbers this member's own casts.
+	myLocalSeq int64
+
+	// nextGlobal is the next global sequence number to deliver.
+	nextGlobal int64
+
+	// gCount is the next global number to assign (coordinator only).
+	gCount int64
+
+	// pending holds ordered-but-not-yet-deliverable messages by global
+	// sequence number.
+	pending map[int64]totalPending
+
+	// unordered holds casts waiting for an order announcement, keyed by
+	// (origin, local sequence).
+	unordered map[totalKey]totalPending
+
+	// earlyOrders holds order announcements that arrived before their
+	// cast.
+	earlyOrders map[totalKey]int64
+
+	// blocked is set when a view-change flush begins (EBlock passing
+	// up). A blocked sequencer must not stamp its casts: the membership
+	// layer below will queue them for the next view, and a consumed
+	// global sequence number whose message never leaves would stall
+	// every other member's delivery for the rest of the view.
+	blocked bool
+}
+
+type totalKey struct {
+	origin int
+	lseq   int64
+}
+
+type totalPending struct {
+	origin int
+	msg    savedMsg
+}
+
+// total header variants.
+type (
+	// totalData tags an application cast. GSeq >= 0 iff the sender was
+	// the sequencer and self-assigned the order at send time.
+	totalData struct {
+		LocalSeq int64
+		GSeq     int64
+	}
+	// totalOrder announces that the cast (Origin, LocalSeq) has global
+	// sequence number GSeq. Multicast by the sequencer.
+	totalOrder struct {
+		Origin   int32
+		LocalSeq int64
+		GSeq     int64
+	}
+	// totalPass tags point-to-point traffic passing through.
+	totalPass struct{}
+)
+
+func (totalData) Layer() string  { return Total }
+func (totalOrder) Layer() string { return Total }
+func (totalPass) Layer() string  { return Total }
+
+func (h totalData) HdrString() string { return fmt.Sprintf("total:Data(%d,g=%d)", h.LocalSeq, h.GSeq) }
+func (h totalOrder) HdrString() string {
+	return fmt.Sprintf("total:Order(%d,%d->g=%d)", h.Origin, h.LocalSeq, h.GSeq)
+}
+func (totalPass) HdrString() string { return "total:Pass" }
+
+const (
+	totalTagData byte = iota
+	totalTagOrder
+	totalTagPass
+)
+
+func init() {
+	layer.Register(Total, func(cfg layer.Config) layer.State {
+		return &totalState{
+			view:        cfg.View,
+			pending:     make(map[int64]totalPending),
+			unordered:   make(map[totalKey]totalPending),
+			earlyOrders: make(map[totalKey]int64),
+		}
+	})
+	transport.RegisterCodec(transport.HeaderCodec{
+		Layer: Total,
+		ID:    idTotal,
+		Encode: func(h event.Header, w *transport.Writer) {
+			switch h := h.(type) {
+			case totalData:
+				w.Byte(totalTagData)
+				w.Varint(h.LocalSeq)
+				w.Varint(h.GSeq)
+			case totalOrder:
+				w.Byte(totalTagOrder)
+				w.Varint(int64(h.Origin))
+				w.Varint(h.LocalSeq)
+				w.Varint(h.GSeq)
+			case totalPass:
+				w.Byte(totalTagPass)
+			default:
+				panic(fmt.Sprintf("total: unknown header %T", h))
+			}
+		},
+		Decode: func(r *transport.Reader) (event.Header, error) {
+			switch tag := r.Byte(); tag {
+			case totalTagData:
+				return totalData{LocalSeq: r.Varint(), GSeq: r.Varint()}, nil
+			case totalTagOrder:
+				return totalOrder{Origin: int32(r.Varint()), LocalSeq: r.Varint(), GSeq: r.Varint()}, nil
+			case totalTagPass:
+				return totalPass{}, nil
+			default:
+				return nil, transport.ErrBadWire("total tag %d", tag)
+			}
+		},
+	})
+}
+
+func (s *totalState) Name() string { return Total }
+
+func (s *totalState) sequencer() bool { return s.view.Rank == 0 }
+
+func (s *totalState) HandleDn(ev *event.Event, snk layer.Sink) {
+	switch ev.Type {
+	case event.ECast:
+		lseq := s.myLocalSeq
+		s.myLocalSeq++
+		g := int64(-1)
+		if s.sequencer() && !s.blocked {
+			g = s.gCount
+			s.gCount++
+		}
+		ev.Msg.Push(totalData{LocalSeq: lseq, GSeq: g})
+		snk.PassDn(ev)
+	case event.ESend:
+		ev.Msg.Push(totalPass{})
+		snk.PassDn(ev)
+	default:
+		snk.PassDn(ev)
+	}
+}
+
+func (s *totalState) HandleUp(ev *event.Event, snk layer.Sink) {
+	switch ev.Type {
+	case event.ECast:
+		switch h := ev.Msg.Pop().(type) {
+		case totalData:
+			s.handleData(ev.Peer, h, ev, snk)
+		case totalOrder:
+			s.handleOrder(h, snk)
+			event.Free(ev)
+		default:
+			panic(fmt.Sprintf("total: unexpected up cast header %T", h))
+		}
+	case event.ESend:
+		ev.Msg.Pop()
+		snk.PassUp(ev)
+	case event.EBlock:
+		s.blocked = true
+		snk.PassUp(ev)
+	default:
+		snk.PassUp(ev)
+	}
+}
+
+// handleData processes a cast: self-ordered casts go straight to the
+// pending set; unordered casts wait for (or are assigned) an order.
+func (s *totalState) handleData(origin int, h totalData, ev *event.Event, snk layer.Sink) {
+	p := totalPending{origin: origin, msg: saveMsg(ev)}
+	event.Free(ev)
+	switch {
+	case h.GSeq >= 0:
+		s.pending[h.GSeq] = p
+	case s.sequencer():
+		g := s.gCount
+		s.gCount++
+		s.pending[g] = p
+		s.announce(origin, h.LocalSeq, g, snk)
+	default:
+		key := totalKey{origin: origin, lseq: h.LocalSeq}
+		if g, ok := s.earlyOrders[key]; ok {
+			delete(s.earlyOrders, key)
+			s.pending[g] = p
+		} else {
+			s.unordered[key] = p
+		}
+	}
+	s.drain(snk)
+}
+
+// handleOrder processes a sequencer announcement.
+func (s *totalState) handleOrder(h totalOrder, snk layer.Sink) {
+	if s.sequencer() {
+		// Our own announcement, reflected by the local layer: the cast
+		// it references was ordered when we assigned the number.
+		return
+	}
+	key := totalKey{origin: int(h.Origin), lseq: h.LocalSeq}
+	if p, ok := s.unordered[key]; ok {
+		delete(s.unordered, key)
+		s.pending[h.GSeq] = p
+		s.drain(snk)
+		return
+	}
+	s.earlyOrders[key] = h.GSeq
+}
+
+// announce multicasts an order assignment.
+func (s *totalState) announce(origin int, lseq, g int64, snk layer.Sink) {
+	ord := event.Alloc()
+	ord.Dir, ord.Type = event.Dn, event.ECast
+	ord.Msg.Push(totalOrder{Origin: int32(origin), LocalSeq: lseq, GSeq: g})
+	snk.PassDn(ord)
+}
+
+// drain delivers pending casts in global order.
+func (s *totalState) drain(snk layer.Sink) {
+	for {
+		p, ok := s.pending[s.nextGlobal]
+		if !ok {
+			return
+		}
+		delete(s.pending, s.nextGlobal)
+		s.nextGlobal++
+		out := event.Alloc()
+		out.Dir, out.Type, out.Peer = event.Up, event.ECast, p.origin
+		out.ApplMsg = p.msg.applMsg
+		out.Msg.Payload = p.msg.payload
+		out.Msg.Headers = p.msg.hdrs
+		snk.PassUp(out)
+	}
+}

@@ -1,0 +1,102 @@
+package layers
+
+import (
+	"fmt"
+
+	"ensemble/internal/event"
+	"ensemble/internal/layer"
+	"ensemble/internal/transport"
+)
+
+// traceState is a diagnostic pass-through: it counts events by type and
+// direction and keeps a bounded ring of recent event renderings —
+// insertable anywhere in a stack to watch the event flow at that
+// boundary, the moral equivalent of Ensemble's tracing layers.
+type traceState struct {
+	view *event.View
+
+	// Counts is indexed [dir][type].
+	counts [2][]int64
+
+	ring  []string
+	next  int
+	total int64
+
+	// Sink, when set, receives a rendering of every passing event.
+	sink func(dir event.Dir, ev *event.Event)
+}
+
+// Trace is the component name.
+const Trace = "trace"
+
+const idTrace byte = 19
+
+type traceHdr struct{}
+
+func (traceHdr) Layer() string     { return Trace }
+func (traceHdr) HdrString() string { return "trace:NoHdr" }
+
+const traceRingSize = 64
+
+func init() {
+	layer.Register(Trace, func(cfg layer.Config) layer.State {
+		s := &traceState{view: cfg.View, ring: make([]string, traceRingSize)}
+		s.counts[0] = make([]int64, event.NumTypes())
+		s.counts[1] = make([]int64, event.NumTypes())
+		return s
+	})
+	transport.RegisterCodec(transport.HeaderCodec{
+		Layer:  Trace,
+		ID:     idTrace,
+		Encode: func(event.Header, *transport.Writer) {},
+		Decode: func(*transport.Reader) (event.Header, error) { return traceHdr{}, nil },
+	})
+}
+
+func (s *traceState) Name() string { return Trace }
+
+// Count reports how many events of a type passed in a direction.
+func (s *traceState) Count(dir event.Dir, t event.Type) int64 {
+	return s.counts[dir][t]
+}
+
+// Recent returns the most recent event renderings, oldest first.
+func (s *traceState) Recent() []string {
+	var out []string
+	for i := 0; i < traceRingSize; i++ {
+		e := s.ring[(s.next+i)%traceRingSize]
+		if e != "" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// SetSink installs a live observer.
+func (s *traceState) SetSink(fn func(dir event.Dir, ev *event.Event)) { s.sink = fn }
+
+func (s *traceState) observe(dir event.Dir, ev *event.Event) {
+	s.counts[dir][ev.Type]++
+	s.total++
+	s.ring[s.next] = fmt.Sprintf("%06d %s", s.total, ev)
+	s.next = (s.next + 1) % traceRingSize
+	if s.sink != nil {
+		s.sink(dir, ev)
+	}
+}
+
+func (s *traceState) HandleDn(ev *event.Event, snk layer.Sink) {
+	s.observe(event.Dn, ev)
+	if isData(ev) {
+		ev.Msg.Push(traceHdr{})
+	}
+	snk.PassDn(ev)
+}
+
+func (s *traceState) HandleUp(ev *event.Event, snk layer.Sink) {
+	s.observe(event.Up, ev)
+	if isData(ev) {
+		ev.Msg.Pop()
+	}
+	snk.PassUp(ev)
+}

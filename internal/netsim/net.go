@@ -1,0 +1,169 @@
+package netsim
+
+import (
+	"fmt"
+
+	"ensemble/internal/event"
+)
+
+// Packet is what the network delivers to an endpoint.
+type Packet struct {
+	From event.Addr
+	To   event.Addr
+	Data []byte
+	Cast bool
+}
+
+// Profile parameterizes a simulated network's behaviour. The zero value
+// is a perfect zero-latency network; the constructors below give the
+// paper's link models and a faulty network for reliability tests.
+type Profile struct {
+	// Latency is the one-way link latency in nanoseconds.
+	Latency int64
+	// Jitter adds a uniform random delay in [0, Jitter) per packet;
+	// nonzero jitter reorders packets.
+	Jitter int64
+	// LossProb drops each packet independently with this probability.
+	LossProb float64
+	// DupProb delivers each (non-dropped) packet twice with this
+	// probability.
+	DupProb float64
+}
+
+// Ethernet100 models the paper's 100 Mbit Ethernet: about 80 µs one-way
+// (§4.2: "the network latency, which is about 80 µs in this case").
+func Ethernet100() Profile { return Profile{Latency: 80_000} }
+
+// VIA models the Giganet VIA interface with 10 µs link latency (§4.2).
+func VIA() Profile { return Profile{Latency: 10_000} }
+
+// Lossy is a faulty network for exercising the reliability layers: it
+// loses, reorders, and duplicates (the LossyNetwork of Fig. 2(b)).
+func Lossy(lossProb float64) Profile {
+	return Profile{Latency: 50_000, Jitter: 100_000, LossProb: lossProb, DupProb: lossProb / 2}
+}
+
+// Stats counts what the network did, for tests and reports.
+type Stats struct {
+	Sent, Delivered, Dropped, Duplicated int64
+	BytesSent                            int64
+}
+
+// Net is a simulated network attached to a Sim. It implements both
+// point-to-point send and group multicast (multicast fans out to every
+// attached endpoint except the sender, as Ethernet multicast would).
+type Net struct {
+	sim     *Sim
+	profile Profile
+	eps     map[event.Addr]func(Packet)
+	order   []event.Addr
+	stats   Stats
+
+	// filter, when set, decides reachability per (from, to) pair —
+	// returning false drops the packet. Used to create partitions.
+	filter func(from, to event.Addr) bool
+}
+
+// SetFilter installs (or clears, with nil) a reachability filter; use it
+// to partition the network and heal it again.
+func (n *Net) SetFilter(f func(from, to event.Addr) bool) { n.filter = f }
+
+// Partition splits the attached endpoints into reachability islands:
+// packets only flow between addresses in the same island. Healing is
+// SetFilter(nil).
+func (n *Net) Partition(islands ...[]event.Addr) {
+	island := map[event.Addr]int{}
+	for i, is := range islands {
+		for _, a := range is {
+			island[a] = i + 1
+		}
+	}
+	n.SetFilter(func(from, to event.Addr) bool {
+		return island[from] == island[to]
+	})
+}
+
+// NewNet attaches a network with the given behaviour profile to sim.
+func NewNet(sim *Sim, profile Profile) *Net {
+	return &Net{sim: sim, profile: profile, eps: map[event.Addr]func(Packet){}}
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (n *Net) Stats() Stats { return n.stats }
+
+// Attach registers an endpoint. The recv callback runs on the simulator
+// goroutine at the packet's delivery time.
+func (n *Net) Attach(addr event.Addr, recv func(Packet)) {
+	if _, dup := n.eps[addr]; dup {
+		panic(fmt.Sprintf("netsim: duplicate endpoint %d", addr))
+	}
+	n.eps[addr] = recv
+	n.order = append(n.order, addr)
+}
+
+// Detach removes an endpoint; in-flight packets to it are dropped at
+// delivery time.
+func (n *Net) Detach(addr event.Addr) {
+	delete(n.eps, addr)
+	for i, a := range n.order {
+		if a == addr {
+			n.order = append(n.order[:i], n.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Send transmits a point-to-point packet. The data is copied: the caller
+// may reuse its buffer.
+func (n *Net) Send(from, to event.Addr, data []byte) {
+	n.stats.Sent++
+	n.stats.BytesSent += int64(len(data))
+	n.transmit(Packet{From: from, To: to, Data: append([]byte(nil), data...)})
+}
+
+// Cast transmits a multicast packet to every attached endpoint except
+// the sender. Loss is independent per receiver.
+func (n *Net) Cast(from event.Addr, data []byte) {
+	copied := append([]byte(nil), data...)
+	for _, to := range n.order {
+		if to == from {
+			continue
+		}
+		n.stats.Sent++
+		n.stats.BytesSent += int64(len(copied))
+		n.transmit(Packet{From: from, To: to, Data: copied, Cast: true})
+	}
+}
+
+func (n *Net) transmit(p Packet) {
+	if n.filter != nil && !n.filter(p.From, p.To) {
+		n.stats.Dropped++
+		return
+	}
+	if n.profile.LossProb > 0 && n.sim.rng.Float64() < n.profile.LossProb {
+		n.stats.Dropped++
+		return
+	}
+	n.deliverAfter(p, n.delay())
+	if n.profile.DupProb > 0 && n.sim.rng.Float64() < n.profile.DupProb {
+		n.stats.Duplicated++
+		n.deliverAfter(p, n.delay())
+	}
+}
+
+func (n *Net) delay() int64 {
+	d := n.profile.Latency
+	if n.profile.Jitter > 0 {
+		d += n.sim.rng.Int63n(n.profile.Jitter)
+	}
+	return d
+}
+
+func (n *Net) deliverAfter(p Packet, delay int64) {
+	n.sim.After(delay, func() {
+		if recv, ok := n.eps[p.To]; ok {
+			n.stats.Delivered++
+			recv(p)
+		}
+	})
+}

@@ -1,0 +1,210 @@
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"ensemble/internal/event"
+)
+
+func TestSimOrdering(t *testing.T) {
+	s := NewSim(1)
+	var got []int
+	s.At(30, func() { got = append(got, 3) })
+	s.At(10, func() { got = append(got, 1) })
+	s.At(20, func() { got = append(got, 2) })
+	// Ties fire in insertion order.
+	s.At(20, func() { got = append(got, 4) })
+	s.Run(100)
+	want := []int{1, 2, 4, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 100 {
+		t.Fatalf("Now = %d after Run(100)", s.Now())
+	}
+}
+
+func TestSimPastSchedulesClampToNow(t *testing.T) {
+	s := NewSim(1)
+	s.At(50, func() {
+		fired := false
+		s.At(10, func() { fired = true }) // in the past: runs at now
+		s.Run(50)
+		if !fired {
+			t.Error("past-scheduled event never fired")
+		}
+	})
+	s.Run(100)
+}
+
+func TestSimDeterminism(t *testing.T) {
+	trace := func(seed int64) string {
+		s := NewSim(seed)
+		n := NewNet(s, Lossy(0.3))
+		var log string
+		for i := 0; i < 3; i++ {
+			a := event.Addr(i + 1)
+			n.Attach(a, func(p Packet) {
+				log += fmt.Sprintf("%d<-%d:%d;", p.To, p.From, len(p.Data))
+			})
+		}
+		for i := 0; i < 50; i++ {
+			n.Cast(1, make([]byte, i))
+			n.Send(2, 3, make([]byte, i))
+		}
+		s.Run(int64(1e9))
+		return log
+	}
+	if trace(7) != trace(7) {
+		t.Fatal("same seed produced different traces")
+	}
+	if trace(7) == trace(8) {
+		t.Fatal("different seeds produced identical traces (suspicious)")
+	}
+}
+
+func TestSimRunSteps(t *testing.T) {
+	s := NewSim(1)
+	count := 0
+	for i := 0; i < 10; i++ {
+		s.After(int64(i), func() { count++ })
+	}
+	if ran := s.RunSteps(4); ran != 4 || count != 4 {
+		t.Fatalf("RunSteps: ran=%d count=%d", ran, count)
+	}
+	if s.Pending() != 6 {
+		t.Fatalf("Pending = %d", s.Pending())
+	}
+}
+
+func TestNetFifoWithoutJitter(t *testing.T) {
+	s := NewSim(3)
+	n := NewNet(s, Profile{Latency: 1000})
+	var got []int
+	n.Attach(2, func(p Packet) { got = append(got, int(p.Data[0])) })
+	n.Attach(1, func(Packet) {})
+	for i := 0; i < 100; i++ {
+		n.Send(1, 2, []byte{byte(i)})
+	}
+	s.Run(int64(1e9))
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("delivery %d = %d: reordering on a jitter-free link", i, v)
+		}
+	}
+	if len(got) != 100 {
+		t.Fatalf("delivered %d/100", len(got))
+	}
+}
+
+func TestNetLossRate(t *testing.T) {
+	s := NewSim(5)
+	n := NewNet(s, Profile{Latency: 10, LossProb: 0.25})
+	delivered := 0
+	n.Attach(2, func(Packet) { delivered++ })
+	n.Attach(1, func(Packet) {})
+	const total = 20000
+	for i := 0; i < total; i++ {
+		n.Send(1, 2, []byte{1})
+	}
+	s.Run(int64(1e9))
+	rate := 1 - float64(delivered)/total
+	if math.Abs(rate-0.25) > 0.02 {
+		t.Fatalf("loss rate %.3f, want ≈0.25", rate)
+	}
+	st := n.Stats()
+	if st.Dropped != int64(total-delivered) {
+		t.Fatalf("stats dropped=%d, observed %d", st.Dropped, total-delivered)
+	}
+}
+
+func TestNetDuplication(t *testing.T) {
+	s := NewSim(5)
+	n := NewNet(s, Profile{Latency: 10, DupProb: 0.5})
+	delivered := 0
+	n.Attach(2, func(Packet) { delivered++ })
+	n.Attach(1, func(Packet) {})
+	const total = 10000
+	for i := 0; i < total; i++ {
+		n.Send(1, 2, []byte{1})
+	}
+	s.Run(int64(1e9))
+	extra := float64(delivered-total) / total
+	if math.Abs(extra-0.5) > 0.03 {
+		t.Fatalf("duplication rate %.3f, want ≈0.5", extra)
+	}
+}
+
+func TestNetCastExcludesSender(t *testing.T) {
+	s := NewSim(1)
+	n := NewNet(s, Profile{})
+	counts := map[event.Addr]int{}
+	for _, a := range []event.Addr{1, 2, 3} {
+		a := a
+		n.Attach(a, func(Packet) { counts[a]++ })
+	}
+	n.Cast(1, []byte("x"))
+	s.Run(10)
+	if counts[1] != 0 || counts[2] != 1 || counts[3] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestNetDetach(t *testing.T) {
+	s := NewSim(1)
+	n := NewNet(s, Profile{Latency: 100})
+	got := 0
+	n.Attach(2, func(Packet) { got++ })
+	n.Attach(1, func(Packet) {})
+	n.Send(1, 2, []byte("a")) // in flight
+	n.Detach(2)
+	n.Send(1, 2, []byte("b"))
+	s.Run(int64(1e6))
+	if got != 0 {
+		t.Fatalf("detached endpoint received %d packets", got)
+	}
+}
+
+func TestNetSendCopiesData(t *testing.T) {
+	s := NewSim(1)
+	n := NewNet(s, Profile{Latency: 100})
+	var seen []byte
+	n.Attach(2, func(p Packet) { seen = p.Data })
+	n.Attach(1, func(Packet) {})
+	buf := []byte{1, 2, 3}
+	n.Send(1, 2, buf)
+	buf[0] = 99 // caller reuses its buffer before delivery
+	s.Run(int64(1e6))
+	if seen[0] != 1 {
+		t.Fatal("network aliased the caller's buffer")
+	}
+}
+
+func TestDuplicateAttachPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	s := NewSim(1)
+	n := NewNet(s, Profile{})
+	n.Attach(1, func(Packet) {})
+	n.Attach(1, func(Packet) {})
+}
+
+func TestProfiles(t *testing.T) {
+	if Ethernet100().Latency != 80_000 {
+		t.Error("Ethernet100 latency should match the paper's ~80µs")
+	}
+	if VIA().Latency != 10_000 {
+		t.Error("VIA latency should match the paper's ~10µs")
+	}
+	l := Lossy(0.2)
+	if l.LossProb != 0.2 || l.Jitter == 0 {
+		t.Errorf("Lossy profile: %+v", l)
+	}
+}

@@ -1,0 +1,174 @@
+package netsim
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"ensemble/internal/event"
+)
+
+// UDPNet runs one group member's endpoint over real UDP sockets, for
+// deployments outside the simulator. It implements the same Network and
+// Clock contracts the simulator does; all callbacks (packets and timers)
+// are serialized onto the Run goroutine, so the protocol stack needs no
+// locking — the discipline Ensemble itself uses.
+type UDPNet struct {
+	self  event.Addr
+	conn  *net.UDPConn
+	peers map[event.Addr]*net.UDPAddr
+
+	mu     sync.Mutex
+	recv   func(Packet)
+	funcs  chan func()
+	closed chan struct{}
+}
+
+// NewUDPNet opens a UDP endpoint at listen (host:port) for member self,
+// with the addresses of every member (including self) in peers.
+func NewUDPNet(self event.Addr, listen string, peers map[event.Addr]string) (*UDPNet, error) {
+	laddr, err := net.ResolveUDPAddr("udp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: resolve %q: %w", listen, err)
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, fmt.Errorf("netsim: listen %q: %w", listen, err)
+	}
+	u := &UDPNet{
+		self:   self,
+		conn:   conn,
+		peers:  map[event.Addr]*net.UDPAddr{},
+		funcs:  make(chan func(), 256),
+		closed: make(chan struct{}),
+	}
+	for a, hostport := range peers {
+		ua, err := net.ResolveUDPAddr("udp", hostport)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("netsim: resolve peer %d at %q: %w", a, hostport, err)
+		}
+		u.peers[a] = ua
+	}
+	return u, nil
+}
+
+// LocalAddr reports the bound socket address (useful with port 0).
+func (u *UDPNet) LocalAddr() string { return u.conn.LocalAddr().String() }
+
+// Attach implements the member network contract.
+func (u *UDPNet) Attach(addr event.Addr, recv func(Packet)) {
+	if addr != u.self {
+		panic(fmt.Sprintf("netsim: UDP endpoint is member %d, not %d", u.self, addr))
+	}
+	u.mu.Lock()
+	u.recv = recv
+	u.mu.Unlock()
+}
+
+// Detach implements the member network contract.
+func (u *UDPNet) Detach(addr event.Addr) {
+	u.mu.Lock()
+	u.recv = nil
+	u.mu.Unlock()
+}
+
+// Send transmits point-to-point.
+func (u *UDPNet) Send(from, to event.Addr, data []byte) {
+	if ua, ok := u.peers[to]; ok {
+		_, _ = u.conn.WriteToUDP(data, ua)
+	}
+}
+
+// Cast transmits to every peer except self.
+func (u *UDPNet) Cast(from event.Addr, data []byte) {
+	for a, ua := range u.peers {
+		if a == from {
+			continue
+		}
+		_, _ = u.conn.WriteToUDP(data, ua)
+	}
+}
+
+// Now implements the member clock in real nanoseconds.
+func (u *UDPNet) Now() int64 { return time.Now().UnixNano() }
+
+// After schedules fn on the Run goroutine.
+func (u *UDPNet) After(delay int64, fn func()) {
+	time.AfterFunc(time.Duration(delay), func() {
+		select {
+		case u.funcs <- fn:
+		case <-u.closed:
+		}
+	})
+}
+
+// Do runs fn on the Run goroutine (for application sends).
+func (u *UDPNet) Do(fn func()) {
+	select {
+	case u.funcs <- fn:
+	case <-u.closed:
+	}
+}
+
+// Run reads packets and executes scheduled functions until Close,
+// serializing everything onto this goroutine.
+func (u *UDPNet) Run() error {
+	pkts := make(chan Packet, 256)
+	go func() {
+		buf := make([]byte, 64*1024)
+		for {
+			n, raddr, err := u.conn.ReadFromUDP(buf)
+			if err != nil {
+				close(pkts)
+				return
+			}
+			data := append([]byte(nil), buf[:n]...)
+			from := u.addrOf(raddr)
+			select {
+			case pkts <- Packet{From: from, To: u.self, Data: data}:
+			case <-u.closed:
+				return
+			}
+		}
+	}()
+	for {
+		select {
+		case p, ok := <-pkts:
+			if !ok {
+				return nil
+			}
+			u.mu.Lock()
+			recv := u.recv
+			u.mu.Unlock()
+			if recv != nil {
+				recv(p)
+			}
+		case fn := <-u.funcs:
+			fn()
+		case <-u.closed:
+			return nil
+		}
+	}
+}
+
+// addrOf maps a socket address back to a member address.
+func (u *UDPNet) addrOf(ra *net.UDPAddr) event.Addr {
+	for a, ua := range u.peers {
+		if ua.Port == ra.Port && ua.IP.Equal(ra.IP) {
+			return a
+		}
+	}
+	return -1
+}
+
+// Close shuts the endpoint down.
+func (u *UDPNet) Close() error {
+	select {
+	case <-u.closed:
+	default:
+		close(u.closed)
+	}
+	return u.conn.Close()
+}

@@ -1,0 +1,100 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"ensemble/internal/event"
+)
+
+// TestUDPLoopback exchanges packets between two real UDP endpoints on
+// localhost.
+func TestUDPLoopback(t *testing.T) {
+	// Bind to ephemeral ports first, then cross-register.
+	a, err := NewUDPNet(1, "127.0.0.1:0", map[event.Addr]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := NewUDPNet(2, "127.0.0.1:0", map[event.Addr]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	// Rebuild with known addresses.
+	peers := map[event.Addr]string{1: a.LocalAddr(), 2: b.LocalAddr()}
+	a.Close()
+	b.Close()
+	a, err = NewUDPNet(1, peers[1], peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err = NewUDPNet(2, peers[2], peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	var mu sync.Mutex
+	var gotA, gotB []string
+	a.Attach(1, func(p Packet) {
+		mu.Lock()
+		gotA = append(gotA, fmt.Sprintf("from%d:%s", p.From, p.Data))
+		mu.Unlock()
+	})
+	b.Attach(2, func(p Packet) {
+		mu.Lock()
+		gotB = append(gotB, fmt.Sprintf("from%d:%s", p.From, p.Data))
+		mu.Unlock()
+	})
+	go a.Run()
+	go b.Run()
+
+	a.Send(1, 2, []byte("hello"))
+	b.Send(2, 1, []byte("reply"))
+	a.Cast(1, []byte("toall"))
+
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		done := len(gotA) >= 1 && len(gotB) >= 2
+		mu.Unlock()
+		if done {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(gotA) < 1 || len(gotB) < 2 {
+		t.Fatalf("gotA=%v gotB=%v", gotA, gotB)
+	}
+}
+
+// TestUDPClockSerialization: After callbacks run on the Run goroutine.
+func TestUDPClockSerialization(t *testing.T) {
+	u, err := NewUDPNet(1, "127.0.0.1:0", map[event.Addr]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var order []int
+	u.After(int64(5*time.Millisecond), func() { order = append(order, 1) })
+	u.After(int64(10*time.Millisecond), func() {
+		order = append(order, 2)
+		close(done)
+		u.Close()
+	})
+	go u.Run()
+	select {
+	case <-done:
+	case <-time.After(3 * time.Second):
+		t.Fatal("timers never fired")
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("order = %v", order)
+	}
+}

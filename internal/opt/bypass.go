@@ -1,0 +1,699 @@
+package opt
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ensemble/internal/event"
+	"ensemble/internal/ir"
+	"ensemble/internal/layer"
+	"ensemble/internal/stack"
+	"ensemble/internal/transport"
+)
+
+// Engine is the machine-optimized configuration (MACH in §4.2): a full
+// protocol stack plus the compiled bypasses generated from it. Every
+// application event and every arriving packet is routed by the run-time
+// CCP check — bypass when the common case holds, original stack
+// otherwise (Fig. 4). The bypass and the stack share layer state, so the
+// routing decision can differ event by event.
+type Engine struct {
+	Names []string
+	Rank  int
+	N     int
+
+	stk    stack.Stack
+	states []layer.State
+
+	dnCast *compiledDnPath
+	dnSend *compiledDnPath
+	// dnCastPartial is the second bypass path for casts: wire-side
+	// specialized, self-delivery through the shared stack. Tried when
+	// dnCast's CCP fails.
+	dnCastPartial *compiledDnPath
+	upByID        map[uint16]*compiledUpPath
+
+	// miniUp carries bounce-fallback self-delivery copies through the
+	// layers above the bouncing layer (sharing their states with the
+	// full stack).
+	miniUp stack.Stack
+
+	// SendWire transmits a marshaled packet: cast fans out, send goes to
+	// the member at rank dst.
+	SendWire func(cast bool, dst int, wire []byte)
+	// Deliver hands an application payload up.
+	Deliver func(origin int, payload []byte, cast bool)
+	// Control receives the non-data events that exit the top of the
+	// fallback stack (views, suspicions, block requests, stability) so a
+	// group runtime can run its membership machinery around the engine.
+	// The event is freed after the callback returns.
+	Control func(*event.Event)
+
+	// MarkDnTransport and MarkUpStack are optional instrumentation hooks
+	// at the stack/transport boundary, used by the code-latency
+	// benchmarks to attribute time the way Table 1 does.
+	MarkDnTransport func()
+	MarkUpStack     func()
+
+	// InlineEffects disables the deferral of non-critical work (§4,
+	// optimization 3): buffering runs before the send instead of after.
+	// Semantically identical; it exists as the ablation knob for
+	// measuring what the deferral buys.
+	InlineEffects bool
+
+	wbuf  transport.Writer
+	stats EngineStats
+
+	// Per-engine scratch reused across invocations (the engine is
+	// single-threaded, like an Ensemble stack): GC work on the fast path
+	// is what §4's first optimization removes. Taken by ownership
+	// transfer so re-entrant invocations fall back to fresh allocation.
+	tmp     []int64
+	vary    []int64
+	pend    []pendingEffect
+	varyBuf []int64
+}
+
+func (e *Engine) takeScratch() ([]int64, []int64, []pendingEffect) {
+	tmp, vary, pend := e.tmp, e.vary, e.pend
+	e.tmp, e.vary, e.pend = nil, nil, nil
+	if tmp == nil {
+		tmp = make([]int64, 0, 16)
+	}
+	if vary == nil {
+		vary = make([]int64, 0, 8)
+	}
+	if pend == nil {
+		pend = make([]pendingEffect, 0, 4)
+	}
+	return tmp, vary, pend
+}
+
+func (e *Engine) putScratch(tmp, vary []int64, pend []pendingEffect) {
+	e.tmp, e.vary, e.pend = tmp[:0], vary[:0], pend[:0]
+}
+
+func (e *Engine) takeVaryBuf() []int64 {
+	b := e.varyBuf
+	e.varyBuf = nil
+	if b == nil {
+		b = make([]int64, 0, 8)
+	}
+	return b
+}
+
+func (e *Engine) putVaryBuf(b []int64) { e.varyBuf = b[:0] }
+
+// pendingEffect is a deferred effect invocation captured pre-write.
+type pendingEffect struct {
+	run  func(ir.EffectCtx)
+	ectx ir.EffectCtx
+}
+
+// EngineStats counts bypass routing decisions.
+type EngineStats struct {
+	DnBypass, DnFull int64
+	// DnPartial counts casts that took the partial (bounce-fallback)
+	// bypass path.
+	DnPartial int64
+	UpBypass, UpFull int64
+	Uncompressed     int64 // compressed packets that failed the CCP and were expanded
+	Undecodable      int64
+}
+
+// compiledDnPath is one compiled down-going bypass.
+type compiledDnPath struct {
+	th      *StackTheorem
+	sig     WireSig
+	id      uint16
+	ccp     []cexpr
+	writes  []compiledWrite
+	varying []cexpr // values of the varying wire fields, in wire order
+	effects []compiledEffect
+	self    bool
+
+	// bounceHdrs materializes the headers above the bouncing layer when
+	// the self-delivery copy falls back to the shared stack's upper
+	// layers (th.BounceFallback).
+	bounceHdrs []compiledHdr
+}
+
+// compiledUpPath is one compiled up-going bypass, for one wire
+// signature.
+type compiledUpPath struct {
+	th      *StackTheorem
+	sig     WireSig
+	nvary   int
+	cast    bool
+	ccp     []cexpr
+	writes  []compiledWrite
+	effects []compiledEffect
+	// full rebuilds the complete header stack for CCP misses: the
+	// generated uncompression function that wraps the stack (§4.1.3).
+	full []compiledHdr
+}
+
+// NewEngine builds the optimized configuration for one member: the
+// fallback stack (in the given execution model) and every bypass the
+// optimizer can derive for this stack. Derivation failures are not
+// errors: paths without a bypass simply always use the stack.
+func NewEngine(names []string, cfg layer.Config, mode stack.Mode) (*Engine, error) {
+	e := &Engine{
+		Names: names,
+		Rank:  cfg.View.Rank,
+		N:     cfg.View.N(),
+	}
+	states, err := stack.BuildStates(names, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.states = states
+	e.stk = stack.FromStates(states, mode, stack.Callbacks{App: e.appEvent, Net: e.netEvent})
+
+	anyStates := make([]any, len(states))
+	for i, s := range states {
+		anyStates[i] = s
+	}
+	comp, err := newCompiler(names, anyStates, e.Rank)
+	if err != nil {
+		return nil, err
+	}
+
+	e.dnCast = e.compileDn(comp, ir.DnCast)
+	e.dnSend = e.compileDn(comp, ir.DnSend)
+	if e.dnCast != nil && e.dnCast.th.SelfDeliver {
+		// The second bypass path: same wire image, self-delivery through
+		// the stack; fires when the full path's ordering conjuncts fail.
+		if th, err := ComposeDnNoBounce(names, ir.DnCast, e.Rank, e.N); err == nil {
+			e.dnCastPartial = e.compileTheorem(comp, th)
+		}
+	}
+	bounceLayer := ""
+	if e.dnCast != nil && e.dnCast.th.BounceFallback {
+		bounceLayer = e.dnCast.th.BounceLayer
+	}
+	if e.dnCastPartial != nil && e.dnCastPartial.th.BounceFallback {
+		bounceLayer = e.dnCastPartial.th.BounceLayer
+	}
+	if bounceLayer != "" {
+		// The fallback copy re-enters the layers above the bouncing one;
+		// they share state with the full stack. Data-path up handlers of
+		// those layers never emit downward (they only buffer or
+		// deliver), so the mini-stack's net exit is unreachable.
+		idx := -1
+		for i, n := range names {
+			if n == bounceLayer {
+				idx = i
+				break
+			}
+		}
+		if idx > 0 {
+			e.miniUp = stack.FromStates(states[:idx], mode, stack.Callbacks{
+				App: e.appEvent,
+				Net: func(ev *event.Event) {
+					panic("opt: bounce-fallback upper layer emitted a down event on the data path")
+				},
+			})
+		}
+	}
+
+	// Up paths: one per wire signature any member's down bypass can
+	// produce. All members compute the same set deterministically.
+	e.upByID = map[uint16]*compiledUpPath{}
+	for _, path := range []ir.PathKey{ir.DnCast, ir.DnSend} {
+		for r := 0; r < e.N; r++ {
+			dn, err := ComposeDn(names, path, r, e.N)
+			if err != nil {
+				continue
+			}
+			sig := SignatureOf(dn)
+			id := sig.ID()
+			if _, done := e.upByID[id]; done {
+				continue
+			}
+			upPath := ir.PathKey{Dir: event.Up, Kind: path.Kind}
+			upTh, err := ComposeUp(names, upPath, e.Rank, e.N, sig)
+			if err != nil {
+				continue
+			}
+			cp, err := e.compileUp(comp, upTh, sig)
+			if err != nil {
+				return nil, fmt.Errorf("opt: compiling up bypass: %w", err)
+			}
+			e.upByID[id] = cp
+		}
+	}
+	return e, nil
+}
+
+// compileDn derives and compiles one down path; nil when the path has no
+// bypass (every event then takes the stack).
+func (e *Engine) compileDn(comp *compiler, path ir.PathKey) *compiledDnPath {
+	th, err := ComposeDn(e.Names, path, e.Rank, e.N)
+	if err != nil {
+		return nil
+	}
+	return e.compileTheorem(comp, th)
+}
+
+// compileTheorem compiles a composed down-path theorem.
+func (e *Engine) compileTheorem(comp *compiler, th *StackTheorem) *compiledDnPath {
+	sig := SignatureOf(th)
+	comp.setVarying(nil)
+	cp := &compiledDnPath{th: th, sig: sig, id: sig.ID(), self: th.SelfDeliver}
+	for _, conj := range th.CCP {
+		ce, err := comp.compile(conj)
+		if err != nil {
+			return nil
+		}
+		cp.ccp = append(cp.ccp, ce)
+	}
+	for _, u := range th.Updates {
+		w, err := comp.compileWrite(u)
+		if err != nil {
+			return nil
+		}
+		cp.writes = append(cp.writes, w)
+	}
+	// Varying wire fields: evaluate the push-time expressions.
+	byKey := map[string]ir.Expr{}
+	for _, h := range th.Headers {
+		for _, fv := range h.Fields {
+			byKey[ir.Key(ir.QHdr{Layer: h.Layer, Field: fv.Name})] = fv.Val
+		}
+	}
+	for _, q := range sig.Varying() {
+		ce, err := comp.compile(byKey[ir.Key(q)])
+		if err != nil {
+			return nil
+		}
+		cp.varying = append(cp.varying, ce)
+	}
+	for _, eff := range th.Effects {
+		ce, err := comp.compileEffect(eff, th.Headers)
+		if err != nil {
+			return nil
+		}
+		cp.effects = append(cp.effects, ce)
+	}
+	if th.BounceFallback {
+		for _, h := range th.Headers {
+			if h.Layer == th.BounceLayer {
+				break
+			}
+			ch, err := comp.compileHdr(h)
+			if err != nil {
+				return nil
+			}
+			cp.bounceHdrs = append(cp.bounceHdrs, ch)
+		}
+	}
+	return cp
+}
+
+func (e *Engine) compileUp(comp *compiler, th *StackTheorem, sig WireSig) (*compiledUpPath, error) {
+	vary := sig.Varying()
+	comp.setVarying(vary)
+	defer comp.setVarying(nil)
+	cp := &compiledUpPath{th: th, sig: sig, nvary: len(vary), cast: th.Path.Kind == event.ECast}
+	for _, conj := range th.CCP {
+		ce, err := comp.compile(conj)
+		if err != nil {
+			return nil, err
+		}
+		cp.ccp = append(cp.ccp, ce)
+	}
+	for _, u := range th.Updates {
+		w, err := comp.compileWrite(u)
+		if err != nil {
+			return nil, err
+		}
+		cp.writes = append(cp.writes, w)
+	}
+	for _, eff := range th.Effects {
+		ce, err := comp.compileEffect(eff, th.Headers)
+		if err != nil {
+			return nil, err
+		}
+		cp.effects = append(cp.effects, ce)
+	}
+	for _, h := range th.Headers {
+		ch, err := comp.compileHdr(h)
+		if err != nil {
+			return nil, err
+		}
+		cp.full = append(cp.full, ch)
+	}
+	return cp, nil
+}
+
+// Stats returns a snapshot of the routing counters.
+func (e *Engine) Stats() EngineStats { return e.stats }
+
+// States exposes the shared layer states.
+func (e *Engine) States() []layer.State { return e.states }
+
+// Stack exposes the fallback stack (for timers and initialization).
+func (e *Engine) Stack() stack.Stack { return e.stk }
+
+// appEvent and netEvent are the full stack's exits.
+func (e *Engine) appEvent(ev *event.Event) {
+	switch ev.Type {
+	case event.ECast, event.ESend:
+		if ev.ApplMsg && e.Deliver != nil {
+			e.Deliver(ev.Peer, ev.Msg.Payload, ev.Type == event.ECast)
+		}
+	default:
+		if e.Control != nil {
+			e.Control(ev)
+		}
+	}
+}
+
+// Submit injects a non-data event (leave requests and the like) at the
+// top of the fallback stack.
+func (e *Engine) Submit(ev *event.Event) { e.stk.SubmitDn(ev) }
+
+func (e *Engine) netEvent(ev *event.Event) {
+	switch ev.Type {
+	case event.ECast, event.ESend:
+	default:
+		return
+	}
+	if err := transport.Marshal(ev, e.Rank, &e.wbuf); err != nil {
+		panic(fmt.Sprintf("opt: marshal: %v", err))
+	}
+	if e.SendWire != nil {
+		e.SendWire(ev.Type == event.ECast, ev.Peer, e.wbuf.Bytes())
+	}
+}
+
+// CheckCCP evaluates a down path's common-case predicate without running
+// anything — the cost the paper reports as ~3 µs for the 10-layer stack.
+func (e *Engine) CheckCCP(cast bool, dst int, payloadLen int) bool {
+	cp := e.dnSend
+	if cast {
+		cp = e.dnCast
+	}
+	if cp == nil {
+		return false
+	}
+	ctx := rtCtx{peer: int64(dst), length: int64(payloadLen)}
+	return evalCCP(cp.ccp, &ctx)
+}
+
+func evalCCP(ccp []cexpr, ctx *rtCtx) bool {
+	for _, c := range ccp {
+		if c(ctx) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Cast multicasts an application payload: the full bypass when its CCP
+// holds, the partial bypass (wire specialized, self-delivery through the
+// stack) when only that one's CCP holds, the full stack otherwise.
+func (e *Engine) Cast(payload []byte) {
+	ctx := rtCtx{peer: int64(e.Rank), length: int64(len(payload))}
+	if e.dnCast != nil && evalCCP(e.dnCast.ccp, &ctx) {
+		e.stats.DnBypass++
+		e.runDn(e.dnCast, &ctx, true, 0, payload)
+		return
+	}
+	if e.dnCastPartial != nil && evalCCP(e.dnCastPartial.ccp, &ctx) {
+		e.stats.DnPartial++
+		e.runDn(e.dnCastPartial, &ctx, true, 0, payload)
+		return
+	}
+	e.stats.DnFull++
+	e.stk.SubmitDn(event.CastEv(payload))
+}
+
+// Send transmits an application payload point-to-point.
+func (e *Engine) Send(dst int, payload []byte) {
+	if e.dnSend != nil {
+		ctx := rtCtx{peer: int64(dst), length: int64(len(payload))}
+		if evalCCP(e.dnSend.ccp, &ctx) {
+			e.stats.DnBypass++
+			e.runDn(e.dnSend, &ctx, false, dst, payload)
+			return
+		}
+	}
+	e.stats.DnFull++
+	e.stk.SubmitDn(event.SendEv(dst, payload))
+}
+
+// Compressed wire format:
+//
+//	magic    byte   = transport.WireCompressed
+//	id       uint16 little-endian (the wire signature hash)
+//	sender   uvarint (rank)
+//	varying  n × varint (field count fixed by the signature)
+//	payload  rest
+func (e *Engine) runDn(cp *compiledDnPath, ctx *rtCtx, cast bool, dst int, payload []byte) {
+	// Read phase: everything is a pre-state expression, so all reads —
+	// update values, varying wire fields, effect arguments and captured
+	// headers — happen before any write. The scratch buffers are taken
+	// by ownership transfer so that a re-entrant invocation (an
+	// application callback casting in response to a delivery) allocates
+	// fresh ones instead of clobbering ours.
+	tmp, vary, pend := e.takeScratch()
+	// The deferred return keeps grown buffers for the next invocation.
+	defer func() { e.putScratch(tmp, vary, pend) }()
+	if cap(tmp) < len(cp.writes) {
+		tmp = make([]int64, len(cp.writes))
+	}
+	vals := tmp[:len(cp.writes)]
+	for i, w := range cp.writes {
+		vals[i] = w.eval(ctx)
+	}
+	if cap(vary) < len(cp.varying) {
+		vary = make([]int64, len(cp.varying))
+	}
+	varyVals := vary[:len(cp.varying)]
+	for i, v := range cp.varying {
+		varyVals[i] = v(ctx)
+	}
+	var bounceHdrVals []event.Header
+	if len(cp.bounceHdrs) > 0 {
+		bounceHdrVals = make([]event.Header, len(cp.bounceHdrs))
+		for i := range cp.bounceHdrs {
+			bounceHdrVals[i] = cp.bounceHdrs[i].materialize(ctx)
+		}
+	}
+	pend = pend[:0]
+	for _, eff := range cp.effects {
+		args := make([]int64, len(eff.args))
+		for i, a := range eff.args {
+			args[i] = a(ctx)
+		}
+		var hdrs []event.Header
+		if len(eff.hdrs) > 0 {
+			hdrs = make([]event.Header, len(eff.hdrs))
+			for i := range eff.hdrs {
+				hdrs[i] = eff.hdrs[i].materialize(ctx)
+			}
+		}
+		pend = append(pend, pendingEffect{run: eff.run, ectx: ir.EffectCtx{
+			Args: args, Payload: payload, ApplMsg: true, Hdrs: hdrs,
+		}})
+	}
+	// Write phase.
+	for i, w := range cp.writes {
+		w.apply(vals[i], ctx)
+	}
+	// The local copy surfaces before the packet reaches the wire — the
+	// same order the full stack's scheduler produces.
+	if cp.self && e.Deliver != nil {
+		e.Deliver(e.Rank, payload, true)
+	} else if len(cp.bounceHdrs) > 0 && e.miniUp != nil {
+		// Bounce fallback: materialize the headers the layers above the
+		// bouncing layer pushed (pre-state values were captured in the
+		// read phase below) and run the copy through them.
+		copyEv := event.Alloc()
+		copyEv.Dir, copyEv.Type, copyEv.Peer = event.Up, event.ECast, e.Rank
+		copyEv.ApplMsg = true
+		copyEv.Msg.Payload = payload
+		copyEv.Msg.Headers = bounceHdrVals
+		e.miniUp.DeliverUp(copyEv)
+	}
+	if e.InlineEffects {
+		// Ablation: buffering on the critical path, as an unoptimized
+		// stack would do it.
+		for _, p := range pend {
+			p.run(p.ectx)
+		}
+		pend = nil
+	}
+	// Transport: the compressed image is the stack identifier plus only
+	// the varying header fields (§4.1.3).
+	if e.MarkDnTransport != nil {
+		e.MarkDnTransport()
+	}
+	wire := make([]byte, 0, 16+len(payload))
+	wire = append(wire, transport.WireCompressed, byte(cp.id), byte(cp.id>>8))
+	wire = binary.AppendUvarint(wire, uint64(e.Rank))
+	for _, v := range varyVals {
+		wire = binary.AppendVarint(wire, v)
+	}
+	wire = append(wire, payload...)
+	if e.SendWire != nil {
+		e.SendWire(cast, dst, wire)
+	}
+	// The deferred non-critical work (buffering) runs last, off the
+	// critical path (§4, item 3).
+	for _, p := range pend {
+		p.run(p.ectx)
+	}
+}
+
+// Packet routes an arriving wire image: compressed packets try the up
+// bypass and fall back through the generated uncompressor; full packets
+// go straight to the stack.
+func (e *Engine) Packet(data []byte) {
+	if len(data) == 0 {
+		e.stats.Undecodable++
+		return
+	}
+	if data[0] != transport.WireCompressed {
+		ev, err := transport.Unmarshal(data)
+		if err != nil {
+			e.stats.Undecodable++
+			return
+		}
+		// The claimed origin indexes per-member state throughout the
+		// stack: it must be a rank of this view.
+		if ev.Peer < 0 || ev.Peer >= e.N {
+			e.stats.Undecodable++
+			event.Free(ev)
+			return
+		}
+		e.stats.UpFull++
+		e.stk.DeliverUp(ev)
+		return
+	}
+	if len(data) < 3 {
+		e.stats.Undecodable++
+		return
+	}
+	id := uint16(data[1]) | uint16(data[2])<<8
+	cp, ok := e.upByID[id]
+	if !ok {
+		e.stats.Undecodable++
+		return
+	}
+	rest := data[3:]
+	sender, n := binary.Uvarint(rest)
+	if n <= 0 || sender >= uint64(e.N) {
+		// A sender rank outside the view would index per-member state
+		// out of range inside the compiled common-case predicate.
+		e.stats.Undecodable++
+		return
+	}
+	rest = rest[n:]
+	ctx := rtCtx{peer: int64(sender)}
+	varyBuf := e.takeVaryBuf()
+	defer e.putVaryBuf(varyBuf)
+	if cap(varyBuf) < cp.nvary {
+		varyBuf = make([]int64, cp.nvary)
+	}
+	ctx.vary = varyBuf[:cp.nvary]
+	for i := 0; i < cp.nvary; i++ {
+		v, n := binary.Varint(rest)
+		if n <= 0 {
+			e.stats.Undecodable++
+			return
+		}
+		ctx.vary[i] = v
+		rest = rest[n:]
+	}
+	payload := rest
+	ctx.length = int64(len(payload))
+	if e.MarkUpStack != nil {
+		e.MarkUpStack()
+	}
+
+	if evalCCP(cp.ccp, &ctx) {
+		e.stats.UpBypass++
+		e.runUp(cp, &ctx, int(sender), payload)
+		return
+	}
+	// CCP miss: uncompress into a full event and hand it to the
+	// original stack (the uncompression wrap of §4.1.3).
+	e.stats.Uncompressed++
+	e.stats.UpFull++
+	ev := event.Alloc()
+	ev.Dir = event.Up
+	ev.Type = event.ESend
+	if cp.cast {
+		ev.Type = event.ECast
+	}
+	ev.Peer = int(sender)
+	ev.ApplMsg = true
+	ev.Msg.Payload = payload
+	hdrs := make([]event.Header, len(cp.full))
+	for i := range cp.full {
+		hdrs[i] = cp.full[i].materialize(&ctx)
+	}
+	ev.Msg.Headers = hdrs
+	e.stk.DeliverUp(ev)
+}
+
+func (e *Engine) runUp(cp *compiledUpPath, ctx *rtCtx, sender int, payload []byte) {
+	tmp, vary, pend := e.takeScratch()
+	defer func() { e.putScratch(tmp, vary, pend) }()
+	if cap(tmp) < len(cp.writes) {
+		tmp = make([]int64, len(cp.writes))
+	}
+	vals := tmp[:len(cp.writes)]
+	for i, w := range cp.writes {
+		vals[i] = w.eval(ctx)
+	}
+	pend = pend[:0]
+	for _, eff := range cp.effects {
+		args := make([]int64, len(eff.args))
+		for i, a := range eff.args {
+			args[i] = a(ctx)
+		}
+		pend = append(pend, pendingEffect{run: eff.run, ectx: ir.EffectCtx{
+			Args: args, Payload: payload, ApplMsg: true,
+		}})
+	}
+	for i, w := range cp.writes {
+		w.apply(vals[i], ctx)
+	}
+	if e.Deliver != nil {
+		e.Deliver(sender, payload, cp.cast)
+	}
+	for _, p := range pend {
+		p.run(p.ectx)
+	}
+}
+
+// Timer drives the housekeeping sweep through the full stack (timers are
+// never a bypass path).
+func (e *Engine) Timer(now int64) {
+	e.stk.DeliverUp(event.TimerEv(now))
+}
+
+// Init pushes the initialization event through the stack.
+func (e *Engine) Init(v *event.View) {
+	e.stk.SubmitDn(event.InitEv(v))
+}
+
+// Theorems returns the composed stack theorems backing this engine's
+// bypasses, for inspection and documentation.
+func (e *Engine) Theorems() []*StackTheorem {
+	var out []*StackTheorem
+	if e.dnCast != nil {
+		out = append(out, e.dnCast.th)
+	}
+	if e.dnSend != nil {
+		out = append(out, e.dnSend.th)
+	}
+	for _, up := range e.upByID {
+		out = append(out, up.th)
+	}
+	return out
+}

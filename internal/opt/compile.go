@@ -1,0 +1,291 @@
+package opt
+
+import (
+	"fmt"
+
+	"ensemble/internal/event"
+	"ensemble/internal/ir"
+)
+
+// The compiler turns a stack optimization theorem into executable
+// closures over the live layer states — our analogue of the final Nuprl
+// step that exports the optimized code to the OCaml environment
+// (§4.1.3). The compiled bypass shares state with the full stack through
+// the same accessors the IR interpreter uses, so the run-time CCP switch
+// (Fig. 4) can route any individual event to either implementation.
+
+// rtCtx is the per-invocation frame of a compiled path.
+type rtCtx struct {
+	peer   int64
+	length int64
+	vary   []int64
+	tmp    []int64
+}
+
+// cexpr is a compiled expression.
+type cexpr func(*rtCtx) int64
+
+// compiler binds composed-namespace references to live state.
+type compiler struct {
+	bindings map[string]*ir.Binding
+	varySlot map[string]int // QHdr key → vary slot
+	rank     int64
+}
+
+func newCompiler(names []string, states []any, rank int) (*compiler, error) {
+	if len(names) != len(states) {
+		return nil, fmt.Errorf("opt: %d names but %d states", len(names), len(states))
+	}
+	c := &compiler{
+		bindings: map[string]*ir.Binding{},
+		varySlot: map[string]int{},
+		rank:     int64(rank),
+	}
+	for i, n := range names {
+		b, err := ir.Bind(n, states[i])
+		if err != nil {
+			return nil, err
+		}
+		c.bindings[n] = b
+	}
+	return c, nil
+}
+
+// setVarying assigns wire slots for the varying header fields.
+func (c *compiler) setVarying(fields []ir.QHdr) {
+	c.varySlot = map[string]int{}
+	for i, f := range fields {
+		c.varySlot[ir.Key(f)] = i
+	}
+}
+
+func (c *compiler) compile(e ir.Expr) (cexpr, error) {
+	switch e := e.(type) {
+	case ir.Const:
+		v := int64(e)
+		return func(*rtCtx) int64 { return v }, nil
+	case ir.EvField:
+		switch string(e) {
+		case "peer":
+			return func(ctx *rtCtx) int64 { return ctx.peer }, nil
+		case "len":
+			return func(ctx *rtCtx) int64 { return ctx.length }, nil
+		case "rank":
+			r := c.rank
+			return func(*rtCtx) int64 { return r }, nil
+		case "appl":
+			return func(*rtCtx) int64 { return 1 }, nil
+		default:
+			return nil, fmt.Errorf("opt: unknown event field %q", string(e))
+		}
+	case ir.QVar:
+		b, ok := c.bindings[e.Layer]
+		if !ok {
+			return nil, fmt.Errorf("opt: no binding for layer %q", e.Layer)
+		}
+		spec, ok := b.ScalarSpec(e.Name)
+		if !ok {
+			return nil, fmt.Errorf("opt: layer %q has no scalar %q", e.Layer, e.Name)
+		}
+		get := spec.Get
+		return func(*rtCtx) int64 { return get() }, nil
+	case ir.QIndex:
+		b, ok := c.bindings[e.Layer]
+		if !ok {
+			return nil, fmt.Errorf("opt: no binding for layer %q", e.Layer)
+		}
+		spec, ok := b.ArraySpec(e.Name)
+		if !ok {
+			return nil, fmt.Errorf("opt: layer %q has no array %q", e.Layer, e.Name)
+		}
+		idx, err := c.compile(e.Idx)
+		if err != nil {
+			return nil, err
+		}
+		getAt := spec.GetAt
+		return func(ctx *rtCtx) int64 { return getAt(idx(ctx)) }, nil
+	case ir.QHdr:
+		slot, ok := c.varySlot[ir.Key(e)]
+		if !ok {
+			return nil, fmt.Errorf("opt: header field %s is neither constant nor a wire input", e)
+		}
+		return func(ctx *rtCtx) int64 { return ctx.vary[slot] }, nil
+	case ir.Bin:
+		l, err := c.compile(e.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.compile(e.R)
+		if err != nil {
+			return nil, err
+		}
+		return compileBin(e.Op, l, r), nil
+	case ir.Not:
+		inner, err := c.compile(e.E)
+		if err != nil {
+			return nil, err
+		}
+		return func(ctx *rtCtx) int64 {
+			if inner(ctx) == 0 {
+				return 1
+			}
+			return 0
+		}, nil
+	default:
+		return nil, fmt.Errorf("opt: cannot compile %T (%s)", e, e)
+	}
+}
+
+func compileBin(op ir.Op, l, r cexpr) cexpr {
+	b := func(v bool) int64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case ir.OpAdd:
+		return func(c *rtCtx) int64 { return l(c) + r(c) }
+	case ir.OpSub:
+		return func(c *rtCtx) int64 { return l(c) - r(c) }
+	case ir.OpMul:
+		return func(c *rtCtx) int64 { return l(c) * r(c) }
+	case ir.OpEq:
+		return func(c *rtCtx) int64 { return b(l(c) == r(c)) }
+	case ir.OpNe:
+		return func(c *rtCtx) int64 { return b(l(c) != r(c)) }
+	case ir.OpLt:
+		return func(c *rtCtx) int64 { return b(l(c) < r(c)) }
+	case ir.OpLe:
+		return func(c *rtCtx) int64 { return b(l(c) <= r(c)) }
+	case ir.OpGt:
+		return func(c *rtCtx) int64 { return b(l(c) > r(c)) }
+	case ir.OpGe:
+		return func(c *rtCtx) int64 { return b(l(c) >= r(c)) }
+	case ir.OpAnd:
+		return func(c *rtCtx) int64 {
+			if l(c) == 0 {
+				return 0
+			}
+			return b(r(c) != 0)
+		}
+	case ir.OpOr:
+		return func(c *rtCtx) int64 {
+			if l(c) != 0 {
+				return 1
+			}
+			return b(r(c) != 0)
+		}
+	}
+	panic(fmt.Sprintf("opt: unknown op %v", op))
+}
+
+// compiledWrite is one state assignment: value evaluated in the read
+// phase, applied in the write phase.
+type compiledWrite struct {
+	eval  cexpr
+	apply func(v int64, ctx *rtCtx)
+}
+
+func (c *compiler) compileWrite(a QAssign) (compiledWrite, error) {
+	val, err := c.compile(a.Val)
+	if err != nil {
+		return compiledWrite{}, err
+	}
+	switch t := a.Target.(type) {
+	case ir.QVar:
+		b := c.bindings[t.Layer]
+		spec, ok := b.ScalarSpec(t.Name)
+		if !ok {
+			return compiledWrite{}, fmt.Errorf("opt: layer %q has no scalar %q", t.Layer, t.Name)
+		}
+		set := spec.Set
+		return compiledWrite{eval: val, apply: func(v int64, _ *rtCtx) { set(v) }}, nil
+	case ir.QIndex:
+		b := c.bindings[t.Layer]
+		spec, ok := b.ArraySpec(t.Name)
+		if !ok {
+			return compiledWrite{}, fmt.Errorf("opt: layer %q has no array %q", t.Layer, t.Name)
+		}
+		idx, err := c.compile(t.Idx)
+		if err != nil {
+			return compiledWrite{}, err
+		}
+		setAt := spec.SetAt
+		return compiledWrite{eval: val, apply: func(v int64, ctx *rtCtx) { setAt(idx(ctx), v) }}, nil
+	default:
+		return compiledWrite{}, fmt.Errorf("opt: unsupported assignment target %T", a.Target)
+	}
+}
+
+// compiledHdr materializes one layer's header from current values.
+type compiledHdr struct {
+	layer  string
+	fields []cexpr
+	make_  func([]int64) event.Header
+}
+
+func (c *compiler) compileHdr(h QHeader) (compiledHdr, error) {
+	ch := compiledHdr{layer: h.Layer, make_: h.Spec.Make}
+	// Fields must be evaluated in the spec's declared order.
+	byName := map[string]ir.Expr{}
+	for _, fv := range h.Fields {
+		byName[fv.Name] = fv.Val
+	}
+	for _, name := range h.Spec.Fields {
+		e, ok := byName[name]
+		if !ok {
+			return compiledHdr{}, fmt.Errorf("opt: header %s.%s missing field %q", h.Layer, h.Variant, name)
+		}
+		ce, err := c.compile(e)
+		if err != nil {
+			return compiledHdr{}, err
+		}
+		ch.fields = append(ch.fields, ce)
+	}
+	return ch, nil
+}
+
+func (h *compiledHdr) materialize(ctx *rtCtx) event.Header {
+	vals := make([]int64, len(h.fields))
+	for i, f := range h.fields {
+		vals[i] = f(ctx)
+	}
+	return h.make_(vals)
+}
+
+// compiledEffect defers one opaque operation with its captured headers.
+type compiledEffect struct {
+	run  func(ir.EffectCtx)
+	args []cexpr
+	hdrs []compiledHdr // the header stack above the effect's layer
+}
+
+func (c *compiler) compileEffect(e QEffect, headers []QHeader) (compiledEffect, error) {
+	b, ok := c.bindings[e.Layer]
+	if !ok {
+		return compiledEffect{}, fmt.Errorf("opt: no binding for layer %q", e.Layer)
+	}
+	spec, ok := b.Effect(e.Name)
+	if !ok {
+		return compiledEffect{}, fmt.Errorf("opt: layer %q has no effect %q", e.Layer, e.Name)
+	}
+	ce := compiledEffect{run: spec.Run}
+	for _, a := range e.Args {
+		x, err := c.compile(a)
+		if err != nil {
+			return compiledEffect{}, err
+		}
+		ce.args = append(ce.args, x)
+	}
+	// Captured headers: the layers above, in stack order (topmost
+	// first), exactly matching what the full stack would have buffered.
+	for _, h := range headers[:e.HdrsAbove] {
+		ch, err := c.compileHdr(h)
+		if err != nil {
+			return compiledEffect{}, err
+		}
+		ce.hdrs = append(ce.hdrs, ch)
+	}
+	return ce, nil
+}

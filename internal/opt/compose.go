@@ -1,0 +1,563 @@
+package opt
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"ensemble/internal/ir"
+)
+
+// StackTheorem is a stack optimization theorem (paper §4.1.3, Fig. 5):
+// the composition of per-layer theorems into a single bypass description
+// for one fundamental case of one protocol stack. All expressions are in
+// the composed namespace (QVar/QIndex/QHdr) and — crucially — in
+// *pre-state* terms: the composer symbolically executes the per-layer
+// updates, so every guard and right-hand side refers to the state before
+// the bypass runs. The compiled bypass therefore evaluates all reads
+// first, then applies all writes.
+type StackTheorem struct {
+	Names []string // top first
+	Path  ir.PathKey
+	Rank  int
+	N     int
+
+	// CCP is the conjunction (as a list) of every layer's common-case
+	// predicate, threaded through the symbolic store. It is evaluated at
+	// run time to choose between the bypass and the full stack (Fig. 4).
+	CCP []ir.Expr
+
+	// Updates are the composed state assignments, pre-state RHS.
+	Updates []QAssign
+
+	// Headers are the headers a down path pushes, in push order (the
+	// topmost layer's header first). Up-path theorems carry the headers
+	// they consume in the same order, with field values as wire inputs.
+	Headers []QHeader
+
+	// Effects are the deferred operations, with enough position
+	// information to materialize the header stack each one captures.
+	Effects []QEffect
+
+	// SelfDeliver marks a down path that also delivers the cast locally
+	// (the bounce through the layers above local).
+	SelfDeliver bool
+
+	// BounceFallback marks a down path whose wire side is fully
+	// specialized but whose self-delivery could not be (the reflected
+	// copy is not a common case — a non-sequencer's own cast awaiting an
+	// order announcement, for instance). The bypass sends the compressed
+	// wire image and hands the reflected copy to the upper layers of the
+	// shared stack — one of the "multiple bypass paths" the paper
+	// anticipates (§4.1.3).
+	BounceFallback bool
+	// BounceLayer is the layer whose reflection fell back.
+	BounceLayer string
+
+	// Delivered marks an up path that delivers to the application.
+	Delivered bool
+}
+
+// QAssign is a composed-namespace assignment.
+type QAssign struct {
+	Target ir.LValue // QVar or QIndex
+	Val    ir.Expr
+}
+
+// QHeader is one layer's header contribution with pre-state field
+// expressions.
+type QHeader struct {
+	Layer   string
+	Variant string
+	Fields  []ir.HdrFieldVal
+	Spec    *ir.HdrSpec
+}
+
+// QEffect is a deferred effect in the composed program.
+type QEffect struct {
+	Layer string
+	Name  string
+	Args  []ir.Expr
+	// HdrsAbove is how many of Headers were pushed by layers above the
+	// effect's layer: the slice Headers[:HdrsAbove] is the header stack
+	// the effect captures (topmost first).
+	HdrsAbove int
+}
+
+// String renders the composed theorem in the paper's style.
+func (t *StackTheorem) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "OPTIMIZING STACK %s\n", strings.Join(t.Names, "|||"))
+	fmt.Fprintf(&b, "FOR   EVENT %s (rank %d of %d)\n", t.Path, t.Rank, t.N)
+	if len(t.CCP) == 0 {
+		fmt.Fprintf(&b, "ASSUMING true\n")
+	} else {
+		fmt.Fprintf(&b, "ASSUMING %s\n", exprList(t.CCP, " ∧ "))
+	}
+	var evs []string
+	if len(t.Headers) > 0 && t.Path.Dir.String() == "Dn" {
+		hs := make([]string, len(t.Headers))
+		for i, h := range t.Headers {
+			hs[i] = h.render()
+		}
+		evs = append(evs, fmt.Sprintf("DnM(ev, %s)", strings.Join(hs, "·")))
+	}
+	if t.SelfDeliver {
+		evs = append(evs, "UpM(copy ev)")
+	}
+	if t.Delivered {
+		evs = append(evs, "UpM(ev)")
+	}
+	fmt.Fprintf(&b, "YIELDS EVENTS [:%s:]\n", strings.Join(evs, "; "))
+	if len(t.Updates) == 0 {
+		fmt.Fprintf(&b, "AND   STATE unchanged")
+	} else {
+		var ups []string
+		for _, u := range t.Updates {
+			ups = append(ups, fmt.Sprintf("%s := %s", u.Target, u.Val))
+		}
+		fmt.Fprintf(&b, "AND   STATE { %s }", strings.Join(ups, "; "))
+	}
+	for _, e := range t.Effects {
+		fmt.Fprintf(&b, "\nDEFER %s.%s(%s)", e.Layer, e.Name, exprList(e.Args, ", "))
+	}
+	return b.String()
+}
+
+func (h QHeader) render() string {
+	if len(h.Fields) == 0 {
+		return fmt.Sprintf("%s.%s", h.Layer, h.Variant)
+	}
+	parts := make([]string, len(h.Fields))
+	for i, f := range h.Fields {
+		parts[i] = fmt.Sprintf("%s:%s", f.Name, f.Val)
+	}
+	return fmt.Sprintf("%s.%s(%s)", h.Layer, h.Variant, strings.Join(parts, ","))
+}
+
+func exprList(es []ir.Expr, sep string) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, sep)
+}
+
+// symStore is the composer's symbolic state: composed-namespace location
+// key → pre-state expression for its current value.
+type symStore map[string]ir.Expr
+
+// subst rewrites state references through the store (QHdr references are
+// captured wire or push-time values and are never substituted).
+func subst(e ir.Expr, store symStore) ir.Expr {
+	switch x := e.(type) {
+	case ir.Bin:
+		return ir.Bin{Op: x.Op, L: subst(x.L, store), R: subst(x.R, store)}
+	case ir.Not:
+		return ir.Not{E: subst(x.E, store)}
+	case ir.QIndex:
+		qi := ir.QIndex{Layer: x.Layer, Name: x.Name, Idx: subst(x.Idx, store)}
+		if v, ok := store[ir.Key(qi)]; ok {
+			return v
+		}
+		return qi
+	case ir.QVar:
+		if v, ok := store[ir.Key(x)]; ok {
+			return v
+		}
+		return x
+	default:
+		return e
+	}
+}
+
+// replaceHdr substitutes QHdr references of one layer with captured
+// push-time expressions (the bounce composition) — other layers' QHdr
+// references are left as wire inputs.
+func replaceHdr(e ir.Expr, layer string, fields map[string]ir.Expr) ir.Expr {
+	switch x := e.(type) {
+	case ir.Bin:
+		return ir.Bin{Op: x.Op, L: replaceHdr(x.L, layer, fields), R: replaceHdr(x.R, layer, fields)}
+	case ir.Not:
+		return ir.Not{E: replaceHdr(x.E, layer, fields)}
+	case ir.QIndex:
+		return ir.QIndex{Layer: x.Layer, Name: x.Name, Idx: replaceHdr(x.Idx, layer, fields)}
+	case ir.QHdr:
+		if x.Layer == layer {
+			if v, ok := fields[x.Field]; ok {
+				return v
+			}
+		}
+		return x
+	default:
+		return e
+	}
+}
+
+// composer threads one theorem after another through the symbolic store.
+type composer struct {
+	th    *StackTheorem
+	store symStore
+	base  *Facts
+}
+
+// thread incorporates one qualified layer theorem: its CCP joins the
+// composed CCP, its updates enter the store, its push/effects/flags are
+// recorded. hdrCapture maps the layer's popped header fields to captured
+// expressions — push-time values for bounce segments, wire inputs or
+// signature constants for up paths; nil on plain down paths.
+func (c *composer) thread(layerName string, lt *LayerTheorem, def *ir.LayerDef, hdrCapture map[string]ir.Expr) error {
+	// Pipeline: qualify into the composed namespace, rewrite state
+	// references through the symbolic store (post-update values in
+	// pre-state terms), then replace this layer's header references with
+	// their captured values (which are already pre-state and must not be
+	// re-substituted), and simplify — truthiness-preserving rewrites for
+	// the CCP conjunct, value-exact ones everywhere else.
+	pipeline := func(e ir.Expr) ir.Expr {
+		q := ir.Qualify(layerName, e)
+		q = subst(q, c.store)
+		if hdrCapture != nil {
+			q = replaceHdr(q, layerName, hdrCapture)
+		}
+		return q
+	}
+	qual := func(e ir.Expr) ir.Expr { return SimplifyVal(pipeline(e), c.base) }
+	switch conj := Simplify(pipeline(lt.Assumed), c.base); conj {
+	case ir.True:
+	case ir.False:
+		return fmt.Errorf("opt: composed CCP is unsatisfiable at layer %q (%s)", layerName, lt.Assumed)
+	default:
+		c.th.CCP = append(c.th.CCP, conj)
+	}
+	hdrsAbove := len(c.th.Headers)
+	for _, eff := range lt.Effects {
+		qe := QEffect{Layer: layerName, Name: eff.Name, HdrsAbove: hdrsAbove}
+		for _, a := range eff.Args {
+			qe.Args = append(qe.Args, qual(a))
+		}
+		c.th.Effects = append(c.th.Effects, qe)
+	}
+	if lt.Push != nil {
+		spec, err := def.HdrSpecByVariant(lt.Push.Variant)
+		if err != nil {
+			return err
+		}
+		qh := QHeader{Layer: layerName, Variant: lt.Push.Variant, Spec: spec}
+		for _, fv := range lt.Push.Fields {
+			qh.Fields = append(qh.Fields, ir.HdrFieldVal{Name: fv.Name, Val: qual(fv.Val)})
+		}
+		c.th.Headers = append(c.th.Headers, qh)
+	}
+	for _, u := range lt.Updates {
+		var tgt ir.LValue
+		switch t := u.Target.(type) {
+		case ir.Var:
+			tgt = ir.QVar{Layer: layerName, Name: string(t)}
+		case ir.Index:
+			idxQ := qual(t.Idx)
+			tgt = ir.QIndex{Layer: layerName, Name: t.Name, Idx: idxQ}
+		default:
+			return fmt.Errorf("opt: unexpected assignment target %T", u.Target)
+		}
+		val := qual(u.Val)
+		c.store[ir.Key(tgt.(ir.Expr))] = val
+		c.th.Updates = append(c.th.Updates, QAssign{Target: tgt, Val: val})
+	}
+	return nil
+}
+
+// ComposeDn builds the stack optimization theorem for a down-going path
+// of the named stack (top first), for the member at the given rank. The
+// bounce composition routes the local layer's self-delivery copy back
+// through the up paths of the layers above it.
+func ComposeDn(names []string, path ir.PathKey, rank, n int) (*StackTheorem, error) {
+	return composeDn(names, path, rank, n, true)
+}
+
+// ComposeDnNoBounce builds the bounce-fallback variant unconditionally:
+// the wire side fully specialized, the self-delivery copy routed through
+// the shared stack. Together with ComposeDn it gives the engine two
+// bypass paths per down case — the "multiple bypass paths" the paper
+// anticipates — selected per event by their CCPs.
+func ComposeDnNoBounce(names []string, path ir.PathKey, rank, n int) (*StackTheorem, error) {
+	return composeDn(names, path, rank, n, false)
+}
+
+func composeDn(names []string, path ir.PathKey, rank, n int, tryBounce bool) (*StackTheorem, error) {
+	base := NewFacts()
+	base.AddEq(ir.EvField("rank"), int64(rank))
+	base.AddEq(ir.EvField("appl"), 1)
+	c := &composer{
+		th:    &StackTheorem{Names: names, Path: path, Rank: rank, N: n},
+		store: symStore{},
+		base:  base,
+	}
+	for i, name := range names {
+		def, err := ir.LookupDef(name)
+		if err != nil {
+			return nil, err
+		}
+		ccp, ok := def.CCP[path]
+		if !ok {
+			return nil, fmt.Errorf("opt: layer %q has no CCP for %s", name, path)
+		}
+		lt, err := DeriveLayerTheorem(def, path, ccp, base)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.thread(name, lt, def, nil); err != nil {
+			return nil, err
+		}
+		if lt.Bounced {
+			// The bounce is composed transactionally: when the reflected
+			// copy's path through the upper layers is not a common case,
+			// the wire side remains fully specialized and the copy is
+			// routed through the shared stack instead.
+			if tryBounce {
+				trial := c.clone()
+				if err := trial.bounce(names[:i], path, rank); err == nil {
+					*c = *trial
+					continue
+				}
+			}
+			c.th.BounceFallback = true
+			c.th.BounceLayer = name
+		}
+	}
+	return c.th, nil
+}
+
+// clone copies the composer so a sub-composition can be attempted and
+// discarded.
+func (c *composer) clone() *composer {
+	th := *c.th
+	th.CCP = append([]ir.Expr(nil), c.th.CCP...)
+	th.Updates = append([]QAssign(nil), c.th.Updates...)
+	th.Headers = append([]QHeader(nil), c.th.Headers...)
+	th.Effects = append([]QEffect(nil), c.th.Effects...)
+	store := make(symStore, len(c.store))
+	for k, v := range c.store {
+		store[k] = v
+	}
+	return &composer{th: &th, store: store, base: c.base}
+}
+
+// bounce composes the reflected self-delivery copy through the up paths
+// of the layers above the bouncing layer, innermost first. The copy's
+// header fields are the expressions each layer pushed on the way down,
+// captured pre-state; its origin is this member's own rank.
+func (c *composer) bounce(upper []string, dnPath ir.PathKey, rank int) error {
+	upPath := ir.PathKey{Dir: 1 - dnPath.Dir, Kind: dnPath.Kind} // Dn -> Up
+	// The bounced copy's event frame: peer is our own rank.
+	bounceBase := c.base.Clone()
+	bounceBase.AddEq(ir.EvField("peer"), int64(rank))
+	savedBase := c.base
+	c.base = bounceBase
+	defer func() { c.base = savedBase }()
+
+	for j := len(upper) - 1; j >= 0; j-- {
+		name := upper[j]
+		def, err := ir.LookupDef(name)
+		if err != nil {
+			return err
+		}
+		// Captured header fields: what this layer pushed on the way
+		// down, plus the variant tag.
+		capture := map[string]ir.Expr{}
+		var pushed *QHeader
+		for k := range c.th.Headers {
+			if c.th.Headers[k].Layer == name {
+				pushed = &c.th.Headers[k]
+				break
+			}
+		}
+		if pushed == nil {
+			return fmt.Errorf("opt: bounce through %q, which pushed no header", name)
+		}
+		capture["tag"] = ir.Const(pushed.Spec.Tag)
+		for _, fv := range pushed.Fields {
+			capture[fv.Name] = fv.Val
+		}
+
+		ccp, ok := def.CCP[upPath]
+		if !ok {
+			return fmt.Errorf("opt: layer %q has no CCP for %s", name, upPath)
+		}
+		// Derive with header facts where they are constants, so guards
+		// like hdr.tag == Data resolve.
+		derBase := bounceBase.Clone()
+		for f, e := range capture {
+			if cst, isConst := e.(ir.Const); isConst {
+				derBase.AddEq(ir.HdrField(f), int64(cst))
+			}
+		}
+		lt, err := DeriveLayerTheorem(def, upPath, ccp, derBase)
+		if err != nil {
+			return fmt.Errorf("opt: bounce through %q: %w", name, err)
+		}
+		if err := c.thread(name, lt, def, capture); err != nil {
+			return err
+		}
+		if j == 0 && lt.Delivered {
+			c.th.SelfDeliver = true
+		}
+	}
+	return nil
+}
+
+// ComposeUp builds the stack optimization theorem for an up-going path,
+// given the wire signature of the sending bypass (which header variants
+// were pushed and which fields are compile-time constants). The
+// signature is what the compressed wire format's stack identifier
+// denotes, so sender and receiver agree on it without negotiation.
+func ComposeUp(names []string, path ir.PathKey, rank, n int, sig WireSig) (*StackTheorem, error) {
+	base := NewFacts()
+	base.AddEq(ir.EvField("rank"), int64(rank))
+	base.AddEq(ir.EvField("appl"), 1)
+	c := &composer{
+		th:    &StackTheorem{Names: names, Path: path, Rank: rank, N: n},
+		store: symStore{},
+		base:  base,
+	}
+	// Up events traverse bottom first: iterate the stack bottom-up.
+	for i := len(names) - 1; i >= 0; i-- {
+		name := names[i]
+		def, err := ir.LookupDef(name)
+		if err != nil {
+			return nil, err
+		}
+		entry := sig.Entry(name)
+		if entry == nil {
+			return nil, fmt.Errorf("opt: signature has no header entry for layer %q", name)
+		}
+		spec, err := def.HdrSpecByVariant(entry.Variant)
+		if err != nil {
+			return nil, err
+		}
+		// Header facts: the variant tag is fixed by the signature, and
+		// so is every constant field.
+		derBase := base.Clone()
+		derBase.AddEq(ir.HdrField("tag"), spec.Tag)
+		capture := map[string]ir.Expr{"tag": ir.Const(spec.Tag)}
+		for _, f := range entry.Fields {
+			if f.Const {
+				derBase.AddEq(ir.HdrField(f.Name), f.Val)
+				capture[f.Name] = ir.Const(f.Val)
+			} else {
+				capture[f.Name] = ir.QHdr{Layer: name, Field: f.Name}
+			}
+		}
+		ccp, ok := def.CCP[path]
+		if !ok {
+			return nil, fmt.Errorf("opt: layer %q has no CCP for %s", name, path)
+		}
+		lt, err := DeriveLayerTheorem(def, path, ccp, derBase)
+		if err != nil {
+			return nil, err
+		}
+		if err := c.thread(name, lt, def, capture); err != nil {
+			return nil, err
+		}
+		// Record the consumed header so the uncompressor can rebuild the
+		// full stack for fallback deliveries.
+		qh := QHeader{Layer: name, Variant: entry.Variant, Spec: spec}
+		for _, f := range entry.Fields {
+			qh.Fields = append(qh.Fields, ir.HdrFieldVal{Name: f.Name, Val: capture[f.Name]})
+		}
+		c.th.Headers = append(c.th.Headers, qh)
+		if i == 0 && lt.Delivered {
+			c.th.Delivered = true
+		}
+	}
+	// Restore push order (top first) for the header list.
+	for l, r := 0, len(c.th.Headers)-1; l < r; l, r = l+1, r-1 {
+		c.th.Headers[l], c.th.Headers[r] = c.th.Headers[r], c.th.Headers[l]
+	}
+	return c.th, nil
+}
+
+// WireSig is the wire-level shape of one composed down path: which
+// header variant each layer pushes and which fields are constants. Equal
+// signatures produce equal compressed formats; the 16-bit identifier in
+// the compressed image is a hash of this structure.
+type WireSig struct {
+	Path    ir.PathKey
+	Entries []SigEntry // push order, top first
+}
+
+// SigEntry is one layer's contribution to the signature.
+type SigEntry struct {
+	Layer   string
+	Variant string
+	Fields  []SigField
+}
+
+// SigField is one header field: a compile-time constant or a varying
+// wire field.
+type SigField struct {
+	Name  string
+	Const bool
+	Val   int64
+}
+
+// Entry finds a layer's entry.
+func (s *WireSig) Entry(layer string) *SigEntry {
+	for i := range s.Entries {
+		if s.Entries[i].Layer == layer {
+			return &s.Entries[i]
+		}
+	}
+	return nil
+}
+
+// Varying lists the varying wire fields in wire order (push order).
+func (s *WireSig) Varying() []ir.QHdr {
+	var out []ir.QHdr
+	for _, e := range s.Entries {
+		for _, f := range e.Fields {
+			if !f.Const {
+				out = append(out, ir.QHdr{Layer: e.Layer, Field: f.Name})
+			}
+		}
+	}
+	return out
+}
+
+// ID hashes the signature into the wire identifier. Both ends compute it
+// from the same composed theorem, so it doubles as a consistency check:
+// a receiver that cannot reconstruct the signature treats the packet as
+// undecodable.
+func (s *WireSig) ID() uint16 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s", s.Path)
+	for _, e := range s.Entries {
+		fmt.Fprintf(h, "|%s.%s", e.Layer, e.Variant)
+		for _, f := range e.Fields {
+			if f.Const {
+				fmt.Fprintf(h, ",%s=%d", f.Name, f.Val)
+			} else {
+				fmt.Fprintf(h, ",%s=*", f.Name)
+			}
+		}
+	}
+	v := h.Sum64()
+	return uint16(v) ^ uint16(v>>16) ^ uint16(v>>32) ^ uint16(v>>48)
+}
+
+// SignatureOf extracts the wire signature from a down-path stack
+// theorem.
+func SignatureOf(th *StackTheorem) WireSig {
+	sig := WireSig{Path: th.Path}
+	for _, h := range th.Headers {
+		e := SigEntry{Layer: h.Layer, Variant: h.Variant}
+		for _, fv := range h.Fields {
+			if c, ok := fv.Val.(ir.Const); ok {
+				e.Fields = append(e.Fields, SigField{Name: fv.Name, Const: true, Val: int64(c)})
+			} else {
+				e.Fields = append(e.Fields, SigField{Name: fv.Name})
+			}
+		}
+		sig.Entries = append(sig.Entries, e)
+	}
+	return sig
+}

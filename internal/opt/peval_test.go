@@ -1,0 +1,220 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"ensemble/internal/ir"
+)
+
+// The partial evaluator's soundness property — the substance of the
+// paper's "all these mechanisms preserve the semantics of a layer's code
+// under the assumption of the CCPs" (§4.1.2) — checked by randomized
+// interpretation: for any expression, any environment, and any fact set
+// *true in that environment*, simplification preserves the value.
+
+type pevalModel struct {
+	scalars map[string]int64
+	arr     []int64
+}
+
+func (m pevalModel) IRVars() []ir.VarSpec {
+	var out []ir.VarSpec
+	for name := range m.scalars {
+		name := name
+		out = append(out, ir.VarSpec{
+			Name: name,
+			Get:  func() int64 { return m.scalars[name] },
+			Set:  func(v int64) { m.scalars[name] = v },
+		})
+	}
+	out = append(out, ir.VarSpec{
+		Name:  "arr",
+		GetAt: func(i int64) int64 { return m.arr[i] },
+		SetAt: func(i, v int64) { m.arr[i] = v },
+	})
+	return out
+}
+
+func pevalFrame(rng *rand.Rand) *ir.Frame {
+	m := pevalModel{
+		scalars: map[string]int64{"va": rng.Int63n(9), "vb": rng.Int63n(9), "vc": rng.Int63n(9)},
+		arr:     []int64{rng.Int63n(9), rng.Int63n(9), rng.Int63n(9)},
+	}
+	b, err := ir.Bind("t", m)
+	if err != nil {
+		panic(err)
+	}
+	return &ir.Frame{
+		B:  b,
+		Ev: ir.EvInfo{Peer: rng.Int63n(3), Len: rng.Int63n(50), Appl: true, Rank: rng.Int63n(3)},
+	}
+}
+
+func pevalExpr(rng *rand.Rand, depth int) ir.Expr {
+	if depth == 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(5) {
+		case 0:
+			return ir.Const(rng.Int63n(7) - 3)
+		case 1:
+			return ir.Var("v" + string(rune('a'+rng.Intn(3))))
+		case 2:
+			return ir.Index{Name: "arr", Idx: ir.Const(rng.Int63n(3))}
+		case 3:
+			return ir.EvField("peer")
+		default:
+			return ir.EvField("len")
+		}
+	}
+	if rng.Intn(8) == 0 {
+		return ir.Not{E: pevalExpr(rng, depth-1)}
+	}
+	ops := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe, ir.OpAnd, ir.OpOr}
+	return ir.Bin{Op: ops[rng.Intn(len(ops))], L: pevalExpr(rng, depth-1), R: pevalExpr(rng, depth-1)}
+}
+
+// boolish forces an expression into 0/1 for comparisons of logical
+// results: comparisons and connectives already are; arithmetic is not.
+func boolish(op ir.Op) bool {
+	switch op {
+	case ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe, ir.OpAnd, ir.OpOr:
+		return true
+	}
+	return false
+}
+
+// trueFactsIn builds a fact set that holds in the frame: equalities of
+// subexpressions to their actual values and truths of boolean
+// subexpressions.
+func trueFactsIn(e ir.Expr, f *ir.Frame, rng *rand.Rand) *Facts {
+	facts := NewFacts()
+	ir.Walk(e, func(x ir.Expr) {
+		if rng.Intn(3) != 0 {
+			return
+		}
+		switch x := x.(type) {
+		case ir.Const:
+		case ir.Bin:
+			if boolish(x.Op) {
+				if ir.Eval(x, f) != 0 {
+					facts.Assume(x)
+				} else {
+					facts.Assume(ir.Not{E: x})
+				}
+				return
+			}
+			facts.AddEq(x, ir.Eval(x, f))
+		default:
+			facts.AddEq(x, ir.Eval(x, f))
+		}
+	})
+	return facts
+}
+
+// TestSimplifySoundness: simplification under true facts preserves
+// logical value (comparisons/connectives) and exact value (arithmetic).
+func TestSimplifySoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 5000; trial++ {
+		f := pevalFrame(rng)
+		e := pevalExpr(rng, 5)
+		facts := trueFactsIn(e, f, rng)
+		simplified := Simplify(e, facts)
+		got, want := ir.Eval(simplified, f), ir.Eval(e, f)
+		// Boolean-context identities (Eq(x,x) → True etc.) preserve
+		// truthiness, not exact integers, for boolean roots; arithmetic
+		// roots must be exact.
+		if b, ok := e.(ir.Bin); ok && boolish(b.Op) {
+			if (got != 0) != (want != 0) {
+				t.Fatalf("trial %d: Simplify changed truth of %s (facts → %s): %d vs %d",
+					trial, e, simplified, got, want)
+			}
+			continue
+		}
+		if _, ok := e.(ir.Not); ok {
+			if (got != 0) != (want != 0) {
+				t.Fatalf("trial %d: Simplify changed truth of %s: %d vs %d", trial, e, got, want)
+			}
+			continue
+		}
+		if got != want {
+			t.Fatalf("trial %d: Simplify changed value of %s (→ %s): %d vs %d",
+				trial, e, simplified, got, want)
+		}
+	}
+}
+
+// TestSimplifyNoFactsIsIdentityOnValue: with no facts, folding alone
+// must preserve values exactly.
+func TestSimplifyNoFactsIsIdentityOnValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	empty := NewFacts()
+	for trial := 0; trial < 5000; trial++ {
+		f := pevalFrame(rng)
+		e := pevalExpr(rng, 5)
+		simplified := Simplify(e, empty)
+		got, want := ir.Eval(simplified, f), ir.Eval(e, f)
+		if b, ok := e.(ir.Bin); ok && boolish(b.Op) {
+			if (got != 0) != (want != 0) {
+				t.Fatalf("trial %d: %s → %s: %d vs %d", trial, e, simplified, got, want)
+			}
+			continue
+		}
+		if _, ok := e.(ir.Not); ok {
+			if (got != 0) != (want != 0) {
+				t.Fatalf("trial %d: %s → %s: %d vs %d", trial, e, simplified, got, want)
+			}
+			continue
+		}
+		if got != want {
+			t.Fatalf("trial %d: %s → %s: %d vs %d", trial, e, simplified, got, want)
+		}
+	}
+}
+
+// TestSimplifyFolds pins specific algebraic identities.
+func TestSimplifyFolds(t *testing.T) {
+	empty := NewFacts()
+	x := ir.Var("va")
+	cases := []struct {
+		in   ir.Expr
+		want string
+	}{
+		{ir.Add(x, ir.Const(0)), "s.va"},
+		{ir.Sub(x, ir.Const(0)), "s.va"},
+		{ir.Sub(x, x), "0"},
+		{ir.Bin{Op: ir.OpMul, L: x, R: ir.Const(1)}, "s.va"},
+		{ir.Bin{Op: ir.OpMul, L: x, R: ir.Const(0)}, "0"},
+		{ir.Eq(x, x), "1"},
+		{ir.Ne(x, x), "0"},
+		{ir.And(ir.True, x), "s.va"},
+		{ir.And(ir.False, x), "0"},
+		{ir.Bin{Op: ir.OpOr, L: ir.True, R: x}, "1"},
+		{ir.Add(ir.Const(2), ir.Const(3)), "5"},
+	}
+	for _, c := range cases {
+		if got := Simplify(c.in, empty).String(); got != c.want {
+			t.Errorf("Simplify(%s) = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+// TestFactsDecomposition: Assume splits conjunctions and extracts
+// constant equalities.
+func TestFactsDecomposition(t *testing.T) {
+	facts := NewFacts()
+	facts.Assume(ir.And(
+		ir.Eq(ir.Var("x"), ir.Const(4)),
+		ir.Lt(ir.Var("y"), ir.Var("z")),
+	))
+	if got := Simplify(ir.Var("x"), facts); got != ir.Const(4) {
+		t.Fatalf("x not rewritten: %s", got)
+	}
+	if got := Simplify(ir.Lt(ir.Var("y"), ir.Var("z")), facts); got != ir.True {
+		t.Fatalf("assumed atom not true: %s", got)
+	}
+	facts.Assume(ir.Not{E: ir.Eq(ir.Var("w"), ir.Var("u"))})
+	if got := Simplify(ir.Eq(ir.Var("w"), ir.Var("u")), facts); got != ir.False {
+		t.Fatalf("negated atom not false: %s", got)
+	}
+}

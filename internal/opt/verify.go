@@ -1,0 +1,352 @@
+package opt
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+
+	"ensemble/internal/ir"
+)
+
+// Verification of derived theorems. In the paper, every rewrite Nuprl
+// performs is accompanied by a proof, so a layer optimization theorem is
+// correct by construction. Our partial evaluator is unverified Go, so we
+// re-check each theorem against the reference semantics instead: for
+// randomized states and events satisfying the CCP, interpreting the
+// layer's full IR must produce exactly the state updates, header, and
+// effects the theorem claims. This catches any divergence between the
+// evaluator's algebra and the interpreter's semantics.
+
+// shadowState is a self-contained variable store used to both drive the
+// interpreter and evaluate theorem expressions.
+type shadowState struct {
+	scalars map[string]int64
+	arrays  map[string][]int64
+}
+
+func newShadow(def *ir.LayerDef, n int, rng *rand.Rand) *shadowState {
+	s := &shadowState{scalars: map[string]int64{}, arrays: map[string][]int64{}}
+	// Discover variables from the IR itself.
+	vars := map[string]bool{}
+	arrays := map[string]bool{}
+	collect := func(e ir.Expr) {
+		ir.Walk(e, func(x ir.Expr) {
+			switch x := x.(type) {
+			case ir.Var:
+				vars[string(x)] = true
+			case ir.Index:
+				arrays[x.Name] = true
+			}
+		})
+	}
+	for _, rules := range def.IR.Paths {
+		for _, r := range rules {
+			collect(r.Guard)
+			for _, a := range r.Actions {
+				switch a := a.(type) {
+				case ir.Assign:
+					collect(a.Target)
+					collect(a.Val)
+				case ir.PushHdr:
+					for _, f := range a.H.Fields {
+						collect(f.Val)
+					}
+				case ir.CallEffect:
+					for _, arg := range a.Args {
+						collect(arg)
+					}
+				}
+			}
+		}
+	}
+	for _, ccp := range def.CCP {
+		collect(ccp)
+	}
+	for v := range vars {
+		s.scalars[v] = rng.Int63n(64)
+	}
+	for a := range arrays {
+		vals := make([]int64, n)
+		for i := range vals {
+			vals[i] = rng.Int63n(64)
+		}
+		s.arrays[a] = vals
+	}
+	return s
+}
+
+func (s *shadowState) clone() *shadowState {
+	cp := &shadowState{scalars: map[string]int64{}, arrays: map[string][]int64{}}
+	for k, v := range s.scalars {
+		cp.scalars[k] = v
+	}
+	for k, v := range s.arrays {
+		cp.arrays[k] = append([]int64(nil), v...)
+	}
+	return cp
+}
+
+// binding adapts the shadow to the interpreter.
+func (s *shadowState) binding(layerName string) *ir.Binding {
+	b, err := ir.Bind(layerName, shadowModel{s})
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+type shadowModel struct{ s *shadowState }
+
+// IRVars implements ir.StateModel over the shadow store.
+func (m shadowModel) IRVars() []ir.VarSpec {
+	var out []ir.VarSpec
+	for name := range m.s.scalars {
+		name := name
+		out = append(out, ir.VarSpec{
+			Name: name,
+			Get:  func() int64 { return m.s.scalars[name] },
+			Set:  func(v int64) { m.s.scalars[name] = v },
+		})
+	}
+	for name := range m.s.arrays {
+		name := name
+		out = append(out, ir.VarSpec{
+			Name:  name,
+			GetAt: func(i int64) int64 { return m.s.arrays[name][i] },
+			SetAt: func(i, v int64) { m.s.arrays[name][i] = v },
+		})
+	}
+	return out
+}
+
+// VerifyLayerTheorem checks a derived theorem against the interpreter on
+// `trials` randomized frames satisfying the CCP. rank must be the rank
+// the theorem was derived for (a view constant baked in as a fact). It
+// returns the number of frames actually exercised (frames that fail the
+// CCP are resampled a bounded number of times).
+func VerifyLayerTheorem(def *ir.LayerDef, th *LayerTheorem, n, rank, trials int, seed int64) (int, error) {
+	rng := rand.New(rand.NewSource(seed))
+	exercised := 0
+	for t := 0; t < trials*8 && exercised < trials; t++ {
+		shadow := newShadow(def, n, rng)
+		ev := ir.EvInfo{
+			Peer: rng.Int63n(int64(n)),
+			Len:  rng.Int63n(256),
+			Appl: true,
+			Rank: int64(rank),
+		}
+		hdr := randomHdrFields(def, th, rng)
+		frameFor := func(s *shadowState) *ir.Frame {
+			return &ir.Frame{B: s.binding(def.Name), Ev: ev, Hdr: hdr}
+		}
+		// Bias the frame toward the CCP: equality and ordering conjuncts
+		// over direct locations are solved by assignment, so most trials
+		// exercise the theorem instead of being resampled away.
+		biasTowards(th.Assumed, shadow, hdr, frameFor(shadow), rng)
+		// Respect the theorem's assumption and any base facts that were
+		// fixed at derivation time (rank equality shows up in the
+		// assumed expression after simplification, so evaluating it is
+		// enough).
+		if ir.Eval(th.Assumed, frameFor(shadow)) == 0 {
+			continue
+		}
+		exercised++
+
+		// Interpreter on a clone = reference behaviour.
+		ref := shadow.clone()
+		out, err := ir.Interp(def, th.Path, frameFor(ref))
+		if err != nil {
+			return exercised, fmt.Errorf("opt: verify %s %s: interp: %w", def.Name, th.Path, err)
+		}
+		if out.Fell {
+			return exercised, fmt.Errorf("opt: verify %s %s: interpreter fell back under CCP (%s)",
+				def.Name, th.Path, out.Reason)
+		}
+
+		// Theorem application: evaluate RHS in pre-state, then apply.
+		thState := shadow.clone()
+		pre := frameFor(shadow) // pre-state frame for RHS evaluation
+		type write struct {
+			target ir.LValue
+			val    int64
+		}
+		var writes []write
+		for _, u := range th.Updates {
+			writes = append(writes, write{target: u.Target, val: ir.Eval(u.Val, pre)})
+		}
+		for _, w := range writes {
+			switch tgt := w.target.(type) {
+			case ir.Var:
+				thState.scalars[string(tgt)] = w.val
+			case ir.Index:
+				thState.arrays[tgt.Name][ir.Eval(tgt.Idx, pre)] = w.val
+			}
+		}
+		if !reflect.DeepEqual(ref.scalars, thState.scalars) || !reflect.DeepEqual(ref.arrays, thState.arrays) {
+			return exercised, fmt.Errorf("opt: verify %s %s: state mismatch\n interp: %v %v\n theorem: %v %v",
+				def.Name, th.Path, ref.scalars, ref.arrays, thState.scalars, thState.arrays)
+		}
+
+		// Header equality.
+		if (th.Push == nil) != (out.Pushed == nil) {
+			return exercised, fmt.Errorf("opt: verify %s %s: push mismatch", def.Name, th.Path)
+		}
+		if th.Push != nil {
+			spec, err := def.HdrSpecByVariant(th.Push.Variant)
+			if err != nil {
+				return exercised, err
+			}
+			vals := make([]int64, len(spec.Fields))
+			byName := map[string]ir.Expr{}
+			for _, f := range th.Push.Fields {
+				byName[f.Name] = f.Val
+			}
+			for i, fname := range spec.Fields {
+				vals[i] = ir.Eval(byName[fname], pre)
+			}
+			want := spec.Make(vals)
+			if !reflect.DeepEqual(out.Pushed, want) {
+				return exercised, fmt.Errorf("opt: verify %s %s: header mismatch: interp %v, theorem %v",
+					def.Name, th.Path, out.Pushed, want)
+			}
+		}
+		if th.Delivered != out.Delivered || th.Bounced != out.Bounced {
+			return exercised, fmt.Errorf("opt: verify %s %s: continuation mismatch", def.Name, th.Path)
+		}
+
+		// Effect equality (names and argument values, in order).
+		if len(th.Effects) != len(out.Effects) {
+			return exercised, fmt.Errorf("opt: verify %s %s: %d effects, interp ran %d",
+				def.Name, th.Path, len(th.Effects), len(out.Effects))
+		}
+		for i, te := range th.Effects {
+			ie := out.Effects[i]
+			if te.Name != ie.Name {
+				return exercised, fmt.Errorf("opt: verify %s %s: effect %d name %q vs %q",
+					def.Name, th.Path, i, te.Name, ie.Name)
+			}
+			for j, arg := range te.Args {
+				if got := ir.Eval(arg, pre); got != ie.Args[j] {
+					return exercised, fmt.Errorf("opt: verify %s %s: effect %s arg %d: theorem %d, interp %d",
+						def.Name, th.Path, te.Name, j, got, ie.Args[j])
+				}
+			}
+		}
+	}
+	if exercised == 0 {
+		return 0, fmt.Errorf("opt: verify %s %s: no random frame satisfied the CCP", def.Name, th.Path)
+	}
+	return exercised, nil
+}
+
+// biasTowards nudges a random frame toward satisfying a CCP: for
+// conjuncts of the form loc == e, loc < e, or loc <= e where loc is a
+// scalar, array element, or header field, the location is assigned a
+// satisfying value. Unsolvable conjuncts are left to resampling.
+func biasTowards(ccp ir.Expr, s *shadowState, hdr map[string]int64, f *ir.Frame, rng *rand.Rand) {
+	assign := func(loc ir.Expr, v int64) bool {
+		switch loc := loc.(type) {
+		case ir.Var:
+			s.scalars[string(loc)] = v
+			return true
+		case ir.Index:
+			s.arrays[loc.Name][ir.Eval(loc.Idx, f)] = v
+			return true
+		case ir.HdrField:
+			hdr[string(loc)] = v
+			return true
+		}
+		return false
+	}
+	var walk func(e ir.Expr)
+	walk = func(e ir.Expr) {
+		b, ok := e.(ir.Bin)
+		if !ok {
+			return
+		}
+		switch b.Op {
+		case ir.OpAnd:
+			walk(b.L)
+			walk(b.R)
+		case ir.OpEq:
+			if assign(b.L, ir.Eval(b.R, f)) {
+				return
+			}
+			assign(b.R, ir.Eval(b.L, f))
+		case ir.OpLt:
+			assign(b.L, ir.Eval(b.R, f)-1-rng.Int63n(3))
+		case ir.OpLe:
+			assign(b.L, ir.Eval(b.R, f)-rng.Int63n(3))
+		}
+	}
+	walk(ccp)
+}
+
+// randomHdrFields synthesizes header-field inputs for up paths: the tag
+// is drawn from the layer's variants (biased toward the one the CCP
+// needs so frames are exercised), other fields random — with a bias
+// toward values satisfying equality conjuncts, supplied by resampling.
+func randomHdrFields(def *ir.LayerDef, th *LayerTheorem, rng *rand.Rand) map[string]int64 {
+	fields := map[string]int64{}
+	names := map[string]bool{}
+	note := func(x ir.Expr) {
+		ir.Walk(x, func(x ir.Expr) {
+			if h, ok := x.(ir.HdrField); ok {
+				names[string(h)] = true
+			}
+		})
+	}
+	note(th.Assumed)
+	for _, rules := range def.IR.Paths {
+		for _, r := range rules {
+			note(r.Guard)
+			for _, a := range r.Actions {
+				switch a := a.(type) {
+				case ir.Assign:
+					note(a.Val)
+					note(a.Target)
+				case ir.PushHdr:
+					for _, fv := range a.H.Fields {
+						note(fv.Val)
+					}
+				case ir.CallEffect:
+					for _, arg := range a.Args {
+						note(arg)
+					}
+				}
+			}
+		}
+	}
+	for nm := range names {
+		fields[nm] = rng.Int63n(64)
+	}
+	if len(def.Hdrs) > 0 {
+		fields["tag"] = def.Hdrs[rng.Intn(len(def.Hdrs))].Tag
+	}
+	return fields
+}
+
+// VerifyAll derives and verifies every theorem of every layer in a
+// stack — the re-checking pass the tool runs before trusting a
+// composition.
+func VerifyAll(names []string, n int, trials int, seed int64) error {
+	base := NewFacts()
+	base.AddEq(ir.EvField("appl"), 1)
+	for _, name := range names {
+		def, err := ir.LookupDef(name)
+		if err != nil {
+			return err
+		}
+		for rank := 0; rank < n; rank++ {
+			rb := base.Clone()
+			rb.AddEq(ir.EvField("rank"), int64(rank))
+			ths, _ := DeriveAll(def, rb)
+			for _, th := range ths {
+				if _, err := VerifyLayerTheorem(def, th, n, rank, trials, seed); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

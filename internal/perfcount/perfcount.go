@@ -1,0 +1,67 @@
+// Package perfcount is the Table 2(a) substrate: where the paper reads
+// the Pentium II's performance-monitoring counters [12], we read what a
+// portable Go process can observe honestly — allocation counts and
+// bytes, GC cycles, and wall time — bracketing an experiment the same
+// way (counter snapshot, run, counter snapshot). The mapping is recorded
+// in DESIGN.md: allocation pressure is the Go-visible face of the
+// paper's "data mem refs"/GC story, and wall time stands in for cycle
+// counts.
+package perfcount
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Sample is one experiment's counter deltas.
+type Sample struct {
+	Wall       time.Duration
+	Mallocs    uint64
+	AllocBytes uint64
+	GCCycles   uint32
+	// PauseTotal is cumulative GC pause time during the run.
+	PauseTotal time.Duration
+}
+
+// Measure brackets run with counter snapshots. The garbage collector is
+// cycled first so the baseline is clean.
+func Measure(run func() error) (Sample, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	if err := run(); err != nil {
+		return Sample{}, err
+	}
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&after)
+	return Sample{
+		Wall:       wall,
+		Mallocs:    after.Mallocs - before.Mallocs,
+		AllocBytes: after.TotalAlloc - before.TotalAlloc,
+		GCCycles:   after.NumGC - before.NumGC,
+		PauseTotal: time.Duration(after.PauseTotalNs - before.PauseTotalNs),
+	}, nil
+}
+
+// PerRound scales a counter to a per-round figure.
+func (s Sample) PerRound(rounds int) Sample {
+	if rounds <= 0 {
+		return s
+	}
+	n := uint64(rounds)
+	return Sample{
+		Wall:       s.Wall / time.Duration(rounds),
+		Mallocs:    s.Mallocs / n,
+		AllocBytes: s.AllocBytes / n,
+		GCCycles:   s.GCCycles, // cycles do not meaningfully divide
+		PauseTotal: s.PauseTotal,
+	}
+}
+
+// String renders the sample compactly.
+func (s Sample) String() string {
+	return fmt.Sprintf("wall=%v mallocs=%d bytes=%d gc=%d pause=%v",
+		s.Wall, s.Mallocs, s.AllocBytes, s.GCCycles, s.PauseTotal)
+}

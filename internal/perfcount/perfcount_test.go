@@ -1,0 +1,55 @@
+package perfcount
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestMeasureCountsAllocations(t *testing.T) {
+	var sink [][]byte
+	s, err := Measure(func() error {
+		for i := 0; i < 1000; i++ {
+			sink = append(sink, make([]byte, 1024))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sink
+	if s.Mallocs < 1000 {
+		t.Fatalf("Mallocs = %d, want >= 1000", s.Mallocs)
+	}
+	if s.AllocBytes < 1000*1024 {
+		t.Fatalf("AllocBytes = %d", s.AllocBytes)
+	}
+	if s.Wall <= 0 {
+		t.Fatal("no wall time measured")
+	}
+}
+
+func TestMeasurePropagatesError(t *testing.T) {
+	want := errors.New("boom")
+	if _, err := Measure(func() error { return want }); !errors.Is(err, want) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPerRound(t *testing.T) {
+	s := Sample{Mallocs: 1000, AllocBytes: 2000, Wall: 3000}
+	p := s.PerRound(10)
+	if p.Mallocs != 100 || p.AllocBytes != 200 || p.Wall != 300 {
+		t.Fatalf("PerRound: %+v", p)
+	}
+	if s.PerRound(0) != s {
+		t.Fatal("PerRound(0) must be identity")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := Sample{Mallocs: 5}
+	if !strings.Contains(s.String(), "mallocs=5") {
+		t.Fatalf("String: %s", s.String())
+	}
+}

@@ -1,0 +1,160 @@
+package spec
+
+import (
+	"fmt"
+)
+
+// The abstract network specifications of Fig. 2, bounded for explicit-
+// state checking: message values range over [0,Msgs), destinations over
+// [0,N), and each (dst,msg) pair may be sent at most once (the standard
+// bounding that keeps the reachable graph finite without changing the
+// per-message delivery discipline being specified).
+
+// FifoNetwork is Fig. 2(a): a single global in-transit queue; Deliver
+// only at the head. Send is an input, Deliver an output.
+type FifoNetwork struct {
+	N, Msgs int
+}
+
+// Name implements Automaton.
+func (f *FifoNetwork) Name() string { return "FifoNetwork" }
+
+// Signature implements Automaton.
+func (f *FifoNetwork) Signature() map[string]Kind {
+	return map[string]Kind{"Send": Input, "Deliver": Output}
+}
+
+// Initial implements Automaton.
+func (f *FifoNetwork) Initial() []State {
+	return []State{&fifoNetState{n: f.N, msgs: f.Msgs}}
+}
+
+type fifoNetState struct {
+	n, msgs int
+	queue   [][2]int // (dst, msg), FIFO
+	sent    map[[2]int]bool
+}
+
+func (s *fifoNetState) Key() string {
+	parts := make([]string, len(s.queue))
+	for i, p := range s.queue {
+		parts[i] = fmt.Sprintf("%d:%d", p[0], p[1])
+	}
+	return KeyOf("q", IntsKey(flattenPairs(s.queue)))
+}
+
+func flattenPairs(ps [][2]int) []int {
+	out := make([]int, 0, 2*len(ps))
+	for _, p := range ps {
+		out = append(out, p[0], p[1])
+	}
+	return out
+}
+
+func (s *fifoNetState) clone() *fifoNetState {
+	cp := &fifoNetState{n: s.n, msgs: s.msgs}
+	cp.queue = append([][2]int(nil), s.queue...)
+	cp.sent = map[[2]int]bool{}
+	for k, v := range s.sent {
+		cp.sent[k] = v
+	}
+	return cp
+}
+
+// Steps implements State: Send(dst,msg) appends (each pair once, to
+// bound the graph); Deliver(dst,msg) dequeues the head.
+func (s *fifoNetState) Steps() []Step {
+	var steps []Step
+	for dst := 0; dst < s.n; dst++ {
+		for m := 0; m < s.msgs; m++ {
+			if s.sent != nil && s.sent[[2]int{dst, m}] {
+				continue
+			}
+			next := s.clone()
+			next.queue = append(next.queue, [2]int{dst, m})
+			next.sent[[2]int{dst, m}] = true
+			steps = append(steps, Step{Ev: Event{Name: "Send", Params: []int{dst, m}}, Next: next})
+		}
+	}
+	if len(s.queue) > 0 {
+		head := s.queue[0]
+		next := s.clone()
+		next.queue = next.queue[1:]
+		steps = append(steps, Step{Ev: Event{Name: "Deliver", Params: []int{head[0], head[1]}}, Next: next})
+	}
+	return steps
+}
+
+// LossyNetwork is Fig. 2(b): an unordered in-transit set; Deliver leaves
+// the element in place (so the network can duplicate); the internal Drop
+// removes it (so the network can lose).
+type LossyNetwork struct {
+	N, Msgs int
+}
+
+// Name implements Automaton.
+func (l *LossyNetwork) Name() string { return "LossyNetwork" }
+
+// Signature implements Automaton.
+func (l *LossyNetwork) Signature() map[string]Kind {
+	return map[string]Kind{"Send": Input, "Deliver": Output, "Drop": Internal}
+}
+
+// Initial implements Automaton.
+func (l *LossyNetwork) Initial() []State {
+	return []State{&lossyNetState{n: l.N, msgs: l.Msgs, inTransit: map[[2]int]bool{}, sent: map[[2]int]bool{}}}
+}
+
+type lossyNetState struct {
+	n, msgs   int
+	inTransit map[[2]int]bool
+	sent      map[[2]int]bool
+}
+
+func (s *lossyNetState) Key() string {
+	var pairs [][2]int
+	for p := range s.inTransit {
+		pairs = append(pairs, p)
+	}
+	var sentPairs [][2]int
+	for p := range s.sent {
+		sentPairs = append(sentPairs, p)
+	}
+	return KeyOf("t", PairsKey(pairs), "s", PairsKey(sentPairs))
+}
+
+func (s *lossyNetState) clone() *lossyNetState {
+	cp := &lossyNetState{n: s.n, msgs: s.msgs, inTransit: map[[2]int]bool{}, sent: map[[2]int]bool{}}
+	for k := range s.inTransit {
+		cp.inTransit[k] = true
+	}
+	for k := range s.sent {
+		cp.sent[k] = true
+	}
+	return cp
+}
+
+// Steps implements State.
+func (s *lossyNetState) Steps() []Step {
+	var steps []Step
+	for dst := 0; dst < s.n; dst++ {
+		for m := 0; m < s.msgs; m++ {
+			if s.sent[[2]int{dst, m}] {
+				continue
+			}
+			next := s.clone()
+			next.inTransit[[2]int{dst, m}] = true
+			next.sent[[2]int{dst, m}] = true
+			steps = append(steps, Step{Ev: Event{Name: "Send", Params: []int{dst, m}}, Next: next})
+		}
+	}
+	for p := range s.inTransit {
+		// Deliver without removing: duplication.
+		steps = append(steps, Step{Ev: Event{Name: "Deliver", Params: []int{p[0], p[1]}}, Next: s.clone()})
+		// Drop: loss.
+		next := s.clone()
+		delete(next.inTransit, p)
+		steps = append(steps, Step{Ev: Event{Name: "Drop", Params: []int{p[0], p[1]}}, Next: next})
+	}
+	return steps
+}

@@ -1,0 +1,127 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+// Direct automaton-level tests of the Fig. 2 specifications and the
+// total-order automata; the refinement relations between them are
+// checked in internal/check.
+
+func findStep(t *testing.T, s State, key string) State {
+	t.Helper()
+	for _, st := range s.Steps() {
+		if st.Ev.Key() == key {
+			return st.Next
+		}
+	}
+	t.Fatalf("no step %s from %s", key, s.Key())
+	return nil
+}
+
+func hasStep(s State, key string) bool {
+	for _, st := range s.Steps() {
+		if st.Ev.Key() == key {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFifoNetworkSendOncePerPair(t *testing.T) {
+	fn := &FifoNetwork{N: 2, Msgs: 2}
+	s := fn.Initial()[0]
+	s = findStep(t, s, "Send(1,0)")
+	if hasStep(s, "Send(1,0)") {
+		t.Fatal("bounded FIFO network accepted a duplicate send")
+	}
+	if !hasStep(s, "Send(0,0)") || !hasStep(s, "Send(1,1)") {
+		t.Fatal("other sends must stay enabled")
+	}
+}
+
+func TestLossyNetworkDropIsSilent(t *testing.T) {
+	ln := &LossyNetwork{N: 1, Msgs: 1}
+	s := ln.Initial()[0]
+	s = findStep(t, s, "Send(0,0)")
+	s = findStep(t, s, "Drop(0,0)")
+	if hasStep(s, "Deliver(0,0)") {
+		t.Fatal("dropped message still deliverable")
+	}
+	// And the bounded send is spent: total silence is a valid execution.
+	if hasStep(s, "Send(0,0)") {
+		t.Fatal("drop refunded the bounded send")
+	}
+}
+
+func TestTotalNetworkAgreesAcrossProcesses(t *testing.T) {
+	tn := &TotalNetwork{N: 2, MsgsPerSender: 1}
+	s := tn.Initial()[0]
+	s = findStep(t, s, "Cast(0,0)")
+	s = findStep(t, s, "Cast(1,0)")
+	// Until ordered, nothing delivers.
+	if hasStep(s, "Deliver(0,0,0)") || hasStep(s, "Deliver(0,1,0)") {
+		t.Fatal("delivery before ordering")
+	}
+	// Order (1,0) first: every process must now deliver it first.
+	s = findStep(t, s, "Order(1)") // msg id 1 = (sender 1, idx 0)
+	for q := 0; q < 2; q++ {
+		if hasStep(s, "Deliver("+string(rune('0'+q))+",0,0)") {
+			t.Fatalf("process %d could deliver the unordered message first", q)
+		}
+	}
+	s2 := findStep(t, s, "Deliver(0,1,0)")
+	_ = findStep(t, s2, "Deliver(1,1,0)")
+}
+
+func TestTotalProtocolSequencerSelfStamps(t *testing.T) {
+	tp := &TotalProtocol{N: 2, MsgsPerSender: 1, Orderly: true}
+	s := tp.Initial()[0]
+	s = findStep(t, s, "Cast(0,0)")
+	// The sequencer can deliver its own cast immediately.
+	if !hasStep(s, "Deliver(0,0,0)") {
+		t.Fatal("sequencer cannot deliver its own stamped cast")
+	}
+	// The other member must first receive data and learn the order.
+	if hasStep(s, "Deliver(1,0,0)") {
+		t.Fatal("member 1 delivered without data or order")
+	}
+	s = findStep(t, s, "xfer(0,1,0)")  // data reaches member 1
+	s = findStep(t, s, "learn(1,0)")   // announcement reaches member 1
+	_ = findStep(t, s, "Deliver(1,0,0)")
+}
+
+func TestTotalProtocolCompleted(t *testing.T) {
+	tp := &TotalProtocol{N: 1, MsgsPerSender: 1, Orderly: true}
+	s := tp.Initial()[0]
+	if tp.Completed(s) {
+		t.Fatal("initial state completed")
+	}
+	s = findStep(t, s, "Cast(0,0)")
+	s = findStep(t, s, "Deliver(0,0,0)")
+	if !tp.Completed(s) {
+		t.Fatal("all-delivered state not completed")
+	}
+	if len(s.Steps()) != 0 {
+		t.Fatal("completed singleton instance still has steps")
+	}
+}
+
+func TestKeysAreCanonical(t *testing.T) {
+	// Two different interleavings reaching the same logical state must
+	// produce the same key (the visited-set relies on it).
+	ln := &LossyNetwork{N: 2, Msgs: 2}
+	a := ln.Initial()[0]
+	a = findStep(t, a, "Send(0,0)")
+	a = findStep(t, a, "Send(1,1)")
+	b := ln.Initial()[0]
+	b = findStep(t, b, "Send(1,1)")
+	b = findStep(t, b, "Send(0,0)")
+	if a.Key() != b.Key() {
+		t.Fatalf("keys differ for identical states:\n%s\n%s", a.Key(), b.Key())
+	}
+	if !strings.Contains(a.Key(), "0:0") {
+		t.Fatalf("key lacks content: %s", a.Key())
+	}
+}

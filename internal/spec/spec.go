@@ -1,0 +1,114 @@
+// Package spec is the I/O-automaton specification framework of §3:
+// behavioural specifications of networks and protocols as state machines
+// with event-condition-action rules. Abstract specifications (the
+// FifoNetwork and LossyNetwork of Fig. 2) use global state and are not
+// executable; concrete specifications (the FifoProtocol of Fig. 3) only
+// involve state and events local to one participant and compose with a
+// network automaton by tying events together. The check package verifies
+// trace inclusion between compositions and abstract specifications on
+// bounded instances — the role Nuprl proofs play in the paper.
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies an action in an automaton's signature.
+type Kind int8
+
+const (
+	// Input actions are controlled by the environment; IOA requires
+	// automata to be input-enabled.
+	Input Kind = iota
+	// Output actions are controlled by the automaton and visible.
+	Output
+	// Internal actions are controlled by the automaton and hidden.
+	Internal
+)
+
+// Event is one action instance: a name and its parameters.
+type Event struct {
+	Name   string
+	Params []int
+}
+
+// String renders e.g. Send(1,0).
+func (e Event) String() string {
+	if len(e.Params) == 0 {
+		return e.Name
+	}
+	parts := make([]string, len(e.Params))
+	for i, p := range e.Params {
+		parts[i] = fmt.Sprintf("%d", p)
+	}
+	return fmt.Sprintf("%s(%s)", e.Name, strings.Join(parts, ","))
+}
+
+// Key is the canonical form used to match events across automata.
+func (e Event) Key() string { return e.String() }
+
+// Step is one transition: the event taken and the successor state.
+type Step struct {
+	Ev   Event
+	Next State
+}
+
+// State is one automaton state. Key must canonically encode the state:
+// two states are identical iff their keys are equal.
+type State interface {
+	Key() string
+	// Steps enumerates every enabled transition from this state.
+	Steps() []Step
+}
+
+// Automaton is a (bounded) I/O automaton.
+type Automaton interface {
+	Name() string
+	// Initial returns the initial states.
+	Initial() []State
+	// Signature maps each action name to its kind. Parameters are not
+	// part of the signature; all instances of a name share its kind.
+	Signature() map[string]Kind
+}
+
+// ActionKind looks up an action's kind, defaulting to Internal for
+// names outside the signature (convenient for composed automata that
+// hide tied actions).
+func ActionKind(a Automaton, name string) Kind {
+	if k, ok := a.Signature()[name]; ok {
+		return k
+	}
+	return Internal
+}
+
+// External reports whether an event is externally visible for the
+// automaton (input or output).
+func External(a Automaton, ev Event) bool {
+	return ActionKind(a, ev.Name) != Internal
+}
+
+// --- generic helpers for building state keys ---
+
+// KeyOf renders a labeled sequence of key parts.
+func KeyOf(parts ...string) string { return strings.Join(parts, "|") }
+
+// IntsKey renders an int slice compactly.
+func IntsKey(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = fmt.Sprintf("%d", x)
+	}
+	return strings.Join(parts, ",")
+}
+
+// PairsKey renders a sorted multiset of pairs.
+func PairsKey(ps [][2]int) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		parts[i] = fmt.Sprintf("%d:%d", p[0], p[1])
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,138 @@
+package stack
+
+import (
+	"ensemble/internal/event"
+	"ensemble/internal/layer"
+)
+
+// funcStack is the functional execution model (paper §4.2, version 2):
+// no centralized event scheduler. When two protocols are stacked, p on
+// top of q, the result is a new protocol: down events are applied to p;
+// the down events that come out of p are applied to q, and the up events
+// that come out of q are applied back to p, recursively. The up events
+// out of p and the down events out of q merge to form the output. The
+// state of the composition is the combined states, and an entire stack is
+// composed one layer at a time this way.
+
+// proto is a protocol in the functional model: applying an event yields
+// the lists of up- and down-going output events.
+type proto interface {
+	Up(ev *event.Event) (ups, dns []*event.Event)
+	Dn(ev *event.Event) (ups, dns []*event.Event)
+}
+
+// funcLayer adapts one layer state to the functional interface.
+type funcLayer struct {
+	st layer.State
+}
+
+// collector gathers handler emissions into fresh slices — the allocation
+// per boundary crossing is intrinsic to the functional model and is the
+// reason FUNC trails IMP in Table 1.
+type collector struct {
+	ups, dns []*event.Event
+}
+
+func (c *collector) PassUp(ev *event.Event) { c.ups = append(c.ups, ev) }
+func (c *collector) PassDn(ev *event.Event) { c.dns = append(c.dns, ev) }
+
+func (l funcLayer) Up(ev *event.Event) ([]*event.Event, []*event.Event) {
+	var c collector
+	l.st.HandleUp(ev, &c)
+	return c.ups, c.dns
+}
+
+func (l funcLayer) Dn(ev *event.Event) ([]*event.Event, []*event.Event) {
+	var c collector
+	l.st.HandleDn(ev, &c)
+	return c.ups, c.dns
+}
+
+// comp is the composition of p stacked on top of q.
+type comp struct {
+	p, q proto
+}
+
+func (c comp) Dn(ev *event.Event) (ups, dns []*event.Event) {
+	pu, pd := c.p.Dn(ev)
+	ups = pu
+	for _, d := range pd {
+		du, dd := c.dnIntoLower(d)
+		ups = append(ups, du...)
+		dns = append(dns, dd...)
+	}
+	return ups, dns
+}
+
+func (c comp) Up(ev *event.Event) (ups, dns []*event.Event) {
+	qu, qd := c.q.Up(ev)
+	dns = qd
+	for _, u := range qu {
+		uu, ud := c.upIntoUpper(u)
+		ups = append(ups, uu...)
+		dns = append(dns, ud...)
+	}
+	return ups, dns
+}
+
+// dnIntoLower applies a down event to q and recursively feeds q's up
+// events back into p.
+func (c comp) dnIntoLower(d *event.Event) (ups, dns []*event.Event) {
+	qu, qd := c.q.Dn(d)
+	dns = qd
+	for _, u := range qu {
+		uu, ud := c.upIntoUpper(u)
+		ups = append(ups, uu...)
+		dns = append(dns, ud...)
+	}
+	return ups, dns
+}
+
+// upIntoUpper applies an up event to p and recursively feeds p's down
+// events back into q.
+func (c comp) upIntoUpper(u *event.Event) (ups, dns []*event.Event) {
+	pu, pd := c.p.Up(u)
+	ups = pu
+	for _, d := range pd {
+		du, dd := c.dnIntoLower(d)
+		ups = append(ups, du...)
+		dns = append(dns, dd...)
+	}
+	return ups, dns
+}
+
+type funcStack struct {
+	states []layer.State
+	top    proto
+	cb     Callbacks
+}
+
+func newFuncStack(states []layer.State, cb Callbacks) *funcStack {
+	// Fold the layers top-first: ((L0 over L1) over L2) ...
+	var p proto = funcLayer{st: states[0]}
+	for _, st := range states[1:] {
+		p = comp{p: p, q: funcLayer{st: st}}
+	}
+	return &funcStack{states: states, top: p, cb: cb}
+}
+
+func (s *funcStack) States() []layer.State { return s.states }
+
+func (s *funcStack) SubmitDn(ev *event.Event) {
+	ups, dns := s.top.Dn(ev)
+	s.route(ups, dns)
+}
+
+func (s *funcStack) DeliverUp(ev *event.Event) {
+	ups, dns := s.top.Up(ev)
+	s.route(ups, dns)
+}
+
+func (s *funcStack) route(ups, dns []*event.Event) {
+	for _, u := range ups {
+		s.cb.app(u)
+	}
+	for _, d := range dns {
+		s.cb.net(d)
+	}
+}

@@ -1,0 +1,159 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"ensemble/internal/event"
+)
+
+// HeaderCodec serializes one layer's headers. Each micro-protocol
+// component registers a codec for the header types it pushes; the
+// transport walks a message's header stack and dispatches on layer name
+// when marshaling, and on the wire-level layer id when unmarshaling.
+type HeaderCodec struct {
+	// Layer is the component name the codec belongs to.
+	Layer string
+	// ID is the wire identifier; stable across processes because layers
+	// register in init with fixed ids.
+	ID byte
+	// Encode appends the header body to w.
+	Encode func(h event.Header, w *Writer)
+	// Decode reads one header body from r.
+	Decode func(r *Reader) (event.Header, error)
+}
+
+var (
+	codecMu      sync.RWMutex
+	codecByLayer = map[string]*HeaderCodec{}
+	codecByID    = map[byte]*HeaderCodec{}
+)
+
+// RegisterCodec installs a header codec. Duplicate layer names or wire
+// ids panic: they are component-library configuration bugs.
+func RegisterCodec(c HeaderCodec) {
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	if _, dup := codecByLayer[c.Layer]; dup {
+		panic(fmt.Sprintf("transport: duplicate codec for layer %q", c.Layer))
+	}
+	if prev, dup := codecByID[c.ID]; dup {
+		panic(fmt.Sprintf("transport: codec id %d used by both %q and %q", c.ID, prev.Layer, c.Layer))
+	}
+	cc := c
+	codecByLayer[c.Layer] = &cc
+	codecByID[c.ID] = &cc
+}
+
+func lookupCodecByLayer(name string) (*HeaderCodec, error) {
+	codecMu.RLock()
+	defer codecMu.RUnlock()
+	c, ok := codecByLayer[name]
+	if !ok {
+		return nil, fmt.Errorf("transport: no codec registered for layer %q", name)
+	}
+	return c, nil
+}
+
+func lookupCodecByID(id byte) (*HeaderCodec, error) {
+	codecMu.RLock()
+	defer codecMu.RUnlock()
+	c, ok := codecByID[id]
+	if !ok {
+		return nil, fmt.Errorf("transport: no codec registered for wire id %d", id)
+	}
+	return c, nil
+}
+
+// Wire format of a full (uncompressed) message:
+//
+//	magic      byte    = wireFull
+//	evType     byte
+//	sender     varint  (sender's rank; the destination is carried by the
+//	                    network, and the receive path needs the origin)
+//	applMsg    bool
+//	nhdrs      uvarint
+//	headers    nhdrs × { layerID byte, body }   (outermost first)
+//	payload    rest
+//
+// The compressed format (compress.go) replaces everything before the
+// payload with a short prefix plus the varying header fields.
+const (
+	wireFull       = 0x01
+	wireCompressed = 0xC0
+)
+
+// WireCompressed is the magic byte of the compressed format, exported so
+// receive paths can dispatch between the full decoder and a generated
+// uncompressor.
+const WireCompressed = wireCompressed
+
+// Marshal serializes an event for the network. sender is this process's
+// rank in the current view; the receive path surfaces it as the event's
+// origin. The header stack is written outermost (bottom layer) first so
+// that the receive path can pop headers as it decodes.
+func Marshal(ev *event.Event, sender int, w *Writer) error {
+	w.Reset()
+	w.Byte(wireFull)
+	w.Byte(byte(ev.Type))
+	w.Varint(int64(sender))
+	w.Bool(ev.ApplMsg)
+	w.Uvarint(uint64(len(ev.Msg.Headers)))
+	// Headers[len-1] is the most recently pushed (the bottom layer's):
+	// that is the outermost header and must be decoded first.
+	for i := len(ev.Msg.Headers) - 1; i >= 0; i-- {
+		h := ev.Msg.Headers[i]
+		c, err := lookupCodecByLayer(h.Layer())
+		if err != nil {
+			return err
+		}
+		w.Byte(c.ID)
+		c.Encode(h, w)
+	}
+	w.SetPayload(ev.Msg.Payload)
+	return nil
+}
+
+// Unmarshal decodes a wire image produced by Marshal into a fresh
+// up-going event whose Peer is the sender's rank. The header stack is
+// rebuilt so that the outermost header is on top (popped first by the
+// bottom layer).
+func Unmarshal(buf []byte) (*event.Event, error) {
+	r := NewReader(buf)
+	if m := r.Byte(); m != wireFull {
+		return nil, ErrBadWire("magic %#x, want %#x", m, wireFull)
+	}
+	ev := event.Alloc()
+	ev.Dir = event.Up
+	ev.Type = event.Type(r.Byte())
+	ev.Peer = int(r.Varint())
+	ev.ApplMsg = r.Bool()
+	n := r.Uvarint()
+	if n > 64 {
+		event.Free(ev)
+		return nil, ErrBadWire("implausible header count %d", n)
+	}
+	hdrs := make([]event.Header, n)
+	// Decoded outermost-first; store so the outermost ends at the top of
+	// the stack (highest index).
+	for i := int(n) - 1; i >= 0; i-- {
+		c, err := lookupCodecByID(r.Byte())
+		if err != nil {
+			event.Free(ev)
+			return nil, err
+		}
+		h, err := c.Decode(r)
+		if err != nil {
+			event.Free(ev)
+			return nil, err
+		}
+		hdrs[i] = h
+	}
+	ev.Msg.Headers = hdrs
+	ev.Msg.Payload = r.Rest()
+	if err := r.Err(); err != nil {
+		event.Free(ev)
+		return nil, err
+	}
+	return ev, nil
+}
