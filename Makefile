@@ -1,0 +1,37 @@
+# Ensemble reproduction — common development targets.
+
+GO ?= go
+
+.PHONY: all build test race bench bench-throughput pooldebug clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race also vets: the engine and stacks are single-threaded by design,
+# so the race detector plus vet is the cheap way to catch glue that
+# violates that assumption.
+race:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# The paper-table benchmarks (Tables 1, 2 and Figure 6).
+bench:
+	$(GO) test -run xxx -bench . -benchtime 2000x .
+
+# The sustained-throughput gate: the 10-layer cast path must report
+# 0 allocs/op for IMP, FUNC and MACH (see EXPERIMENTS.md).
+bench-throughput:
+	$(GO) test -run xxx -bench BenchmarkThroughput -benchtime 5000x .
+
+# The full test suite with pool debugging forced on everywhere.
+pooldebug:
+	ENSEMBLE_POOLDEBUG=1 $(GO) test ./...
+
+clean:
+	$(GO) clean
+	rm -f ensemble.test *.prof

@@ -72,6 +72,52 @@ func benchCounters(b *testing.B, cfg bench.Config) {
 func BenchmarkTable2a_OriginalStack(b *testing.B)  { benchCounters(b, bench.IMP) }
 func BenchmarkTable2a_OptimizedStack(b *testing.B) { benchCounters(b, bench.MACH) }
 
+// Sustained throughput: steady-state cast rounds with the transport on
+// the measured path — the regression gate for the zero-allocation data
+// path (§4, item 1: avoiding garbage-collection cycles). allocs/op and
+// B/op cover only the timed region (setup is excluded by ResetTimer);
+// the expectation for the steady state is 0 allocs/op.
+
+func benchThroughput(b *testing.B, cfg bench.Config, names []string, size int) {
+	b.Helper()
+	r, err := bench.NewThroughputRunner(cfg, names, size)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.Run(512) // reach steady state: pools warm, windows open
+	before := r.Delivered()
+	b.ReportAllocs()
+	b.ResetTimer()
+	r.Run(b.N)
+	b.StopTimer()
+	if got := r.Delivered() - before; got < b.N {
+		b.Fatalf("%d rounds but only %d deliveries", b.N, got)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msgs/sec")
+}
+
+func BenchmarkThroughput_10Layer_IMP(b *testing.B) {
+	benchThroughput(b, bench.IMP, layers.Stack10(), 4)
+}
+func BenchmarkThroughput_10Layer_FUNC(b *testing.B) {
+	benchThroughput(b, bench.FUNC, layers.Stack10(), 4)
+}
+func BenchmarkThroughput_10Layer_MACH(b *testing.B) {
+	benchThroughput(b, bench.MACH, layers.Stack10(), 4)
+}
+func BenchmarkThroughput_4Layer_IMP(b *testing.B) {
+	benchThroughput(b, bench.IMP, layers.Stack4(), 4)
+}
+func BenchmarkThroughput_4Layer_FUNC(b *testing.B) {
+	benchThroughput(b, bench.FUNC, layers.Stack4(), 4)
+}
+func BenchmarkThroughput_4Layer_MACH(b *testing.B) {
+	benchThroughput(b, bench.MACH, layers.Stack4(), 4)
+}
+func BenchmarkThroughput_4Layer_HAND(b *testing.B) {
+	benchThroughput(b, bench.HAND, layers.Stack4(), 4)
+}
+
 // §4.2: the common-case-predicate check itself ("checking the CCPs takes
 // only about 3 µs" on the paper's hardware).
 

@@ -36,7 +36,9 @@ func main() {
 	for m := 0; m < 2; m++ {
 		m := m
 		engines[m].SendWire = func(cast bool, dst int, wire []byte) {
-			engines[1-m].Packet(wire)
+			// The wire image is only valid during this callback: snapshot
+			// it before delivering (delivery can trigger further sends).
+			engines[1-m].Packet(append([]byte(nil), wire...))
 		}
 	}
 

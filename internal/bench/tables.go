@@ -133,7 +133,7 @@ func MeasureCounters(cfg Config, names []string, size, rounds int) (Counters, er
 					if err := transport.Marshal(ev, 0, &wbuf); err != nil {
 						return err
 					}
-					wire := wbuf.Bytes()
+					wire := wbuf.Seal()
 					event.Free(ev)
 					c.WireBytes += int64(len(wire))
 					up, err := transport.Unmarshal(wire)

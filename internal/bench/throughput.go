@@ -1,0 +1,306 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"ensemble/internal/event"
+	"ensemble/internal/layer"
+	"ensemble/internal/layers"
+	"ensemble/internal/opt"
+	"ensemble/internal/perfcount"
+	"ensemble/internal/stack"
+	"ensemble/internal/transport"
+)
+
+// The sustained-throughput harness complements the code-latency tables:
+// where Table 1 times individual segments with the network factored out,
+// this drives back-to-back steady-state cast rounds — submit, marshal,
+// wire, unmarshal, deliver, plus the periodic housekeeping sweeps — and
+// reports messages per second and allocation pressure. It is the
+// regression gate for the paper's first optimization (§4, item 1:
+// avoiding garbage-collection cycles): the steady-state data path is
+// expected to run allocation-free.
+
+// ThroughputRunner drives steady-state cast rounds between a rank-0
+// sender and a rank-1 receiver under one configuration. Construction
+// (stack build, bypass compilation) is separated from Run so benchmarks
+// can exclude setup from the timed region.
+type ThroughputRunner struct {
+	cfg       Config
+	payload   []byte
+	delivered int
+
+	submit func()
+	sweep  func(now int64)
+	rounds int
+}
+
+// wirePump moves marshaled packets between the two members without
+// recursion: a send snapshots the wire into a recycled buffer (the
+// sender's marshal buffer is reused, so the image is only valid during
+// the call) and the outermost send drains the queue. Queue slots and
+// buffers are recycled, so the steady state allocates nothing, and a
+// packet's buffer is only reused after its delivery has returned —
+// every longer-lived reference (retransmission buffers, reassembly) is
+// copied by the buffering layer that keeps it.
+type wirePump struct {
+	pending []wireItem
+	head    int
+	spare   [][]byte
+	active  bool
+	deliver func(to int, wire []byte)
+}
+
+type wireItem struct {
+	to  int
+	buf []byte
+}
+
+func (p *wirePump) send(to int, wire []byte) {
+	var buf []byte
+	if n := len(p.spare); n > 0 {
+		buf = p.spare[n-1]
+		p.spare = p.spare[:n-1]
+	}
+	p.pending = append(p.pending, wireItem{to: to, buf: append(buf[:0], wire...)})
+	if p.active {
+		return
+	}
+	p.active = true
+	for p.head < len(p.pending) {
+		it := p.pending[p.head]
+		p.pending[p.head] = wireItem{}
+		p.head++
+		p.deliver(it.to, it.buf)
+		p.spare = append(p.spare, it.buf)
+	}
+	p.pending = p.pending[:0]
+	p.head = 0
+	p.active = false
+}
+
+// NewThroughputRunner builds the two-member system for cfg.
+func NewThroughputRunner(cfg Config, names []string, size int) (*ThroughputRunner, error) {
+	r := &ThroughputRunner{cfg: cfg, payload: make([]byte, size)}
+	switch cfg {
+	case IMP, FUNC:
+		mode := stack.Imp
+		if cfg == FUNC {
+			mode = stack.Func
+		}
+		if err := r.initStacks(names, mode); err != nil {
+			return nil, err
+		}
+	case MACH:
+		if err := r.initMach(names); err != nil {
+			return nil, err
+		}
+	case HAND:
+		if err := r.initHand(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("bench: unknown config %d", cfg)
+	}
+	return r, nil
+}
+
+// initStacks wires two plain stacks back to back over an in-process
+// perfect link: every outgoing data event is marshaled and pumped into
+// the peer, so the transport is on the measured path (unlike the
+// latency harness, which times it separately).
+func (r *ThroughputRunner) initStacks(names []string, mode stack.Mode) error {
+	var stks [2]stack.Stack
+	var wbufs [2]transport.Writer
+	pump := &wirePump{deliver: func(to int, wire []byte) {
+		up, err := transport.Unmarshal(wire)
+		if err != nil {
+			panic(fmt.Sprintf("bench: unmarshal: %v", err))
+		}
+		stks[to].DeliverUp(up)
+	}}
+	for m := 0; m < 2; m++ {
+		m := m
+		cfg := layer.DefaultConfig(benchView(2, m))
+		stk, err := stack.Build(names, cfg, mode, stack.Callbacks{
+			App: func(ev *event.Event) {
+				if (ev.Type == event.ECast || ev.Type == event.ESend) && ev.ApplMsg {
+					r.delivered++
+				}
+			},
+			Net: func(ev *event.Event) {
+				if ev.Type != event.ECast && ev.Type != event.ESend {
+					return
+				}
+				if err := transport.Marshal(ev, m, &wbufs[m]); err != nil {
+					panic(fmt.Sprintf("bench: marshal: %v", err))
+				}
+				pump.send(1-m, wbufs[m].Seal())
+			},
+		})
+		if err != nil {
+			return err
+		}
+		stks[m] = stk
+	}
+	r.submit = func() { stks[0].SubmitDn(event.CastEv(r.payload)) }
+	r.sweep = func(now int64) {
+		stks[0].DeliverUp(event.TimerEv(now))
+		stks[1].DeliverUp(event.TimerEv(now))
+	}
+	return nil
+}
+
+func (r *ThroughputRunner) initMach(names []string) error {
+	var engs [2]*opt.Engine
+	pump := &wirePump{deliver: func(to int, wire []byte) { engs[to].Packet(wire) }}
+	for m := 0; m < 2; m++ {
+		m := m
+		eng, err := opt.NewEngine(names, layer.DefaultConfig(benchView(2, m)), stack.Func)
+		if err != nil {
+			return err
+		}
+		eng.Deliver = func(int, []byte, bool) { r.delivered++ }
+		eng.SendWire = func(cast bool, dst int, wire []byte) {
+			to := dst
+			if cast {
+				to = 1 - m
+			}
+			pump.send(to, wire)
+		}
+		engs[m] = eng
+	}
+	r.submit = func() { engs[0].Cast(r.payload) }
+	r.sweep = func(now int64) {
+		engs[0].Timer(now)
+		engs[1].Timer(now)
+	}
+	return nil
+}
+
+func (r *ThroughputRunner) initHand() error {
+	var hands [2]*layers.HandEngine
+	pump := &wirePump{deliver: func(to int, wire []byte) { hands[to].Packet(wire) }}
+	for m := 0; m < 2; m++ {
+		m := m
+		h, err := layers.NewHandEngine(layer.DefaultConfig(benchView(2, m)), stack.Func)
+		if err != nil {
+			return err
+		}
+		h.Deliver = func(int, []byte, bool) { r.delivered++ }
+		h.SendWire = func(cast bool, dst int, wire []byte) {
+			to := dst
+			if cast {
+				to = 1 - m
+			}
+			pump.send(to, wire)
+		}
+		hands[m] = h
+	}
+	r.submit = func() { hands[0].Cast(r.payload) }
+	r.sweep = func(now int64) {
+		hands[0].Timer(now)
+		hands[1].Timer(now)
+	}
+	return nil
+}
+
+// Run drives n cast rounds, sweeping the housekeeping timers every 256
+// rounds as the latency harness does (stability gossip keeps the
+// retransmission buffers garbage-collected during long runs).
+func (r *ThroughputRunner) Run(n int) {
+	for i := 0; i < n; i++ {
+		r.submit()
+		r.rounds++
+		if r.rounds%256 == 0 {
+			r.sweep(int64(r.rounds) * int64(1e6))
+		}
+	}
+}
+
+// Delivered reports application deliveries observed so far (two per
+// round for stacks with self-delivery, one otherwise).
+func (r *ThroughputRunner) Delivered() int { return r.delivered }
+
+// Throughput is one sustained run's result.
+type Throughput struct {
+	Config    Config
+	Layers    int
+	Size      int
+	Rounds    int
+	Delivered int
+	Wall      time.Duration
+	// MsgsPerSec counts sender cast rounds completed per second (each
+	// round carries one payload end to end).
+	MsgsPerSec float64
+	// AllocsPerMsg and AllocBytesPerMsg are the steady-state allocation
+	// pressure per round; the zero-allocation goal is AllocsPerMsg < 1.
+	AllocsPerMsg     float64
+	AllocBytesPerMsg float64
+	GCCycles         uint32
+}
+
+// MeasureThroughput runs `rounds` steady-state cast rounds of
+// `size`-byte messages and reports throughput plus allocation counters.
+// A warmup of 512 rounds runs first so pools and windows reach steady
+// state before the bracketed measurement.
+func MeasureThroughput(cfg Config, names []string, size, rounds int) (Throughput, error) {
+	r, err := NewThroughputRunner(cfg, names, size)
+	if err != nil {
+		return Throughput{}, err
+	}
+	r.Run(512)
+	base := r.Delivered()
+	smp, err := perfcount.Measure(func() error { r.Run(rounds); return nil })
+	if err != nil {
+		return Throughput{}, err
+	}
+	got := r.Delivered() - base
+	if got < rounds {
+		return Throughput{}, fmt.Errorf("bench: %d rounds but only %d deliveries", rounds, got)
+	}
+	n := float64(rounds)
+	return Throughput{
+		Config:           cfg,
+		Layers:           len(names),
+		Size:             size,
+		Rounds:           rounds,
+		Delivered:        got,
+		Wall:             smp.Wall,
+		MsgsPerSec:       n / smp.Wall.Seconds(),
+		AllocsPerMsg:     float64(smp.Mallocs) / n,
+		AllocBytesPerMsg: float64(smp.AllocBytes) / n,
+		GCCycles:         smp.GCCycles,
+	}, nil
+}
+
+// ThroughputTable renders the sustained-throughput comparison across
+// configurations and both evaluation stacks.
+func ThroughputTable(rounds int) (string, error) {
+	type row struct {
+		cfg   Config
+		names []string
+		label string
+	}
+	rows := []row{
+		{IMP, layers.Stack10(), "10-layer"},
+		{FUNC, layers.Stack10(), "10-layer"},
+		{MACH, layers.Stack10(), "10-layer"},
+		{IMP, layers.Stack4(), "4-layer"},
+		{FUNC, layers.Stack4(), "4-layer"},
+		{MACH, layers.Stack4(), "4-layer"},
+		{HAND, layers.Stack4(), "4-layer"},
+	}
+	out := "Sustained throughput, 4-byte casts (steady state):\n"
+	out += fmt.Sprintf("%-10s %-6s %12s %12s %14s\n", "stack", "cfg", "msgs/sec", "allocs/msg", "allocB/msg")
+	for _, rw := range rows {
+		tp, err := MeasureThroughput(rw.cfg, rw.names, 4, rounds)
+		if err != nil {
+			return "", fmt.Errorf("%s/%s: %w", rw.label, rw.cfg, err)
+		}
+		out += fmt.Sprintf("%-10s %-6s %12.0f %12.3f %14.1f\n",
+			rw.label, rw.cfg, tp.MsgsPerSec, tp.AllocsPerMsg, tp.AllocBytesPerMsg)
+	}
+	return out, nil
+}

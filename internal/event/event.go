@@ -168,24 +168,62 @@ func (e *Event) String() string {
 // stack glue.
 var pool = sync.Pool{New: func() any { return new(Event) }}
 
-// Alloc returns a zeroed event from the pool.
+// Alloc returns a zeroed event from the pool. The event owns every
+// header later pushed onto its Msg.Headers stack: Free releases them.
 func Alloc() *Event {
+	if poolDebug.Load() {
+		e := new(Event)
+		e.pooled = true
+		debugTrack(e, true)
+		return e
+	}
 	e := pool.Get().(*Event)
 	e.pooled = true
 	return e
 }
 
-// Free resets an event and returns it to the pool. The caller must not
-// touch the event afterwards. Events not obtained from Alloc are ignored
-// so that stack-allocated events can be passed through the same glue.
+// Free releases the event's remaining headers, resets it, and returns
+// it to the pool. The caller must not touch the event afterwards.
+// Events not obtained from Alloc are ignored so that stack-allocated
+// events can be passed through the same glue.
 func Free(e *Event) {
+	if poolDebug.Load() {
+		debugFree(e)
+		return
+	}
 	if !e.pooled {
 		return
+	}
+	for i, h := range e.Msg.Headers {
+		FreeHeader(h)
+		e.Msg.Headers[i] = nil
 	}
 	hdrs := e.Msg.Headers[:0]
 	*e = Event{}
 	e.Msg.Headers = hdrs
 	pool.Put(e)
+}
+
+// debugFree is the debug-mode Free: it panics on double-put, releases
+// headers through their (also debug-checked) pools, and poisons and
+// quarantines the event instead of recycling it so use-after-put shows
+// up in PoolDebugCheck.
+func debugFree(e *Event) {
+	if !debugRelease(e, "event", true) {
+		// Not pool-allocated (or allocated before debug mode switched
+		// on): mirror the non-debug no-op for stack-allocated events.
+		return
+	}
+	for i, h := range e.Msg.Headers {
+		FreeHeader(h)
+		e.Msg.Headers[i] = nil
+	}
+	*e = Event{}
+	e.Time = poisonTime
+	debugQuarantine(e, "event", func() bool {
+		return e.Time == poisonTime && e.Type == EInit && e.Msg.Payload == nil &&
+			len(e.Msg.Headers) == 0 && !e.pooled
+	})
 }
 
 // CastEv builds a down-going multicast request carrying payload.

@@ -15,6 +15,50 @@ type Header interface {
 	HdrString() string
 }
 
+// PooledHeader is implemented by headers whose storage comes from a
+// HdrPool. The data path recycles them the way Ensemble's private
+// message allocator recycled header records (§4, item 1): Free returns
+// every pooled header still on an event's stack, so each header is
+// owned by exactly one event. Code that copies a header stack must go
+// through CloneHdr (or AppendClonedHeaders); code that pops a pooled
+// header and drops it must call FreeHdr.
+type PooledHeader interface {
+	Header
+	// CloneHdr returns an independently owned copy.
+	CloneHdr() Header
+	// FreeHdr returns the header to its pool. The caller must not touch
+	// the header afterwards.
+	FreeHdr()
+}
+
+// CloneHeader copies h if it is pooled; plain value headers are shared
+// freely and returned as-is.
+func CloneHeader(h Header) Header {
+	if p, ok := h.(PooledHeader); ok {
+		return p.CloneHdr()
+	}
+	return h
+}
+
+// AppendClonedHeaders appends independently owned copies of src to dst.
+// This is the only safe way to duplicate a header stack that may hold
+// pooled headers: a plain slice copy would alias them and free them
+// twice.
+func AppendClonedHeaders(dst, src []Header) []Header {
+	for _, h := range src {
+		dst = append(dst, CloneHeader(h))
+	}
+	return dst
+}
+
+// FreeHeader releases h if it is pooled; plain value headers need no
+// release.
+func FreeHeader(h Header) {
+	if p, ok := h.(PooledHeader); ok {
+		p.FreeHdr()
+	}
+}
+
 // NoHdr is pushed by layers that must delimit their place in the header
 // stack but have nothing to say for this event (the paper's
 // Full_nohdr(hdr) in the Bottom optimization theorem).

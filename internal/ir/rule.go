@@ -158,7 +158,7 @@ type HdrSpec struct {
 	Tag     int64
 	Fields  []string
 	// Make builds the executable header from field values (in Fields
-	// order).
+	// order). The slice is caller-owned scratch: Make must not retain it.
 	Make func(fields []int64) event.Header
 	// Read extracts the field values from an executable header of this
 	// variant; it reports false for other variants.
@@ -184,13 +184,21 @@ type StateModel interface {
 
 // EffectCtx carries the runtime arguments of an effect invocation.
 type EffectCtx struct {
-	Args    []int64
+	// Args holds the evaluated effect arguments. Like Hdrs, the slice is
+	// caller-owned transient scratch: read the values, don't keep it.
+	Args []int64
 	Payload []byte
 	ApplMsg bool
 	// Hdrs is the header stack of the message as the layers above this
 	// one would have built it — materialized by the bypass from the
 	// optimization theorem so that buffered messages are byte-identical
 	// to what the full stack would have buffered.
+	//
+	// Ownership: the slice itself is caller-owned transient scratch,
+	// reused after the effect returns — an effect that keeps the headers
+	// must copy the slice into its own storage. The header values in it
+	// transfer to the effect: pooled headers among them are the effect's
+	// to keep or free.
 	Hdrs []event.Header
 }
 

@@ -14,14 +14,14 @@ import (
 func TestAllHeaderVariantsRoundtrip(t *testing.T) {
 	variants := []event.Header{
 		bottomHdr{},
-		mnakData{Seqno: 12345}, mnakPass{}, mnakNak{Lo: -3, Hi: 900}, mnakRetrans{Seqno: 7},
-		p2pData{Seqno: 3, Ack: 2}, p2pRetrans{Seqno: 5, Ack: 4}, p2pAck{Ack: 9}, p2pPass{},
+		&mnakData{Seqno: 12345}, mnakPass{}, mnakNak{Lo: -3, Hi: 900}, mnakRetrans{Seqno: 7},
+		&p2pData{Seqno: 3, Ack: 2}, p2pRetrans{Seqno: 5, Ack: 4}, p2pAck{Ack: 9}, p2pPass{},
 		p2pwData{}, p2pwAck{Count: 17}, p2pwPass{},
 		mflowData{}, mflowCredit{Bytes: 65536}, mflowPass{},
 		fragSolo{}, fragFrag{Idx: 3, Of: 9},
 		collectPass{},
 		localHdr{}, topHdr{}, paplHdr{},
-		totalData{LocalSeq: 11, GSeq: -1}, totalData{LocalSeq: 11, GSeq: 42},
+		&totalData{LocalSeq: 11, GSeq: -1}, &totalData{LocalSeq: 11, GSeq: 42},
 		totalOrder{Origin: 2, LocalSeq: 5, GSeq: 6}, totalPass{},
 		suspectPass{}, suspectPing{},
 		membPass{},
@@ -30,7 +30,7 @@ func TestAllHeaderVariantsRoundtrip(t *testing.T) {
 		membFlushOk{ViewSeq: 4, Round: 2, Vector: []int64{9, 8}},
 		membView{ViewSeq: 5, Members: []event.Addr{1, 2, 9}},
 		membLeave{Rank: 3},
-		seqnoData{Seqno: 77}, seqnoPass{},
+		&seqnoData{Seqno: 77}, seqnoPass{},
 		chkHdr{Sum: 0xDEADBEEF},
 		traceHdr{},
 	}

@@ -52,6 +52,10 @@ type HandEngine struct {
 
 	wbuf transport.Writer
 
+	// wireBuf is the reused build buffer for bypass wire images; a wire
+	// handed to SendWire is valid only for the duration of the call.
+	wireBuf []byte
+
 	// Stats counts routing decisions.
 	Stats struct {
 		DnBypass, DnFull, UpBypass, UpFull int64
@@ -111,7 +115,7 @@ func (h *HandEngine) netEvent(ev *event.Event) {
 		panic(err)
 	}
 	if h.SendWire != nil {
-		h.SendWire(ev.Type == event.ECast, ev.Peer, h.wbuf.Bytes())
+		h.SendWire(ev.Type == event.ECast, ev.Peer, h.wbuf.Seal())
 	}
 }
 
@@ -133,18 +137,16 @@ func (h *HandEngine) Cast(payload []byte) {
 	if h.MarkDnTransport != nil {
 		h.MarkDnTransport()
 	}
-	wire := make([]byte, 0, 12+len(payload))
-	wire = append(wire, handMagic, handKindCast, byte(h.Rank))
+	wire := append(h.wireBuf[:0], handMagic, handKindCast, byte(h.Rank))
 	wire = binary.AppendVarint(wire, seq)
 	wire = append(wire, payload...)
+	h.wireBuf = wire
 	if h.SendWire != nil {
 		h.SendWire(true, 0, wire)
 	}
-	h.mnak.sendBuf[seq] = savedMsg{
-		payload: copyPayload(payload),
-		hdrs:    []event.Header{topHdr{}, p2pPass{}},
-		applMsg: true,
-	}
+	m := savePayload(payload, true)
+	m.hdrs = append(m.hdrs, topHdr{}, p2pPass{})
+	h.mnak.sendBuf[seq] = m
 }
 
 // Send transmits an application payload point-to-point through the hand
@@ -166,22 +168,20 @@ func (h *HandEngine) Send(dst int, payload []byte) {
 	if h.MarkDnTransport != nil {
 		h.MarkDnTransport()
 	}
-	wire := make([]byte, 0, 16+len(payload))
-	wire = append(wire, handMagic, handKindSend, byte(h.Rank))
+	wire := append(h.wireBuf[:0], handMagic, handKindSend, byte(h.Rank))
 	wire = binary.AppendVarint(wire, seq)
 	wire = binary.AppendVarint(wire, ack)
 	wire = append(wire, payload...)
+	h.wireBuf = wire
 	if h.SendWire != nil {
 		h.SendWire(false, dst, wire)
 	}
 	if p.unacked == nil {
-		p.unacked = make(map[int64]savedMsg)
+		p.unacked = make(map[int64]*savedMsg)
 	}
-	p.unacked[seq] = savedMsg{
-		payload: copyPayload(payload),
-		hdrs:    []event.Header{topHdr{}},
-		applMsg: true,
-	}
+	m := savePayload(payload, true)
+	m.hdrs = append(m.hdrs, topHdr{})
+	p.unacked[seq] = m
 }
 
 // Packet routes an arriving wire image.
@@ -261,13 +261,13 @@ func (h *HandEngine) uncompressToStack(origin int, payload []byte, cast bool, se
 	ev.Peer = origin
 	ev.ApplMsg = true
 	ev.Msg.Payload = payload
+	// Push order top-down into the event's reused header storage.
 	if cast {
 		ev.Type = event.ECast
-		ev.Msg.Headers = []event.Header{topHdr{}, p2pPass{}, mnakData{Seqno: seq}, bottomHdr{}}
+		ev.Msg.Headers = append(ev.Msg.Headers[:0], topHdr{}, p2pPass{}, newMnakData(seq), bottomHdr{})
 	} else {
 		ev.Type = event.ESend
-		// Push order top-down: top, pt2pt (data), mnak (pass), bottom.
-		ev.Msg.Headers = []event.Header{topHdr{}, p2pData{Seqno: seq, Ack: ack}, mnakPass{}, bottomHdr{}}
+		ev.Msg.Headers = append(ev.Msg.Headers[:0], topHdr{}, newP2pData(seq, ack), mnakPass{}, bottomHdr{})
 	}
 	h.stk.DeliverUp(ev)
 }

@@ -30,11 +30,12 @@ func (s *mnakState) IREffects() []ir.EffectSpec {
 	return []ir.EffectSpec{{
 		Name: "save_cast",
 		Run: func(ctx ir.EffectCtx) {
-			s.sendBuf[ctx.Args[0]] = savedMsg{
-				payload: copyPayload(ctx.Payload),
-				hdrs:    ctx.Hdrs,
-				applMsg: ctx.ApplMsg,
-			}
+			m := getSavedMsg()
+			m.payload = append(m.payload[:0], ctx.Payload...)
+			// ctx.Hdrs is transient scratch; the header values transfer.
+			m.hdrs = append(m.hdrs[:0], ctx.Hdrs...)
+			m.applMsg = ctx.ApplMsg
+			s.sendBuf[ctx.Args[0]] = m
 		},
 	}}
 }
@@ -80,9 +81,9 @@ func mnakDef() ir.LayerDef {
 		Hdrs: []ir.HdrSpec{
 			{
 				Variant: "Data", Tag: int64(mnakTagData), Fields: []string{"seqno"},
-				Make: func(f []int64) event.Header { return mnakData{Seqno: f[0]} },
+				Make: func(f []int64) event.Header { return newMnakData(f[0]) },
 				Read: func(h event.Header) ([]int64, bool) {
-					d, ok := h.(mnakData)
+					d, ok := h.(*mnakData)
 					if !ok {
 						return nil, false
 					}
@@ -166,13 +167,13 @@ func (s *pt2ptState) IREffects() []ir.EffectSpec {
 			Run: func(ctx ir.EffectCtx) {
 				p := &s.peers[ctx.Args[0]]
 				if p.unacked == nil {
-					p.unacked = make(map[int64]savedMsg)
+					p.unacked = make(map[int64]*savedMsg)
 				}
-				p.unacked[ctx.Args[1]] = savedMsg{
-					payload: copyPayload(ctx.Payload),
-					hdrs:    ctx.Hdrs,
-					applMsg: ctx.ApplMsg,
-				}
+				m := getSavedMsg()
+				m.payload = append(m.payload[:0], ctx.Payload...)
+				m.hdrs = append(m.hdrs[:0], ctx.Hdrs...)
+				m.applMsg = ctx.ApplMsg
+				p.unacked[ctx.Args[1]] = m
 			},
 		},
 		{
@@ -232,9 +233,9 @@ func pt2ptDef() ir.LayerDef {
 		Hdrs: []ir.HdrSpec{
 			{
 				Variant: "Data", Tag: int64(p2pTagData), Fields: []string{"seqno", "ack"},
-				Make: func(f []int64) event.Header { return p2pData{Seqno: f[0], Ack: f[1]} },
+				Make: func(f []int64) event.Header { return newP2pData(f[0], f[1]) },
 				Read: func(h event.Header) ([]int64, bool) {
-					d, ok := h.(p2pData)
+					d, ok := h.(*p2pData)
 					if !ok {
 						return nil, false
 					}

@@ -81,9 +81,9 @@ func totalDef() ir.LayerDef {
 		Hdrs: []ir.HdrSpec{
 			{
 				Variant: "Data", Tag: int64(totalTagData), Fields: []string{"lseq", "gseq"},
-				Make: func(f []int64) event.Header { return totalData{LocalSeq: f[0], GSeq: f[1]} },
+				Make: func(f []int64) event.Header { return newTotalData(f[0], f[1]) },
 				Read: func(h event.Header) ([]int64, bool) {
-					d, ok := h.(totalData)
+					d, ok := h.(*totalData)
 					if !ok {
 						return nil, false
 					}

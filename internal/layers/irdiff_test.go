@@ -37,7 +37,8 @@ func cloneEvent(ev *event.Event) *event.Event {
 	cp.Dir, cp.Type, cp.Peer, cp.ApplMsg = ev.Dir, ev.Type, ev.Peer, ev.ApplMsg
 	cp.Time = ev.Time
 	cp.Msg.Payload = ev.Msg.Payload
-	cp.Msg.Headers = append(cp.Msg.Headers[:0], ev.Msg.Headers...)
+	// Deep-clone: both instances consume (and free) their copy.
+	cp.Msg.Headers = event.AppendClonedHeaders(cp.Msg.Headers[:0], ev.Msg.Headers)
 	return cp
 }
 
@@ -131,7 +132,11 @@ func (h *diffHarness) feed(ev *event.Event) (ups, dns []*event.Event) {
 
 	if out.Fell {
 		h.misses++
-		// Fallback: the real handler drives instance B too.
+		// Fallback: the real handler drives instance B too. The captured
+		// header snapshot goes unused — release it.
+		for _, uh := range upperHdrs {
+			event.FreeHeader(uh)
+		}
 		h.sinkB.reset()
 		h.dispatch(h.b, evB, &h.sinkB)
 	} else {

@@ -9,6 +9,8 @@
 package layers
 
 import (
+	"sync"
+
 	"ensemble/internal/event"
 )
 
@@ -97,30 +99,93 @@ func copyPayload(p []byte) []byte {
 	return append([]byte(nil), p...)
 }
 
-// copyHdrs snapshots a header stack. Headers themselves are immutable
-// values; only the slice needs copying.
+// copyHdrs snapshots a header stack into a fresh slice. Pooled headers
+// are cloned so the copy is independently owned (a plain slice copy
+// would alias them and free them twice). Used off the steady-state path
+// (retransmissions, fragment fan-out); hot paths reuse storage instead.
 func copyHdrs(h []event.Header) []event.Header {
 	if len(h) == 0 {
 		return nil
 	}
-	return append([]event.Header(nil), h...)
+	return event.AppendClonedHeaders(make([]event.Header, 0, len(h)), h)
 }
 
 // savedMsg is a buffered message: payload, the header stack that was on
 // the event when it was buffered (the headers belonging to the layers on
 // the *other* side of the buffering layer, which must be preserved for
 // re-emission), and the application-payload flag.
+//
+// Boxes are pooled; ownership is explicit. A layer that buffers a
+// message holds the box until it either release()s it (message dead:
+// acknowledged, stable, duplicate) or transferTo()s it (message
+// re-emitted with storage handed to the outgoing event). The box's
+// payload and header-slice backing are reused across saves.
 type savedMsg struct {
 	payload []byte
 	hdrs    []event.Header
 	applMsg bool
 }
 
-// saveMsg snapshots an event for buffering.
-func saveMsg(ev *event.Event) savedMsg {
-	return savedMsg{
-		payload: copyPayload(ev.Msg.Payload),
-		hdrs:    copyHdrs(ev.Msg.Headers),
-		applMsg: ev.ApplMsg,
+var savedMsgPool = sync.Pool{New: func() any { return new(savedMsg) }}
+
+func getSavedMsg() *savedMsg {
+	if event.PoolDebugEnabled() {
+		// Fresh boxes keep the header-pool debug checks deterministic.
+		return new(savedMsg)
+	}
+	return savedMsgPool.Get().(*savedMsg)
+}
+
+// saveMsg snapshots an event for buffering: the payload is copied into
+// the box's reused backing and the header stack is deep-cloned.
+func saveMsg(ev *event.Event) *savedMsg {
+	m := getSavedMsg()
+	m.payload = append(m.payload[:0], ev.Msg.Payload...)
+	m.hdrs = event.AppendClonedHeaders(m.hdrs[:0], ev.Msg.Headers)
+	m.applMsg = ev.ApplMsg
+	return m
+}
+
+// savePayload starts a box with just a payload copy; callers append the
+// header stack (hand bypass, which knows its headers statically).
+func savePayload(payload []byte, applMsg bool) *savedMsg {
+	m := getSavedMsg()
+	m.payload = append(m.payload[:0], payload...)
+	m.hdrs = m.hdrs[:0]
+	m.applMsg = applMsg
+	return m
+}
+
+// release frees the box's headers and recycles it: the buffered message
+// died without being re-emitted (acknowledged, stable, or duplicate).
+func (m *savedMsg) release() {
+	for i, h := range m.hdrs {
+		event.FreeHeader(h)
+		m.hdrs[i] = nil
+	}
+	m.hdrs = m.hdrs[:0]
+	m.payload = m.payload[:0]
+	m.applMsg = false
+	if !event.PoolDebugEnabled() {
+		savedMsgPool.Put(m)
+	}
+}
+
+// transferTo moves the buffered message into ev and recycles the box.
+// Header ownership passes to the event. The payload backing is donated
+// outright — the application may retain delivered payload slices, so it
+// is never reused.
+func (m *savedMsg) transferTo(ev *event.Event) {
+	ev.Msg.Payload = m.payload
+	ev.Msg.Headers = append(ev.Msg.Headers[:0], m.hdrs...)
+	ev.ApplMsg = m.applMsg
+	m.payload = nil
+	for i := range m.hdrs {
+		m.hdrs[i] = nil
+	}
+	m.hdrs = m.hdrs[:0]
+	m.applMsg = false
+	if !event.PoolDebugEnabled() {
+		savedMsgPool.Put(m)
 	}
 }

@@ -286,7 +286,7 @@ func TestTotalSequencerOrdersForeignCasts(t *testing.T) {
 	ev.Dir, ev.Type, ev.Peer = event.Up, event.ECast, 1
 	ev.ApplMsg = true
 	ev.Msg.Payload = []byte("x")
-	ev.Msg.Push(totalData{LocalSeq: 0, GSeq: -1})
+	ev.Msg.Push(&totalData{LocalSeq: 0, GSeq: -1})
 	ups, dns := up(seq, ev)
 	if len(ups) != 1 {
 		t.Fatalf("sequencer delivered %d, want 1 (immediate order assignment)", len(ups))
@@ -308,7 +308,7 @@ func TestTotalNonSequencerBuffersUntilOrder(t *testing.T) {
 	data.Dir, data.Type, data.Peer = event.Up, event.ECast, 1
 	data.ApplMsg = true
 	data.Msg.Payload = []byte("y")
-	data.Msg.Push(totalData{LocalSeq: 0, GSeq: -1})
+	data.Msg.Push(&totalData{LocalSeq: 0, GSeq: -1})
 	ups, dns := up(member, data)
 	if len(ups) != 0 || len(dns) != 0 {
 		t.Fatalf("unordered cast leaked: ups=%d dns=%d", len(ups), len(dns))
@@ -337,7 +337,7 @@ func TestTotalOrderBeforeData(t *testing.T) {
 	data.Dir, data.Type, data.Peer = event.Up, event.ECast, 1
 	data.ApplMsg = true
 	data.Msg.Payload = []byte("z")
-	data.Msg.Push(totalData{LocalSeq: 0, GSeq: -1})
+	data.Msg.Push(&totalData{LocalSeq: 0, GSeq: -1})
 	ups, dns = up(member, data)
 	if len(ups) != 1 || string(ups[0].Msg.Payload) != "z" {
 		t.Fatalf("late data not released by early order: %v", ups)
@@ -438,14 +438,14 @@ func TestStacksAreWellFormedLists(t *testing.T) {
 
 func TestHeaderStringsAreDistinct(t *testing.T) {
 	hs := []event.Header{
-		bottomHdr{}, mnakData{Seqno: 1}, mnakPass{}, mnakNak{Lo: 1, Hi: 2}, mnakRetrans{Seqno: 3},
-		p2pData{Seqno: 1, Ack: 2}, p2pRetrans{Seqno: 1, Ack: 2}, p2pAck{Ack: 1}, p2pPass{},
+		bottomHdr{}, &mnakData{Seqno: 1}, mnakPass{}, mnakNak{Lo: 1, Hi: 2}, mnakRetrans{Seqno: 3},
+		&p2pData{Seqno: 1, Ack: 2}, p2pRetrans{Seqno: 1, Ack: 2}, p2pAck{Ack: 1}, p2pPass{},
 		p2pwData{}, p2pwAck{Count: 1}, p2pwPass{},
 		mflowData{}, mflowCredit{Bytes: 1}, mflowPass{},
 		fragSolo{}, fragFrag{Idx: 1, Of: 2},
 		collectPass{}, collectGossip{Vector: []int64{1}},
 		localHdr{}, topHdr{}, paplHdr{},
-		totalData{LocalSeq: 1, GSeq: 2}, totalOrder{Origin: 1, LocalSeq: 2, GSeq: 3}, totalPass{},
+		&totalData{LocalSeq: 1, GSeq: 2}, totalOrder{Origin: 1, LocalSeq: 2, GSeq: 3}, totalPass{},
 		suspectPass{}, suspectPing{},
 		membPass{}, membFlush{ViewSeq: 1, Round: 2},
 	}

@@ -46,7 +46,9 @@ func (s *localState) HandleDn(ev *event.Event, snk layer.Sink) {
 		copyEv.Dir, copyEv.Type, copyEv.Peer = event.Up, event.ECast, s.view.Rank
 		copyEv.ApplMsg = ev.ApplMsg
 		copyEv.Msg.Payload = ev.Msg.Payload
-		copyEv.Msg.Headers = append(copyEv.Msg.Headers[:0], ev.Msg.Headers...)
+		// Deep-clone: pooled headers must not be shared between the two
+		// events, or both will free them.
+		copyEv.Msg.Headers = event.AppendClonedHeaders(copyEv.Msg.Headers[:0], ev.Msg.Headers)
 		ev.Msg.Push(localHdr{})
 		snk.PassDn(ev)
 		snk.PassUp(copyEv)

@@ -25,7 +25,7 @@ type mflowState struct {
 	recvBytes  []int64
 	creditSent []int64
 	// queue holds casts blocked on exhausted credit.
-	queue []savedMsg
+	queue []*savedMsg
 }
 
 // mflow header variants.
@@ -180,13 +180,12 @@ func (s *mflowState) flush(snk layer.Sink) {
 		if s.inFlight()+int64(len(m.payload)) > s.credit {
 			return
 		}
+		s.queue[0] = nil
 		s.queue = s.queue[1:]
 		s.sentBytes += int64(len(m.payload))
 		out := event.Alloc()
 		out.Dir, out.Type = event.Dn, event.ECast
-		out.ApplMsg = m.applMsg
-		out.Msg.Payload = m.payload
-		out.Msg.Headers = m.hdrs
+		m.transferTo(out)
 		out.Msg.Push(mflowData{})
 		snk.PassDn(out)
 	}

@@ -21,20 +21,23 @@ type mnakState struct {
 
 	// sendBuf holds copies of this member's casts for retransmission,
 	// keyed by sequence number; garbage-collected on EStable.
-	sendBuf map[int64]savedMsg
+	sendBuf map[int64]*savedMsg
 
 	// recvNext[o] is the next expected sequence number from origin o.
 	recvNext []int64
 
 	// recvBuf[o] buffers out-of-order casts from origin o.
-	recvBuf []map[int64]savedMsg
+	recvBuf []map[int64]*savedMsg
 
 	// naked[o] is the highest sequence number already NAKed to origin o,
 	// to avoid duplicate NAKs for the same gap.
 	naked []int64
 }
 
-// mnak header variants.
+// mnak header variants. mnakData rides every steady-state cast, so it
+// is a pooled pointer header (boxing a value header into the Header
+// interface would allocate per message); the rare control headers stay
+// plain values.
 type (
 	// mnakData tags a first-transmission cast.
 	mnakData struct{ Seqno int64 }
@@ -47,15 +50,26 @@ type (
 	mnakRetrans struct{ Seqno int64 }
 )
 
-func (mnakData) Layer() string    { return Mnak }
+var mnakDataPool event.HdrPool[mnakData]
+
+func newMnakData(seq int64) *mnakData {
+	h := mnakDataPool.Get()
+	h.Seqno = seq
+	return h
+}
+
+func (*mnakData) Layer() string   { return Mnak }
 func (mnakPass) Layer() string    { return Mnak }
 func (mnakNak) Layer() string     { return Mnak }
 func (mnakRetrans) Layer() string { return Mnak }
 
-func (h mnakData) HdrString() string    { return fmt.Sprintf("mnak:Data(%d)", h.Seqno) }
+func (h *mnakData) HdrString() string   { return fmt.Sprintf("mnak:Data(%d)", h.Seqno) }
 func (mnakPass) HdrString() string      { return "mnak:Pass" }
 func (h mnakNak) HdrString() string     { return fmt.Sprintf("mnak:Nak(%d,%d)", h.Lo, h.Hi) }
 func (h mnakRetrans) HdrString() string { return fmt.Sprintf("mnak:Retrans(%d)", h.Seqno) }
+
+func (h *mnakData) CloneHdr() event.Header { return newMnakData(h.Seqno) }
+func (h *mnakData) FreeHdr()               { mnakDataPool.Put(h) }
 
 const (
 	mnakTagData byte = iota
@@ -69,9 +83,9 @@ func init() {
 		n := cfg.View.N()
 		s := &mnakState{
 			view:     cfg.View,
-			sendBuf:  make(map[int64]savedMsg),
+			sendBuf:  make(map[int64]*savedMsg),
 			recvNext: make([]int64, n),
-			recvBuf:  make([]map[int64]savedMsg, n),
+			recvBuf:  make([]map[int64]*savedMsg, n),
 			naked:    make([]int64, n),
 		}
 		for i := range s.naked {
@@ -84,7 +98,7 @@ func init() {
 		ID:    idMnak,
 		Encode: func(h event.Header, w *transport.Writer) {
 			switch h := h.(type) {
-			case mnakData:
+			case *mnakData:
 				w.Byte(mnakTagData)
 				w.Varint(h.Seqno)
 			case mnakPass:
@@ -103,7 +117,7 @@ func init() {
 		Decode: func(r *transport.Reader) (event.Header, error) {
 			switch tag := r.Byte(); tag {
 			case mnakTagData:
-				return mnakData{Seqno: r.Varint()}, nil
+				return newMnakData(r.Varint()), nil
 			case mnakTagPass:
 				return mnakPass{}, nil
 			case mnakTagNak:
@@ -128,7 +142,7 @@ func (s *mnakState) HandleDn(ev *event.Event, snk layer.Sink) {
 		// reconstruct the message exactly as the layers above handed it
 		// to us, including their headers.
 		s.sendBuf[seq] = saveMsg(ev)
-		ev.Msg.Push(mnakData{Seqno: seq})
+		ev.Msg.Push(newMnakData(seq))
 		snk.PassDn(ev)
 	case event.ESend:
 		ev.Msg.Push(mnakPass{})
@@ -166,9 +180,10 @@ func (s *mnakState) HandleDn(ev *event.Event, snk layer.Sink) {
 		// from the retransmission buffer.
 		if me := s.view.Rank; me < len(ev.Stability) {
 			stable := ev.Stability[me]
-			for q := range s.sendBuf {
+			for q, m := range s.sendBuf {
 				if q < stable {
 					delete(s.sendBuf, q)
+					m.release()
 				}
 			}
 		}
@@ -181,11 +196,13 @@ func (s *mnakState) HandleDn(ev *event.Event, snk layer.Sink) {
 func (s *mnakState) HandleUp(ev *event.Event, snk layer.Sink) {
 	switch ev.Type {
 	case event.ECast:
-		h, ok := ev.Msg.Pop().(mnakData)
+		h, ok := ev.Msg.Pop().(*mnakData)
 		if !ok {
 			panic("mnak: up cast without mnak data header")
 		}
-		s.deliverCast(ev.Peer, h.Seqno, ev, true, snk)
+		seq := h.Seqno
+		h.FreeHdr()
+		s.deliverCast(ev.Peer, seq, ev, true, snk)
 	case event.ETimer:
 		// Report the contiguous-receive vector upward so the stability
 		// protocol (collect layer) can gossip it. Our own slot is our
@@ -230,7 +247,7 @@ func (s *mnakState) deliverCast(origin int, seq int64, ev *event.Event, nak bool
 	case seq > next:
 		if _, dup := s.recvBuf[origin][seq]; !dup {
 			if s.recvBuf[origin] == nil {
-				s.recvBuf[origin] = make(map[int64]savedMsg)
+				s.recvBuf[origin] = make(map[int64]*savedMsg)
 			}
 			// The mnak header is already popped: what remains is the
 			// upper layers' stack, preserved for delivery after the gap
@@ -261,9 +278,7 @@ func (s *mnakState) drain(origin int, snk layer.Sink) {
 		s.recvNext[origin] = next + 1
 		out := event.Alloc()
 		out.Dir, out.Type, out.Peer = event.Up, event.ECast, origin
-		out.Msg.Payload = m.payload
-		out.Msg.Headers = m.hdrs
-		out.ApplMsg = m.applMsg
+		m.transferTo(out)
 		snk.PassUp(out)
 	}
 }

@@ -26,11 +26,11 @@ type pt2ptPeer struct {
 	// sendSeq numbers the next message to this peer.
 	sendSeq int64
 	// unacked buffers sent messages until acknowledged.
-	unacked map[int64]savedMsg
+	unacked map[int64]*savedMsg
 	// recvNext is the next in-order sequence number expected.
 	recvNext int64
 	// oooBuf holds messages received ahead of recvNext.
-	oooBuf map[int64]savedMsg
+	oooBuf map[int64]*savedMsg
 	// pendingAcks counts deliveries not yet acknowledged.
 	pendingAcks int
 }
@@ -48,15 +48,26 @@ type (
 	p2pPass struct{}
 )
 
-func (p2pData) Layer() string    { return Pt2pt }
+var p2pDataPool event.HdrPool[p2pData]
+
+func newP2pData(seq, ack int64) *p2pData {
+	h := p2pDataPool.Get()
+	h.Seqno, h.Ack = seq, ack
+	return h
+}
+
+func (*p2pData) Layer() string   { return Pt2pt }
 func (p2pRetrans) Layer() string { return Pt2pt }
 func (p2pAck) Layer() string     { return Pt2pt }
 func (p2pPass) Layer() string    { return Pt2pt }
 
-func (h p2pData) HdrString() string    { return fmt.Sprintf("pt2pt:Data(%d,ack=%d)", h.Seqno, h.Ack) }
+func (h *p2pData) HdrString() string   { return fmt.Sprintf("pt2pt:Data(%d,ack=%d)", h.Seqno, h.Ack) }
 func (h p2pRetrans) HdrString() string { return fmt.Sprintf("pt2pt:Retrans(%d,ack=%d)", h.Seqno, h.Ack) }
 func (h p2pAck) HdrString() string     { return fmt.Sprintf("pt2pt:Ack(%d)", h.Ack) }
 func (p2pPass) HdrString() string      { return "pt2pt:Pass" }
+
+func (h *p2pData) CloneHdr() event.Header { return newP2pData(h.Seqno, h.Ack) }
+func (h *p2pData) FreeHdr()               { p2pDataPool.Put(h) }
 
 const (
 	p2pTagData byte = iota
@@ -78,7 +89,7 @@ func init() {
 		ID:    idPt2pt,
 		Encode: func(h event.Header, w *transport.Writer) {
 			switch h := h.(type) {
-			case p2pData:
+			case *p2pData:
 				w.Byte(p2pTagData)
 				w.Varint(h.Seqno)
 				w.Varint(h.Ack)
@@ -98,7 +109,7 @@ func init() {
 		Decode: func(r *transport.Reader) (event.Header, error) {
 			switch tag := r.Byte(); tag {
 			case p2pTagData:
-				return p2pData{Seqno: r.Varint(), Ack: r.Varint()}, nil
+				return newP2pData(r.Varint(), r.Varint()), nil
 			case p2pTagRetrans:
 				return p2pRetrans{Seqno: r.Varint(), Ack: r.Varint()}, nil
 			case p2pTagAck:
@@ -121,11 +132,11 @@ func (s *pt2ptState) HandleDn(ev *event.Event, snk layer.Sink) {
 		seq := p.sendSeq
 		p.sendSeq++
 		if p.unacked == nil {
-			p.unacked = make(map[int64]savedMsg)
+			p.unacked = make(map[int64]*savedMsg)
 		}
 		p.unacked[seq] = saveMsg(ev)
 		p.pendingAcks = 0 // the piggybacked ack covers everything pending
-		ev.Msg.Push(p2pData{Seqno: seq, Ack: p.recvNext})
+		ev.Msg.Push(newP2pData(seq, p.recvNext))
 		snk.PassDn(ev)
 	case event.ECast:
 		ev.Msg.Push(p2pPass{})
@@ -143,9 +154,11 @@ func (s *pt2ptState) HandleUp(ev *event.Event, snk layer.Sink) {
 	case event.ESend:
 		from := ev.Peer
 		switch h := ev.Msg.Pop().(type) {
-		case p2pData:
-			s.applyAck(from, h.Ack)
-			s.deliver(from, h.Seqno, ev, snk)
+		case *p2pData:
+			seq, ack := h.Seqno, h.Ack
+			h.FreeHdr()
+			s.applyAck(from, ack)
+			s.deliver(from, seq, ev, snk)
 		case p2pRetrans:
 			s.applyAck(from, h.Ack)
 			s.deliver(from, h.Seqno, ev, snk)
@@ -167,9 +180,10 @@ func (s *pt2ptState) HandleUp(ev *event.Event, snk layer.Sink) {
 // ack acknowledges every sequence number below it.
 func (s *pt2ptState) applyAck(peer int, ack int64) {
 	p := &s.peers[peer]
-	for q := range p.unacked {
+	for q, m := range p.unacked {
 		if q < ack {
 			delete(p.unacked, q)
+			m.release()
 		}
 	}
 }
@@ -192,9 +206,7 @@ func (s *pt2ptState) deliver(from int, seq int64, ev *event.Event, snk layer.Sin
 			p.pendingAcks++
 			out := event.Alloc()
 			out.Dir, out.Type, out.Peer = event.Up, event.ESend, from
-			out.Msg.Payload = m.payload
-			out.Msg.Headers = m.hdrs
-			out.ApplMsg = m.applMsg
+			m.transferTo(out)
 			snk.PassUp(out)
 		}
 		if p.pendingAcks >= s.ackThreshold {
@@ -202,7 +214,7 @@ func (s *pt2ptState) deliver(from int, seq int64, ev *event.Event, snk layer.Sin
 		}
 	case seq > p.recvNext:
 		if p.oooBuf == nil {
-			p.oooBuf = make(map[int64]savedMsg)
+			p.oooBuf = make(map[int64]*savedMsg)
 		}
 		if _, dup := p.oooBuf[seq]; !dup {
 			p.oooBuf[seq] = saveMsg(ev)

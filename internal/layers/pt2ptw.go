@@ -26,7 +26,7 @@ type pt2ptwPeer struct {
 	// last acknowledged.
 	recvd, ackSent int64
 	// queue holds sends blocked on a full window.
-	queue []savedMsg
+	queue []*savedMsg
 }
 
 // pt2ptw header variants.
@@ -156,13 +156,12 @@ func (s *pt2ptwState) openWindow(peer int, count int64, snk layer.Sink) {
 	}
 	for len(p.queue) > 0 && p.sent-p.acked < s.window {
 		m := p.queue[0]
+		p.queue[0] = nil
 		p.queue = p.queue[1:]
 		p.sent++
 		out := event.Alloc()
 		out.Dir, out.Type, out.Peer = event.Dn, event.ESend, peer
-		out.ApplMsg = m.applMsg
-		out.Msg.Payload = m.payload
-		out.Msg.Headers = m.hdrs
+		m.transferTo(out)
 		out.Msg.Push(p2pwData{})
 		snk.PassDn(out)
 	}

@@ -21,7 +21,7 @@ type seqnoState struct {
 
 	mySeq    int64
 	recvNext []int64
-	recvBuf  []map[int64]savedMsg
+	recvBuf  []map[int64]*savedMsg
 }
 
 // seqno header variants.
@@ -30,11 +30,22 @@ type (
 	seqnoPass struct{}
 )
 
-func (seqnoData) Layer() string { return Seqno }
-func (seqnoPass) Layer() string { return Seqno }
+var seqnoDataPool event.HdrPool[seqnoData]
 
-func (h seqnoData) HdrString() string { return fmt.Sprintf("seqno:Data(%d)", h.Seqno) }
-func (seqnoPass) HdrString() string   { return "seqno:Pass" }
+func newSeqnoData(seq int64) *seqnoData {
+	h := seqnoDataPool.Get()
+	h.Seqno = seq
+	return h
+}
+
+func (*seqnoData) Layer() string { return Seqno }
+func (seqnoPass) Layer() string  { return Seqno }
+
+func (h *seqnoData) HdrString() string { return fmt.Sprintf("seqno:Data(%d)", h.Seqno) }
+func (seqnoPass) HdrString() string    { return "seqno:Pass" }
+
+func (h *seqnoData) CloneHdr() event.Header { return newSeqnoData(h.Seqno) }
+func (h *seqnoData) FreeHdr()               { seqnoDataPool.Put(h) }
 
 const (
 	seqnoTagData byte = iota
@@ -47,7 +58,7 @@ func init() {
 		return &seqnoState{
 			view:     cfg.View,
 			recvNext: make([]int64, n),
-			recvBuf:  make([]map[int64]savedMsg, n),
+			recvBuf:  make([]map[int64]*savedMsg, n),
 		}
 	})
 	transport.RegisterCodec(transport.HeaderCodec{
@@ -55,7 +66,7 @@ func init() {
 		ID:    idSeqno,
 		Encode: func(h event.Header, w *transport.Writer) {
 			switch h := h.(type) {
-			case seqnoData:
+			case *seqnoData:
 				w.Byte(seqnoTagData)
 				w.Varint(h.Seqno)
 			case seqnoPass:
@@ -67,7 +78,7 @@ func init() {
 		Decode: func(r *transport.Reader) (event.Header, error) {
 			switch tag := r.Byte(); tag {
 			case seqnoTagData:
-				return seqnoData{Seqno: r.Varint()}, nil
+				return newSeqnoData(r.Varint()), nil
 			case seqnoTagPass:
 				return seqnoPass{}, nil
 			default:
@@ -82,7 +93,7 @@ func (s *seqnoState) Name() string { return Seqno }
 func (s *seqnoState) HandleDn(ev *event.Event, snk layer.Sink) {
 	switch ev.Type {
 	case event.ECast:
-		ev.Msg.Push(seqnoData{Seqno: s.mySeq})
+		ev.Msg.Push(newSeqnoData(s.mySeq))
 		s.mySeq++
 		snk.PassDn(ev)
 	case event.ESend:
@@ -96,23 +107,25 @@ func (s *seqnoState) HandleDn(ev *event.Event, snk layer.Sink) {
 func (s *seqnoState) HandleUp(ev *event.Event, snk layer.Sink) {
 	switch ev.Type {
 	case event.ECast:
-		h, ok := ev.Msg.Pop().(seqnoData)
+		h, ok := ev.Msg.Pop().(*seqnoData)
 		if !ok {
 			panic("seqno: up cast without data header")
 		}
+		seq := h.Seqno
+		h.FreeHdr()
 		origin := ev.Peer
 		next := s.recvNext[origin]
 		switch {
-		case h.Seqno == next:
+		case seq == next:
 			s.recvNext[origin] = next + 1
 			snk.PassUp(ev)
 			s.drain(origin, snk)
-		case h.Seqno > next:
+		case seq > next:
 			if s.recvBuf[origin] == nil {
-				s.recvBuf[origin] = make(map[int64]savedMsg)
+				s.recvBuf[origin] = make(map[int64]*savedMsg)
 			}
-			if _, dup := s.recvBuf[origin][h.Seqno]; !dup {
-				s.recvBuf[origin][h.Seqno] = saveMsg(ev)
+			if _, dup := s.recvBuf[origin][seq]; !dup {
+				s.recvBuf[origin][seq] = saveMsg(ev)
 			}
 			event.Free(ev)
 		default:
@@ -137,9 +150,7 @@ func (s *seqnoState) drain(origin int, snk layer.Sink) {
 		s.recvNext[origin]++
 		out := event.Alloc()
 		out.Dir, out.Type, out.Peer = event.Up, event.ECast, origin
-		out.Msg.Payload = m.payload
-		out.Msg.Headers = m.hdrs
-		out.ApplMsg = m.applMsg
+		m.transferTo(out)
 		snk.PassUp(out)
 	}
 }

@@ -56,7 +56,7 @@ type totalKey struct {
 
 type totalPending struct {
 	origin int
-	msg    savedMsg
+	msg    *savedMsg
 }
 
 // total header variants.
@@ -78,11 +78,24 @@ type (
 	totalPass struct{}
 )
 
-func (totalData) Layer() string  { return Total }
+var totalDataPool event.HdrPool[totalData]
+
+func newTotalData(lseq, gseq int64) *totalData {
+	h := totalDataPool.Get()
+	h.LocalSeq, h.GSeq = lseq, gseq
+	return h
+}
+
+func (*totalData) Layer() string { return Total }
 func (totalOrder) Layer() string { return Total }
 func (totalPass) Layer() string  { return Total }
 
-func (h totalData) HdrString() string { return fmt.Sprintf("total:Data(%d,g=%d)", h.LocalSeq, h.GSeq) }
+func (h *totalData) HdrString() string {
+	return fmt.Sprintf("total:Data(%d,g=%d)", h.LocalSeq, h.GSeq)
+}
+
+func (h *totalData) CloneHdr() event.Header { return newTotalData(h.LocalSeq, h.GSeq) }
+func (h *totalData) FreeHdr()               { totalDataPool.Put(h) }
 func (h totalOrder) HdrString() string {
 	return fmt.Sprintf("total:Order(%d,%d->g=%d)", h.Origin, h.LocalSeq, h.GSeq)
 }
@@ -108,7 +121,7 @@ func init() {
 		ID:    idTotal,
 		Encode: func(h event.Header, w *transport.Writer) {
 			switch h := h.(type) {
-			case totalData:
+			case *totalData:
 				w.Byte(totalTagData)
 				w.Varint(h.LocalSeq)
 				w.Varint(h.GSeq)
@@ -126,7 +139,7 @@ func init() {
 		Decode: func(r *transport.Reader) (event.Header, error) {
 			switch tag := r.Byte(); tag {
 			case totalTagData:
-				return totalData{LocalSeq: r.Varint(), GSeq: r.Varint()}, nil
+				return newTotalData(r.Varint(), r.Varint()), nil
 			case totalTagOrder:
 				return totalOrder{Origin: int32(r.Varint()), LocalSeq: r.Varint(), GSeq: r.Varint()}, nil
 			case totalTagPass:
@@ -152,7 +165,7 @@ func (s *totalState) HandleDn(ev *event.Event, snk layer.Sink) {
 			g = s.gCount
 			s.gCount++
 		}
-		ev.Msg.Push(totalData{LocalSeq: lseq, GSeq: g})
+		ev.Msg.Push(newTotalData(lseq, g))
 		snk.PassDn(ev)
 	case event.ESend:
 		ev.Msg.Push(totalPass{})
@@ -166,8 +179,10 @@ func (s *totalState) HandleUp(ev *event.Event, snk layer.Sink) {
 	switch ev.Type {
 	case event.ECast:
 		switch h := ev.Msg.Pop().(type) {
-		case totalData:
-			s.handleData(ev.Peer, h, ev, snk)
+		case *totalData:
+			lseq, gseq := h.LocalSeq, h.GSeq
+			h.FreeHdr()
+			s.handleData(ev.Peer, lseq, gseq, ev, snk)
 		case totalOrder:
 			s.handleOrder(h, snk)
 			event.Free(ev)
@@ -187,19 +202,30 @@ func (s *totalState) HandleUp(ev *event.Event, snk layer.Sink) {
 
 // handleData processes a cast: self-ordered casts go straight to the
 // pending set; unordered casts wait for (or are assigned) an order.
-func (s *totalState) handleData(origin int, h totalData, ev *event.Event, snk layer.Sink) {
+//
+// The steady-state fast path delivers in place: a cast stamped with
+// exactly the next global sequence number, with nothing pending, needs
+// no buffering — this is the same common-case predicate the optimizer
+// compiles (irdef_total.go upCCP), and it keeps the hot path free of
+// saveMsg copies.
+func (s *totalState) handleData(origin int, lseq, gseq int64, ev *event.Event, snk layer.Sink) {
+	if gseq == s.nextGlobal && len(s.pending) == 0 {
+		s.nextGlobal++
+		snk.PassUp(ev)
+		return
+	}
 	p := totalPending{origin: origin, msg: saveMsg(ev)}
 	event.Free(ev)
 	switch {
-	case h.GSeq >= 0:
-		s.pending[h.GSeq] = p
+	case gseq >= 0:
+		s.pending[gseq] = p
 	case s.sequencer():
 		g := s.gCount
 		s.gCount++
 		s.pending[g] = p
-		s.announce(origin, h.LocalSeq, g, snk)
+		s.announce(origin, lseq, g, snk)
 	default:
-		key := totalKey{origin: origin, lseq: h.LocalSeq}
+		key := totalKey{origin: origin, lseq: lseq}
 		if g, ok := s.earlyOrders[key]; ok {
 			delete(s.earlyOrders, key)
 			s.pending[g] = p
@@ -246,9 +272,7 @@ func (s *totalState) drain(snk layer.Sink) {
 		s.nextGlobal++
 		out := event.Alloc()
 		out.Dir, out.Type, out.Peer = event.Up, event.ECast, p.origin
-		out.ApplMsg = p.msg.applMsg
-		out.Msg.Payload = p.msg.payload
-		out.Msg.Headers = p.msg.hdrs
+		p.msg.transferTo(out)
 		snk.PassUp(out)
 	}
 }

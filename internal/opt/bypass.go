@@ -39,7 +39,10 @@ type Engine struct {
 	miniUp stack.Stack
 
 	// SendWire transmits a marshaled packet: cast fans out, send goes to
-	// the member at rank dst.
+	// the member at rank dst. The wire image lives in a reused buffer and
+	// is only valid during the callback — a consumer that defers delivery
+	// (or delivers synchronously in a way that can trigger further sends)
+	// must copy it first.
 	SendWire func(cast bool, dst int, wire []byte)
 	// Deliver hands an application payload up.
 	Deliver func(origin int, payload []byte, cast bool)
@@ -64,45 +67,60 @@ type Engine struct {
 	wbuf  transport.Writer
 	stats EngineStats
 
-	// Per-engine scratch reused across invocations (the engine is
-	// single-threaded, like an Ensemble stack): GC work on the fast path
-	// is what §4's first optimization removes. Taken by ownership
-	// transfer so re-entrant invocations fall back to fresh allocation.
-	tmp     []int64
-	vary    []int64
-	pend    []pendingEffect
-	varyBuf []int64
+	// scr is the per-engine scratch frame reused across invocations (the
+	// engine is single-threaded, like an Ensemble stack): GC work on the
+	// fast path is what §4's first optimization removes. Taken by
+	// ownership transfer so a re-entrant invocation (an application
+	// callback casting in response to a delivery) falls back to a fresh
+	// frame instead of clobbering the outer one.
+	scr *scratch
 }
 
-func (e *Engine) takeScratch() ([]int64, []int64, []pendingEffect) {
-	tmp, vary, pend := e.tmp, e.vary, e.pend
-	e.tmp, e.vary, e.pend = nil, nil, nil
-	if tmp == nil {
-		tmp = make([]int64, 0, 16)
-	}
-	if vary == nil {
-		vary = make([]int64, 0, 8)
-	}
-	if pend == nil {
-		pend = make([]pendingEffect, 0, 4)
-	}
-	return tmp, vary, pend
+// scratch bundles every reusable buffer one bypass invocation needs:
+// the evaluation context itself (ctx — compiled expressions take it
+// through an indirect call, which would force a stack-local copy to
+// escape on every invocation), update values (tmp), varying wire
+// fields (vary), the effect-argument and header arenas (args, hdrs —
+// deferred effects carve capped subslices that stay valid until the
+// effects run at the end of the invocation), the deferred effect list
+// (pend), and the compressed wire image (wire). The header-field
+// staging buffer lives on as ctx.hv across invocations.
+type scratch struct {
+	ctx  rtCtx
+	tmp  []int64
+	vary []int64
+	args []int64
+	hdrs []event.Header
+	pend []pendingEffect
+	wire []byte
 }
 
-func (e *Engine) putScratch(tmp, vary []int64, pend []pendingEffect) {
-	e.tmp, e.vary, e.pend = tmp[:0], vary[:0], pend[:0]
-}
-
-func (e *Engine) takeVaryBuf() []int64 {
-	b := e.varyBuf
-	e.varyBuf = nil
-	if b == nil {
-		b = make([]int64, 0, 8)
+func (e *Engine) takeScratch() *scratch {
+	s := e.scr
+	e.scr = nil
+	if s == nil {
+		s = new(scratch)
 	}
-	return b
+	return s
 }
 
-func (e *Engine) putVaryBuf(b []int64) { e.varyBuf = b[:0] }
+// putScratch returns a frame for reuse. Header and effect slots are
+// cleared: ownership of the header values has moved to events or
+// effects by now, and stale pointers must not keep them reachable.
+func (e *Engine) putScratch(s *scratch) {
+	s.ctx = rtCtx{hv: s.ctx.hv[:0]}
+	s.tmp, s.vary, s.args = s.tmp[:0], s.vary[:0], s.args[:0]
+	for i := range s.hdrs {
+		s.hdrs[i] = nil
+	}
+	s.hdrs = s.hdrs[:0]
+	for i := range s.pend {
+		s.pend[i] = pendingEffect{}
+	}
+	s.pend = s.pend[:0]
+	s.wire = s.wire[:0]
+	e.scr = s
+}
 
 // pendingEffect is a deferred effect invocation captured pre-write.
 type pendingEffect struct {
@@ -384,7 +402,9 @@ func (e *Engine) netEvent(ev *event.Event) {
 		panic(fmt.Sprintf("opt: marshal: %v", err))
 	}
 	if e.SendWire != nil {
-		e.SendWire(ev.Type == event.ECast, ev.Peer, e.wbuf.Bytes())
+		// Seal reuses the writer's buffer: the wire is valid only during
+		// the callback (consumers copy before triggering further sends).
+		e.SendWire(ev.Type == event.ECast, ev.Peer, e.wbuf.Seal())
 	}
 }
 
@@ -398,8 +418,11 @@ func (e *Engine) CheckCCP(cast bool, dst int, payloadLen int) bool {
 	if cp == nil {
 		return false
 	}
-	ctx := rtCtx{peer: int64(dst), length: int64(payloadLen)}
-	return evalCCP(cp.ccp, &ctx)
+	s := e.takeScratch()
+	s.ctx.peer, s.ctx.length = int64(dst), int64(payloadLen)
+	ok := evalCCP(cp.ccp, &s.ctx)
+	e.putScratch(s)
+	return ok
 }
 
 func evalCCP(ccp []cexpr, ctx *rtCtx) bool {
@@ -415,15 +438,21 @@ func evalCCP(ccp []cexpr, ctx *rtCtx) bool {
 // holds, the partial bypass (wire specialized, self-delivery through the
 // stack) when only that one's CCP holds, the full stack otherwise.
 func (e *Engine) Cast(payload []byte) {
-	ctx := rtCtx{peer: int64(e.Rank), length: int64(len(payload))}
-	if e.dnCast != nil && evalCCP(e.dnCast.ccp, &ctx) {
+	// The context lives in the pooled scratch frame: compiled expressions
+	// receive it through indirect calls, so a stack-local would escape
+	// (one heap allocation per cast).
+	s := e.takeScratch()
+	defer e.putScratch(s)
+	ctx := &s.ctx
+	ctx.peer, ctx.length = int64(e.Rank), int64(len(payload))
+	if e.dnCast != nil && evalCCP(e.dnCast.ccp, ctx) {
 		e.stats.DnBypass++
-		e.runDn(e.dnCast, &ctx, true, 0, payload)
+		e.runDn(e.dnCast, ctx, true, 0, payload, s)
 		return
 	}
-	if e.dnCastPartial != nil && evalCCP(e.dnCastPartial.ccp, &ctx) {
+	if e.dnCastPartial != nil && evalCCP(e.dnCastPartial.ccp, ctx) {
 		e.stats.DnPartial++
-		e.runDn(e.dnCastPartial, &ctx, true, 0, payload)
+		e.runDn(e.dnCastPartial, ctx, true, 0, payload, s)
 		return
 	}
 	e.stats.DnFull++
@@ -433,10 +462,13 @@ func (e *Engine) Cast(payload []byte) {
 // Send transmits an application payload point-to-point.
 func (e *Engine) Send(dst int, payload []byte) {
 	if e.dnSend != nil {
-		ctx := rtCtx{peer: int64(dst), length: int64(len(payload))}
-		if evalCCP(e.dnSend.ccp, &ctx) {
+		s := e.takeScratch()
+		defer e.putScratch(s)
+		ctx := &s.ctx
+		ctx.peer, ctx.length = int64(dst), int64(len(payload))
+		if evalCCP(e.dnSend.ccp, ctx) {
 			e.stats.DnBypass++
-			e.runDn(e.dnSend, &ctx, false, dst, payload)
+			e.runDn(e.dnSend, ctx, false, dst, payload, s)
 			return
 		}
 	}
@@ -451,54 +483,55 @@ func (e *Engine) Send(dst int, payload []byte) {
 //	sender   uvarint (rank)
 //	varying  n × varint (field count fixed by the signature)
 //	payload  rest
-func (e *Engine) runDn(cp *compiledDnPath, ctx *rtCtx, cast bool, dst int, payload []byte) {
+func (e *Engine) runDn(cp *compiledDnPath, ctx *rtCtx, cast bool, dst int, payload []byte, s *scratch) {
 	// Read phase: everything is a pre-state expression, so all reads —
 	// update values, varying wire fields, effect arguments and captured
-	// headers — happen before any write. The scratch buffers are taken
-	// by ownership transfer so that a re-entrant invocation (an
-	// application callback casting in response to a delivery) allocates
-	// fresh ones instead of clobbering ours.
-	tmp, vary, pend := e.takeScratch()
-	// The deferred return keeps grown buffers for the next invocation.
-	defer func() { e.putScratch(tmp, vary, pend) }()
-	if cap(tmp) < len(cp.writes) {
-		tmp = make([]int64, len(cp.writes))
+	// headers — happen before any write. The caller owns the scratch
+	// frame (ctx is embedded in it) and returns it when we're done; a
+	// re-entrant invocation from an application callback takes a fresh
+	// frame instead of clobbering this one.
+	if cap(s.tmp) < len(cp.writes) {
+		s.tmp = make([]int64, len(cp.writes))
 	}
-	vals := tmp[:len(cp.writes)]
+	vals := s.tmp[:len(cp.writes)]
 	for i, w := range cp.writes {
 		vals[i] = w.eval(ctx)
 	}
-	if cap(vary) < len(cp.varying) {
-		vary = make([]int64, len(cp.varying))
+	if cap(s.vary) < len(cp.varying) {
+		s.vary = make([]int64, len(cp.varying))
 	}
-	varyVals := vary[:len(cp.varying)]
+	varyVals := s.vary[:len(cp.varying)]
 	for i, v := range cp.varying {
 		varyVals[i] = v(ctx)
 	}
-	var bounceHdrVals []event.Header
-	if len(cp.bounceHdrs) > 0 {
-		bounceHdrVals = make([]event.Header, len(cp.bounceHdrs))
-		for i := range cp.bounceHdrs {
-			bounceHdrVals[i] = cp.bounceHdrs[i].materialize(ctx)
-		}
+	// Bounce headers are pre-state values too, so they materialize here;
+	// the bounce branch below moves them into the copy event's storage.
+	// Arena subslices stay readable even if a later append regrows the
+	// arena: the values already written never move.
+	for i := range cp.bounceHdrs {
+		s.hdrs = append(s.hdrs, cp.bounceHdrs[i].materialize(ctx))
 	}
-	pend = pend[:0]
+	bounceHdrVals := s.hdrs[:len(cp.bounceHdrs):len(cp.bounceHdrs)]
+	pend := s.pend[:0]
 	for _, eff := range cp.effects {
-		args := make([]int64, len(eff.args))
-		for i, a := range eff.args {
-			args[i] = a(ctx)
+		argStart := len(s.args)
+		for _, a := range eff.args {
+			s.args = append(s.args, a(ctx))
 		}
+		args := s.args[argStart:len(s.args):len(s.args)]
 		var hdrs []event.Header
 		if len(eff.hdrs) > 0 {
-			hdrs = make([]event.Header, len(eff.hdrs))
+			hdrStart := len(s.hdrs)
 			for i := range eff.hdrs {
-				hdrs[i] = eff.hdrs[i].materialize(ctx)
+				s.hdrs = append(s.hdrs, eff.hdrs[i].materialize(ctx))
 			}
+			hdrs = s.hdrs[hdrStart:len(s.hdrs):len(s.hdrs)]
 		}
 		pend = append(pend, pendingEffect{run: eff.run, ectx: ir.EffectCtx{
 			Args: args, Payload: payload, ApplMsg: true, Hdrs: hdrs,
 		}})
 	}
+	s.pend = pend
 	// Write phase.
 	for i, w := range cp.writes {
 		w.apply(vals[i], ctx)
@@ -507,16 +540,22 @@ func (e *Engine) runDn(cp *compiledDnPath, ctx *rtCtx, cast bool, dst int, paylo
 	// same order the full stack's scheduler produces.
 	if cp.self && e.Deliver != nil {
 		e.Deliver(e.Rank, payload, true)
-	} else if len(cp.bounceHdrs) > 0 && e.miniUp != nil {
-		// Bounce fallback: materialize the headers the layers above the
-		// bouncing layer pushed (pre-state values were captured in the
-		// read phase below) and run the copy through them.
+	} else if len(bounceHdrVals) > 0 && e.miniUp != nil {
+		// Bounce fallback: the pre-state header values captured in the
+		// read phase move into the copy event's own storage (the event
+		// takes ownership and frees them) and the copy runs through the
+		// layers above the bouncing layer.
 		copyEv := event.Alloc()
 		copyEv.Dir, copyEv.Type, copyEv.Peer = event.Up, event.ECast, e.Rank
 		copyEv.ApplMsg = true
 		copyEv.Msg.Payload = payload
-		copyEv.Msg.Headers = bounceHdrVals
+		copyEv.Msg.Headers = append(copyEv.Msg.Headers[:0], bounceHdrVals...)
 		e.miniUp.DeliverUp(copyEv)
+	} else {
+		// No taker for the bounce copy: release the materialized headers.
+		for _, h := range bounceHdrVals {
+			event.FreeHeader(h)
+		}
 	}
 	if e.InlineEffects {
 		// Ablation: buffering on the critical path, as an unoptimized
@@ -524,20 +563,21 @@ func (e *Engine) runDn(cp *compiledDnPath, ctx *rtCtx, cast bool, dst int, paylo
 		for _, p := range pend {
 			p.run(p.ectx)
 		}
-		pend = nil
+		pend = pend[:0]
 	}
 	// Transport: the compressed image is the stack identifier plus only
-	// the varying header fields (§4.1.3).
+	// the varying header fields (§4.1.3), built in the frame's reused
+	// buffer — valid only during the SendWire callback.
 	if e.MarkDnTransport != nil {
 		e.MarkDnTransport()
 	}
-	wire := make([]byte, 0, 16+len(payload))
-	wire = append(wire, transport.WireCompressed, byte(cp.id), byte(cp.id>>8))
+	wire := append(s.wire[:0], transport.WireCompressed, byte(cp.id), byte(cp.id>>8))
 	wire = binary.AppendUvarint(wire, uint64(e.Rank))
 	for _, v := range varyVals {
 		wire = binary.AppendVarint(wire, v)
 	}
 	wire = append(wire, payload...)
+	s.wire = wire
 	if e.SendWire != nil {
 		e.SendWire(cast, dst, wire)
 	}
@@ -592,13 +632,14 @@ func (e *Engine) Packet(data []byte) {
 		return
 	}
 	rest = rest[n:]
-	ctx := rtCtx{peer: int64(sender)}
-	varyBuf := e.takeVaryBuf()
-	defer e.putVaryBuf(varyBuf)
-	if cap(varyBuf) < cp.nvary {
-		varyBuf = make([]int64, cp.nvary)
+	s := e.takeScratch()
+	defer e.putScratch(s)
+	ctx := &s.ctx
+	ctx.peer = int64(sender)
+	if cap(s.vary) < cp.nvary {
+		s.vary = make([]int64, cp.nvary)
 	}
-	ctx.vary = varyBuf[:cp.nvary]
+	ctx.vary = s.vary[:cp.nvary]
 	for i := 0; i < cp.nvary; i++ {
 		v, n := binary.Varint(rest)
 		if n <= 0 {
@@ -614,9 +655,9 @@ func (e *Engine) Packet(data []byte) {
 		e.MarkUpStack()
 	}
 
-	if evalCCP(cp.ccp, &ctx) {
+	if evalCCP(cp.ccp, ctx) {
 		e.stats.UpBypass++
-		e.runUp(cp, &ctx, int(sender), payload)
+		e.runUp(cp, ctx, int(sender), payload, s)
 		return
 	}
 	// CCP miss: uncompress into a full event and hand it to the
@@ -632,34 +673,37 @@ func (e *Engine) Packet(data []byte) {
 	ev.Peer = int(sender)
 	ev.ApplMsg = true
 	ev.Msg.Payload = payload
-	hdrs := make([]event.Header, len(cp.full))
+	// Rebuild the header stack in the event's reused storage.
+	hdrs := ev.Msg.Headers[:0]
 	for i := range cp.full {
-		hdrs[i] = cp.full[i].materialize(&ctx)
+		hdrs = append(hdrs, cp.full[i].materialize(ctx))
 	}
 	ev.Msg.Headers = hdrs
 	e.stk.DeliverUp(ev)
 }
 
-func (e *Engine) runUp(cp *compiledUpPath, ctx *rtCtx, sender int, payload []byte) {
-	tmp, vary, pend := e.takeScratch()
-	defer func() { e.putScratch(tmp, vary, pend) }()
-	if cap(tmp) < len(cp.writes) {
-		tmp = make([]int64, len(cp.writes))
+// runUp shares the caller's scratch frame: Packet already owns one, and
+// the fields it used (vary, hv) are disjoint from the ones used here.
+func (e *Engine) runUp(cp *compiledUpPath, ctx *rtCtx, sender int, payload []byte, s *scratch) {
+	if cap(s.tmp) < len(cp.writes) {
+		s.tmp = make([]int64, len(cp.writes))
 	}
-	vals := tmp[:len(cp.writes)]
+	vals := s.tmp[:len(cp.writes)]
 	for i, w := range cp.writes {
 		vals[i] = w.eval(ctx)
 	}
-	pend = pend[:0]
+	pend := s.pend[:0]
 	for _, eff := range cp.effects {
-		args := make([]int64, len(eff.args))
-		for i, a := range eff.args {
-			args[i] = a(ctx)
+		argStart := len(s.args)
+		for _, a := range eff.args {
+			s.args = append(s.args, a(ctx))
 		}
+		args := s.args[argStart:len(s.args):len(s.args)]
 		pend = append(pend, pendingEffect{run: eff.run, ectx: ir.EffectCtx{
 			Args: args, Payload: payload, ApplMsg: true,
 		}})
 	}
+	s.pend = pend
 	for i, w := range cp.writes {
 		w.apply(vals[i], ctx)
 	}

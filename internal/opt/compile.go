@@ -19,7 +19,10 @@ type rtCtx struct {
 	peer   int64
 	length int64
 	vary   []int64
-	tmp    []int64
+	// hv stages header field values for materialize, reused across
+	// headers within the invocation (seeded from the engine's scratch
+	// frame so the steady state never allocates it).
+	hv []int64
 }
 
 // cexpr is a compiled expression.
@@ -246,8 +249,13 @@ func (c *compiler) compileHdr(h QHeader) (compiledHdr, error) {
 	return ch, nil
 }
 
+// materialize builds the header from current values. Field values are
+// staged in ctx.hv — Make does not retain the slice (ir.HdrSpec).
 func (h *compiledHdr) materialize(ctx *rtCtx) event.Header {
-	vals := make([]int64, len(h.fields))
+	if cap(ctx.hv) < len(h.fields) {
+		ctx.hv = make([]int64, len(h.fields))
+	}
+	vals := ctx.hv[:len(h.fields)]
 	for i, f := range h.fields {
 		vals[i] = f(ctx)
 	}

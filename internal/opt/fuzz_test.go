@@ -79,7 +79,10 @@ func TestEngineSurvivesGarbageThenWorks(t *testing.T) {
 	}
 	for m := 0; m < 2; m++ {
 		m := m
-		engs[m].SendWire = func(cast bool, dst int, wire []byte) { engs[1-m].Packet(wire) }
+		engs[m].SendWire = func(cast bool, dst int, wire []byte) {
+			// Snapshot: the wire is only valid during this callback.
+			engs[1-m].Packet(append([]byte(nil), wire...))
+		}
 	}
 	for i := 0; i < 5000; i++ {
 		garbage := make([]byte, rng.Intn(48))

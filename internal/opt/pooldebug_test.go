@@ -1,0 +1,122 @@
+package opt
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ensemble/internal/event"
+	"ensemble/internal/layer"
+	"ensemble/internal/layers"
+	"ensemble/internal/stack"
+	"ensemble/internal/transport"
+)
+
+// The randomized equivalence workload under pool debugging: every Alloc
+// hands out a fresh object, every Free and Put is validated, and freed
+// objects are poisoned and quarantined. A single ownership bug anywhere
+// on the data path — engine, stacks, layers, transport — fails here
+// deterministically instead of corrupting state silently.
+func TestPoolDisciplineUnderEquivalenceWorkload(t *testing.T) {
+	event.SetPoolDebug(true)
+	defer event.SetPoolDebug(false)
+	for _, mode := range []stack.Mode{stack.Imp, stack.Func} {
+		t.Run(mode.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(909))
+			runEquivalence(t, layers.Stack10(), mode, genOps(rng, 400, 150), 13)
+			if err := event.PoolDebugCheck(); err != nil {
+				t.Fatalf("use-after-put on the data path: %v", err)
+			}
+		})
+	}
+}
+
+// Injected misuse: an application callback frees the delivered event,
+// which the stack glue then frees again (Callbacks documents that the
+// stack owns it). In production mode this recycles an object with two
+// live owners — silent corruption; debug mode must panic.
+func TestPoolDebugCatchesInjectedDoubleFree(t *testing.T) {
+	event.SetPoolDebug(true)
+	defer event.SetPoolDebug(false)
+
+	var rx stack.Stack
+	rx, err := stack.Build(layers.Stack4(), layer.DefaultConfig(testView(2, 1)), stack.Imp, stack.Callbacks{
+		App: func(ev *event.Event) {
+			if ev.ApplMsg {
+				event.Free(ev) // the deliberate bug: the glue frees it again
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := stack.Build(layers.Stack4(), layer.DefaultConfig(testView(2, 0)), stack.Imp, stack.Callbacks{
+		Net: func(ev *event.Event) {
+			if ev.Type != event.ECast && ev.Type != event.ESend {
+				return
+			}
+			var w transport.Writer
+			if err := transport.Marshal(ev, 0, &w); err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			other, err := transport.Unmarshal(w.Bytes())
+			if err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			rx.DeliverUp(other)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("injected double free went undetected")
+		}
+		if !strings.Contains(fmt.Sprint(r), "double-put") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	tx.SubmitDn(event.CastEv([]byte("boom")))
+	t.Fatal("unreachable: delivery must have double-freed")
+}
+
+// Sustained traffic with periodic stability sweeps must keep the
+// live-object population bounded: retransmission buffers are trimmed as
+// casts become stable, so live counts reflect the protocol window, not
+// the traffic volume.
+func TestPoolLeakBoundedUnderSustainedTraffic(t *testing.T) {
+	event.SetPoolDebug(true)
+	defer event.SetPoolDebug(false)
+	p := newEnginePair(t, layers.Stack10(), stack.Imp)
+
+	const rounds = 3000
+	var peak event.PoolStats
+	for i := 0; i < rounds; i++ {
+		p.engs[i%2].Cast([]byte("sustained traffic payload"))
+		if i%64 == 63 {
+			now := int64(i) * 1000
+			p.engs[0].Timer(now)
+			p.engs[1].Timer(now)
+			if st := event.DebugPoolStats(); st.LiveHeaders > peak.LiveHeaders {
+				peak = st
+			}
+		}
+	}
+	// Final sweeps let in-flight stability gossip settle.
+	p.engs[0].Timer(rounds * 1000)
+	p.engs[1].Timer(rounds * 1000)
+	st := event.DebugPoolStats()
+	t.Logf("deliveries=%d live after %d rounds: %+v (peak %+v)", len(p.log), rounds, st, peak)
+	if err := event.PoolDebugCheck(); err != nil {
+		t.Fatalf("use-after-put: %v", err)
+	}
+	// The bound is a protocol-window constant: far below one object per
+	// round. A leak of even one header per cast would blow through it.
+	if st.LiveEvents > 64 || st.LiveHeaders > 512 {
+		t.Fatalf("pool population grows with traffic: %+v after %d rounds", st, rounds)
+	}
+}

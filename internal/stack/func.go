@@ -24,10 +24,14 @@ type proto interface {
 // funcLayer adapts one layer state to the functional interface.
 type funcLayer struct {
 	st layer.State
+	fs *funcStack
 }
 
-// collector gathers handler emissions into fresh slices — the allocation
-// per boundary crossing is intrinsic to the functional model and is the
+// collector gathers handler emissions. Collectors live in the stack's
+// arena and are recycled wholesale when the outermost application of the
+// composition returns (an epoch reset), so a boundary crossing costs no
+// allocation in the steady state — the remaining FUNC overhead is the
+// recursive merge work itself, which is intrinsic to the model and the
 // reason FUNC trails IMP in Table 1.
 type collector struct {
 	ups, dns []*event.Event
@@ -37,14 +41,14 @@ func (c *collector) PassUp(ev *event.Event) { c.ups = append(c.ups, ev) }
 func (c *collector) PassDn(ev *event.Event) { c.dns = append(c.dns, ev) }
 
 func (l funcLayer) Up(ev *event.Event) ([]*event.Event, []*event.Event) {
-	var c collector
-	l.st.HandleUp(ev, &c)
+	c := l.fs.getCollector()
+	l.st.HandleUp(ev, c)
 	return c.ups, c.dns
 }
 
 func (l funcLayer) Dn(ev *event.Event) ([]*event.Event, []*event.Event) {
-	var c collector
-	l.st.HandleDn(ev, &c)
+	c := l.fs.getCollector()
+	l.st.HandleDn(ev, c)
 	return c.ups, c.dns
 }
 
@@ -53,13 +57,24 @@ type comp struct {
 	p, q proto
 }
 
+// mergeEvs accumulates child output into a merge list. When the list is
+// still empty it aliases the child's slice instead of copying — on the
+// common linear path (one output per boundary) every merge is an alias
+// and the composition allocates nothing.
+func mergeEvs(dst, src []*event.Event) []*event.Event {
+	if dst == nil {
+		return src
+	}
+	return append(dst, src...)
+}
+
 func (c comp) Dn(ev *event.Event) (ups, dns []*event.Event) {
 	pu, pd := c.p.Dn(ev)
 	ups = pu
 	for _, d := range pd {
 		du, dd := c.dnIntoLower(d)
-		ups = append(ups, du...)
-		dns = append(dns, dd...)
+		ups = mergeEvs(ups, du)
+		dns = mergeEvs(dns, dd)
 	}
 	return ups, dns
 }
@@ -69,8 +84,8 @@ func (c comp) Up(ev *event.Event) (ups, dns []*event.Event) {
 	dns = qd
 	for _, u := range qu {
 		uu, ud := c.upIntoUpper(u)
-		ups = append(ups, uu...)
-		dns = append(dns, ud...)
+		ups = mergeEvs(ups, uu)
+		dns = mergeEvs(dns, ud)
 	}
 	return ups, dns
 }
@@ -82,8 +97,8 @@ func (c comp) dnIntoLower(d *event.Event) (ups, dns []*event.Event) {
 	dns = qd
 	for _, u := range qu {
 		uu, ud := c.upIntoUpper(u)
-		ups = append(ups, uu...)
-		dns = append(dns, ud...)
+		ups = mergeEvs(ups, uu)
+		dns = mergeEvs(dns, ud)
 	}
 	return ups, dns
 }
@@ -95,8 +110,8 @@ func (c comp) upIntoUpper(u *event.Event) (ups, dns []*event.Event) {
 	ups = pu
 	for _, d := range pd {
 		du, dd := c.dnIntoLower(d)
-		ups = append(ups, du...)
-		dns = append(dns, dd...)
+		ups = mergeEvs(ups, du)
+		dns = mergeEvs(dns, dd)
 	}
 	return ups, dns
 }
@@ -105,27 +120,70 @@ type funcStack struct {
 	states []layer.State
 	top    proto
 	cb     Callbacks
+
+	// arena recycles collectors: handed out in order during an
+	// application of the composition, reclaimed all at once when the
+	// outermost application returns. depth tracks re-entrant
+	// applications (a callback submitting a response) so the reset only
+	// happens when no collector slice can still be referenced.
+	arena []*collector
+	used  int
+	depth int
 }
 
 func newFuncStack(states []layer.State, cb Callbacks) *funcStack {
+	s := &funcStack{states: states, cb: cb}
 	// Fold the layers top-first: ((L0 over L1) over L2) ...
-	var p proto = funcLayer{st: states[0]}
+	var p proto = funcLayer{st: states[0], fs: s}
 	for _, st := range states[1:] {
-		p = comp{p: p, q: funcLayer{st: st}}
+		p = comp{p: p, q: funcLayer{st: st, fs: s}}
 	}
-	return &funcStack{states: states, top: p, cb: cb}
+	s.top = p
+	return s
+}
+
+func (s *funcStack) getCollector() *collector {
+	if s.used == len(s.arena) {
+		s.arena = append(s.arena, &collector{
+			ups: make([]*event.Event, 0, 4),
+			dns: make([]*event.Event, 0, 4),
+		})
+	}
+	c := s.arena[s.used]
+	s.used++
+	// Clear up to capacity: parent merges may have written event
+	// pointers past the recorded length.
+	c.ups = c.ups[:cap(c.ups)]
+	for i := range c.ups {
+		c.ups[i] = nil
+	}
+	c.ups = c.ups[:0]
+	c.dns = c.dns[:cap(c.dns)]
+	for i := range c.dns {
+		c.dns[i] = nil
+	}
+	c.dns = c.dns[:0]
+	return c
 }
 
 func (s *funcStack) States() []layer.State { return s.states }
 
 func (s *funcStack) SubmitDn(ev *event.Event) {
+	s.depth++
 	ups, dns := s.top.Dn(ev)
 	s.route(ups, dns)
+	if s.depth--; s.depth == 0 {
+		s.used = 0
+	}
 }
 
 func (s *funcStack) DeliverUp(ev *event.Event) {
+	s.depth++
 	ups, dns := s.top.Up(ev)
 	s.route(ups, dns)
+	if s.depth--; s.depth == 0 {
+		s.used = 0
+	}
 }
 
 func (s *funcStack) route(ups, dns []*event.Event) {

@@ -14,12 +14,19 @@ type impStack struct {
 	states []layer.State // top first
 	cb     Callbacks
 
-	sinks []impSink
+	// sinks are boxed once at construction: passing an impSink value
+	// through the layer.Sink interface at dispatch time would allocate
+	// on every handler invocation.
+	sinks []layer.Sink
 
 	// emit collects the current handler's output events.
 	emit []schedItem
-	// q is the scheduler queue.
-	q []schedItem
+	// q is the scheduler queue: live items are q[qHead:]. Popping
+	// advances qHead instead of shifting, and the storage is reclaimed
+	// wholesale whenever the queue drains, so a run never copies or
+	// allocates in the steady state.
+	q     []schedItem
+	qHead int
 	// running guards against re-entrant injection from callbacks.
 	running bool
 }
@@ -36,19 +43,19 @@ type impSink struct {
 	idx int
 }
 
-func (k impSink) PassUp(ev *event.Event) {
+func (k *impSink) PassUp(ev *event.Event) {
 	k.s.emit = append(k.s.emit, schedItem{idx: k.idx - 1, ev: ev})
 }
 
-func (k impSink) PassDn(ev *event.Event) {
+func (k *impSink) PassDn(ev *event.Event) {
 	k.s.emit = append(k.s.emit, schedItem{idx: k.idx + 1, ev: ev})
 }
 
 func newImpStack(states []layer.State, cb Callbacks) *impStack {
 	s := &impStack{states: states, cb: cb}
-	s.sinks = make([]impSink, len(states))
+	s.sinks = make([]layer.Sink, len(states))
 	for i := range s.sinks {
-		s.sinks[i] = impSink{s: s, idx: i}
+		s.sinks[i] = &impSink{s: s, idx: i}
 	}
 	return s
 }
@@ -80,19 +87,21 @@ func (s *impStack) run(cur schedItem) {
 		s.dispatch(cur)
 		// Common case: the handler produced exactly one event and the
 		// queue is empty — pass it directly to the appropriate layer.
-		if len(s.emit) == 1 && len(s.q) == 0 {
+		if len(s.emit) == 1 && s.qHead == len(s.q) {
 			cur = s.emit[0]
 			s.emit = s.emit[:0]
 			continue
 		}
 		s.q = append(s.q, s.emit...)
 		s.emit = s.emit[:0]
-		if len(s.q) == 0 {
+		if s.qHead == len(s.q) {
+			s.q = s.q[:0]
+			s.qHead = 0
 			return
 		}
-		cur = s.q[0]
-		copy(s.q, s.q[1:])
-		s.q = s.q[:len(s.q)-1]
+		cur = s.q[s.qHead]
+		s.q[s.qHead] = schedItem{} // drop the event reference
+		s.qHead++
 	}
 }
 

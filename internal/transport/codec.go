@@ -114,12 +114,24 @@ func Marshal(ev *event.Event, sender int, w *Writer) error {
 	return nil
 }
 
-// Unmarshal decodes a wire image produced by Marshal into a fresh
+// readerPool recycles Readers: the codec Decode calls are indirect, so
+// a stack Reader would escape and allocate per packet.
+var readerPool = sync.Pool{New: func() any { return new(Reader) }}
+
+// Unmarshal decodes a wire image produced by Marshal into a pooled
 // up-going event whose Peer is the sender's rank. The header stack is
-// rebuilt so that the outermost header is on top (popped first by the
-// bottom layer).
+// rebuilt in the event's reused header storage so that the outermost
+// header is on top (popped first by the bottom layer).
 func Unmarshal(buf []byte) (*event.Event, error) {
-	r := NewReader(buf)
+	r := readerPool.Get().(*Reader)
+	r.Reset(buf)
+	ev, err := unmarshal(r)
+	r.Reset(nil)
+	readerPool.Put(r)
+	return ev, err
+}
+
+func unmarshal(r *Reader) (*event.Event, error) {
 	if m := r.Byte(); m != wireFull {
 		return nil, ErrBadWire("magic %#x, want %#x", m, wireFull)
 	}
@@ -133,7 +145,13 @@ func Unmarshal(buf []byte) (*event.Event, error) {
 		event.Free(ev)
 		return nil, ErrBadWire("implausible header count %d", n)
 	}
-	hdrs := make([]event.Header, n)
+	// Reuse the event's header storage. Slots are nil-filled up front so
+	// that an error mid-decode frees exactly the headers decoded so far.
+	hdrs := ev.Msg.Headers[:0]
+	for i := uint64(0); i < n; i++ {
+		hdrs = append(hdrs, nil)
+	}
+	ev.Msg.Headers = hdrs
 	// Decoded outermost-first; store so the outermost ends at the top of
 	// the stack (highest index).
 	for i := int(n) - 1; i >= 0; i-- {
@@ -149,7 +167,6 @@ func Unmarshal(buf []byte) (*event.Event, error) {
 		}
 		hdrs[i] = h
 	}
-	ev.Msg.Headers = hdrs
 	ev.Msg.Payload = r.Rest()
 	if err := r.Err(); err != nil {
 		event.Free(ev)

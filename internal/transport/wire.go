@@ -24,6 +24,7 @@ import (
 type Writer struct {
 	hdr     []byte
 	payload []byte
+	out     []byte
 }
 
 // Reset clears the writer for reuse, keeping its buffer.
@@ -62,12 +63,23 @@ func (w *Writer) SetPayload(p []byte) { w.payload = p }
 // HeaderLen reports the bytes written so far, excluding the payload.
 func (w *Writer) HeaderLen() int { return len(w.hdr) }
 
-// Bytes gathers the header and payload segments into one wire image.
+// Bytes gathers the header and payload segments into one freshly
+// allocated wire image the caller owns. Hot paths use Seal instead.
 func (w *Writer) Bytes() []byte {
 	out := make([]byte, 0, len(w.hdr)+len(w.payload))
 	out = append(out, w.hdr...)
 	out = append(out, w.payload...)
 	return out
+}
+
+// Seal gathers the header and payload segments into an internal buffer
+// the writer reuses: the returned slice is valid only until the next
+// Seal or Reset on this writer. Callers that retain the wire image past
+// that point must copy it.
+func (w *Writer) Seal() []byte {
+	w.out = append(w.out[:0], w.hdr...)
+	w.out = append(w.out, w.payload...)
+	return w.out
 }
 
 // AppendTo gathers into dst, for callers that manage their own buffers.
@@ -88,6 +100,12 @@ type Reader struct {
 
 // NewReader wraps buf.
 func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Reset points the reader at buf, clearing any prior error, so one
+// Reader can decode many wire images without reallocating.
+func (r *Reader) Reset(buf []byte) {
+	r.buf, r.off, r.err = buf, 0, nil
+}
 
 // Err returns the first decode error encountered.
 func (r *Reader) Err() error { return r.err }
