@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-throughput pooldebug clean
+.PHONY: all build test race verify bench bench-throughput pooldebug clean
 
 all: build test
 
@@ -18,6 +18,15 @@ test:
 race:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# The pre-merge gate: vet, the full suite, and the internal packages
+# under the race detector — the cluster tests in internal/core and
+# internal/netsim run full stacks one-goroutine-per-member, so this is
+# what proves the pooled hot path is safe under real concurrency.
+verify:
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/...
 
 # The paper-table benchmarks (Tables 1, 2 and Figure 6).
 bench:

@@ -141,3 +141,45 @@ func BenchmarkAblation_MACH_InlineEffects(b *testing.B) {
 	b.ReportMetric(seg.DownStack, "ns/down-stack")
 	b.ReportMetric(seg.Total(), "ns/total")
 }
+
+// N-member sustained throughput over the simulated network: the whole
+// group (one goroutine per member when concurrent) with the transport
+// and the 100Mb Ethernet model on the measured path. The reported
+// virtual latency is the Figure-6 quantity measured end to end across
+// the simulated link. Seq and Conc variants execute the identical
+// delivery schedule (netsim.Cluster's determinism guarantee), so their
+// msgs/sec difference is pure scheduling overhead or parallel speedup.
+
+func benchThroughputNet(b *testing.B, cfg bench.Config, members, workers int) {
+	b.Helper()
+	rounds := b.N
+	if rounds < 8 {
+		rounds = 8
+	}
+	res, err := bench.MeasureNetThroughput(cfg, layers.Stack10(), members, 64, rounds, 29, workers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.MsgsPerSec, "msgs/sec")
+	b.ReportMetric(res.VirtualLatency, "virt-ns/delivery")
+	b.ReportMetric(float64(res.Delivered)/float64(rounds), "deliveries/round")
+}
+
+func BenchmarkThroughputNet_3Members_IMP_Seq(b *testing.B) {
+	benchThroughputNet(b, bench.IMP, 3, 1)
+}
+func BenchmarkThroughputNet_3Members_IMP_Conc(b *testing.B) {
+	benchThroughputNet(b, bench.IMP, 3, 3)
+}
+func BenchmarkThroughputNet_5Members_MACH_Seq(b *testing.B) {
+	benchThroughputNet(b, bench.MACH, 5, 1)
+}
+func BenchmarkThroughputNet_5Members_MACH_Conc(b *testing.B) {
+	benchThroughputNet(b, bench.MACH, 5, 5)
+}
+func BenchmarkThroughputNet_8Members_FUNC_Seq(b *testing.B) {
+	benchThroughputNet(b, bench.FUNC, 8, 1)
+}
+func BenchmarkThroughputNet_8Members_FUNC_Conc(b *testing.B) {
+	benchThroughputNet(b, bench.FUNC, 8, 8)
+}

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"testing"
+
+	"ensemble/internal/layers"
+)
+
+// TestNetThroughputConcurrent is the package's -race exercise: a
+// 5-member group runs the full 10-layer stack one-goroutine-per-member
+// and must deliver every cast everywhere. The sequential run of the
+// same seed must see the same network traffic and deliveries.
+func TestNetThroughputConcurrent(t *testing.T) {
+	for _, cfg := range []Config{IMP, FUNC, MACH} {
+		t.Run(cfg.String(), func(t *testing.T) {
+			conc, err := MeasureNetThroughput(cfg, layers.Stack10(), 5, 64, 40, 17, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := MeasureNetThroughput(cfg, layers.Stack10(), 5, 64, 40, 17, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seq.Net != conc.Net {
+				t.Fatalf("sequential and concurrent runs saw different network traffic:\nseq:  %+v\nconc: %+v",
+					seq.Net, conc.Net)
+			}
+			if seq.Delivered != conc.Delivered || seq.VirtualLatency != conc.VirtualLatency {
+				t.Fatalf("delivery results diverge: seq %d/%.0fns conc %d/%.0fns",
+					seq.Delivered, seq.VirtualLatency, conc.Delivered, conc.VirtualLatency)
+			}
+			if conc.VirtualLatency < 80_000 {
+				t.Fatalf("virtual latency %.0fns below the 80µs link latency (stamp plumbing broken)",
+					conc.VirtualLatency)
+			}
+		})
+	}
+}
+
+// TestNetThroughputRejectsBadShapes: unsupported configs and degenerate
+// group sizes fail loudly instead of measuring nonsense.
+func TestNetThroughputRejectsBadShapes(t *testing.T) {
+	if _, err := MeasureNetThroughput(HAND, layers.Stack4(), 4, 8, 4, 1, 1); err == nil {
+		t.Fatal("HAND has no N-member harness but was accepted")
+	}
+	if _, err := MeasureNetThroughput(IMP, layers.Stack10(), 1, 8, 4, 1, 1); err == nil {
+		t.Fatal("1-member group was accepted")
+	}
+}

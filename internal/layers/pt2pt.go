@@ -2,6 +2,7 @@ package layers
 
 import (
 	"fmt"
+	"sort"
 
 	"ensemble/internal/event"
 	"ensemble/internal/layer"
@@ -238,11 +239,20 @@ func (s *pt2ptState) sendAck(peer int, snk layer.Sink) {
 }
 
 // sweep retransmits every unacknowledged message and flushes pending
-// acknowledgments. Driven by the housekeeping timer.
+// acknowledgments. Driven by the housekeeping timer. Retransmissions go
+// out in ascending sequence order — emission order must not depend on
+// map iteration order, or the same run replayed from the same seed
+// produces a different network schedule.
 func (s *pt2ptState) sweep(snk layer.Sink) {
 	for peer := range s.peers {
 		p := &s.peers[peer]
-		for seq, m := range p.unacked {
+		seqs := make([]int64, 0, len(p.unacked))
+		for seq := range p.unacked {
+			seqs = append(seqs, seq)
+		}
+		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+		for _, seq := range seqs {
+			m := p.unacked[seq]
 			rt := event.Alloc()
 			rt.Dir, rt.Type, rt.Peer = event.Dn, event.ESend, peer
 			rt.ApplMsg = m.applMsg

@@ -1,0 +1,425 @@
+package netsim
+
+// The N-member concurrent harness. A Cluster wraps one Sim and one Net
+// and grows the single-goroutine lockstep simulation into per-member
+// execution with a deterministic central scheduler:
+//
+//   - The virtual-time heap stays authoritative: the scheduler (and only
+//     the scheduler) pops events, in (time, insertion) order.
+//   - Each member owns an Endpoint: a Network+Clock facade whose
+//     callbacks run on that member's goroutine only.
+//   - Execution alternates three phases per batch. Route: the scheduler
+//     pops every event in the batch window and appends packets and timer
+//     callbacks to the owning member's mailbox, in pop order. Drain:
+//     each member drains its mailbox — sequentially in Run, on one
+//     goroutine per member in RunConcurrent — recording the sends,
+//     casts, timer registrations, and detaches it produces into a
+//     member-local effect log instead of touching the Net. Commit: the
+//     scheduler replays the effect logs in member order, drawing from
+//     the shared RNG and pushing onto the shared heap.
+//
+// Because the RNG is only consulted during route/commit (never during
+// drain) and effects are committed in canonical member order regardless
+// of which goroutine produced them first, a given seed yields one
+// canonical delivery order: Run and RunConcurrent produce byte-identical
+// delivery traces. The concurrent mode buys no *reordering* — it buys
+// real parallel execution of the member stacks between barriers, which
+// is what puts the event/buffer pool ownership rules in front of the
+// race detector.
+
+import (
+	"container/heap"
+	"fmt"
+	"hash/crc32"
+	"sync"
+
+	"ensemble/internal/event"
+)
+
+// Cluster is an N-member deterministic network simulation with
+// per-member mailboxes. Build one with NewCluster, create one Endpoint
+// per member, then drive it with Run or RunConcurrent.
+type Cluster struct {
+	sim *Sim
+	net *Net
+
+	eps    []*Endpoint
+	byAddr map[event.Addr]int
+
+	// quantum widens the batch window: all events within quantum of the
+	// earliest pending time are routed before the members run. Zero
+	// batches exact virtual-time ties only.
+	quantum int64
+
+	// base is the virtual time effects are committed against: the
+	// emitting event's time, so a member's send leaves at the time the
+	// member handled the packet, not at the batch boundary.
+	base int64
+
+	tracing bool
+	trace   []byte
+
+	running bool
+}
+
+// NewCluster builds a cluster simulation with a seeded RNG and the
+// given link profile.
+func NewCluster(seed int64, profile Profile) *Cluster {
+	c := &Cluster{sim: NewSim(seed), byAddr: map[event.Addr]int{}}
+	c.net = NewNet(c.sim, profile)
+	c.net.route = c.route
+	return c
+}
+
+// Sim exposes the underlying simulator (for Now, global scheduling from
+// the driving goroutine between runs, and seeding checks).
+func (c *Cluster) Sim() *Sim { return c.sim }
+
+// Net exposes the underlying network (for Stats, Partition, SetFilter).
+func (c *Cluster) Net() *Net { return c.net }
+
+// SetQuantum sets the batch window in nanoseconds: events within
+// quantum of the earliest pending time are routed together, so members
+// whose deliveries land close in virtual time actually run in parallel
+// in RunConcurrent. Zero (the default) batches exact ties only.
+// Deliveries are never reordered across batches; a window only affects
+// how much work each barrier round hands the members. The window must
+// not exceed the link latency, or a member's response could be
+// scheduled into the past of the current batch (the scheduler clamps
+// such times forward, which distorts the profile's timing).
+func (c *Cluster) SetQuantum(q int64) { c.quantum = q }
+
+// EnableTrace starts recording the delivery trace (sends at commit
+// time, deliveries and drops at delivery time, in canonical order).
+func (c *Cluster) EnableTrace() { c.tracing = true; c.trace = c.trace[:0] }
+
+// TraceString returns the recorded delivery trace. Identical seeds and
+// workloads yield byte-identical traces in Run and RunConcurrent.
+func (c *Cluster) TraceString() string { return string(c.trace) }
+
+// Endpoint is one member's attachment to the cluster: it implements the
+// member Network and Clock contracts (structurally; core.Network and
+// core.Clock), but defers all shared-state mutation to the scheduler's
+// commit phase. All Endpoint methods must be called either from the
+// owning member's callbacks or from the driving goroutine while no run
+// is in progress.
+type Endpoint struct {
+	c    *Cluster
+	idx  int
+	addr event.Addr
+
+	recv     func(Packet)
+	mailbox  []mail
+	now      int64
+	effects  []effect
+	spare    [][]byte
+	detached bool
+}
+
+type mail struct {
+	t   int64
+	pkt Packet
+	fn  func()
+}
+
+type effKind uint8
+
+const (
+	effSend effKind = iota
+	effCast
+	effAfter
+	effDetach
+)
+
+type effect struct {
+	kind  effKind
+	base  int64
+	to    event.Addr
+	data  []byte
+	delay int64
+	fn    func()
+}
+
+// NewEndpoint registers a member slot. Endpoints must all be created
+// before the first run; their creation order is the canonical member
+// order of the commit phase.
+func (c *Cluster) NewEndpoint(addr event.Addr) *Endpoint {
+	if c.running {
+		panic("netsim: NewEndpoint during a run")
+	}
+	if _, dup := c.byAddr[addr]; dup {
+		panic(fmt.Sprintf("netsim: duplicate cluster endpoint %d", addr))
+	}
+	ep := &Endpoint{c: c, idx: len(c.eps), addr: addr}
+	c.byAddr[addr] = ep.idx
+	c.eps = append(c.eps, ep)
+	return ep
+}
+
+// Addr returns the endpoint's network address.
+func (ep *Endpoint) Addr() event.Addr { return ep.addr }
+
+// Attach implements the member network contract. The recv callback runs
+// on this member's goroutine (in RunConcurrent) at the packet's
+// delivery time.
+func (ep *Endpoint) Attach(addr event.Addr, recv func(Packet)) {
+	if addr != ep.addr {
+		panic(fmt.Sprintf("netsim: cluster endpoint is member %d, not %d", ep.addr, addr))
+	}
+	ep.recv = recv
+	ep.c.net.Attach(addr, func(Packet) {
+		panic("netsim: cluster-managed endpoint delivered outside the scheduler")
+	})
+}
+
+// Detach implements the member network contract; the detach takes
+// effect at the next commit, and in-flight packets count as dropped.
+func (ep *Endpoint) Detach(addr event.Addr) {
+	if addr != ep.addr {
+		return
+	}
+	ep.effects = append(ep.effects, effect{kind: effDetach, base: ep.now})
+}
+
+// Send transmits point-to-point. The data is copied; the caller may
+// reuse its buffer immediately.
+func (ep *Endpoint) Send(from, to event.Addr, data []byte) {
+	ep.effects = append(ep.effects, effect{kind: effSend, base: ep.now, to: to, data: ep.snapshot(data)})
+}
+
+// Cast transmits a multicast to every attached endpoint except the
+// sender. The data is copied.
+func (ep *Endpoint) Cast(from event.Addr, data []byte) {
+	ep.effects = append(ep.effects, effect{kind: effCast, base: ep.now, data: ep.snapshot(data)})
+}
+
+// Now implements the member clock: the virtual time of the packet or
+// timer this member is currently handling.
+func (ep *Endpoint) Now() int64 { return ep.now }
+
+// After implements the member clock: fn runs on this member's goroutine
+// delay nanoseconds after the event being handled.
+func (ep *Endpoint) After(delay int64, fn func()) {
+	ep.effects = append(ep.effects, effect{kind: effAfter, base: ep.now, delay: delay, fn: fn})
+}
+
+// snapshot copies data into a recycled member-local buffer; the buffer
+// returns to the endpoint's spare list after the commit phase consumed
+// it.
+func (ep *Endpoint) snapshot(data []byte) []byte {
+	var buf []byte
+	if n := len(ep.spare); n > 0 {
+		buf = ep.spare[n-1]
+		ep.spare = ep.spare[:n-1]
+	}
+	return append(buf[:0], data...)
+}
+
+// drain runs the member over its mailbox, in delivery order.
+func (ep *Endpoint) drain() {
+	box := ep.mailbox
+	for i := range box {
+		m := &box[i]
+		ep.now = m.t
+		if m.fn != nil {
+			m.fn()
+		} else if ep.recv != nil && !ep.detached {
+			ep.recv(m.pkt)
+		}
+		*m = mail{}
+	}
+	ep.mailbox = ep.mailbox[:0]
+}
+
+// Enqueue schedules fn to run on member idx's goroutine at now+delay —
+// the way a test or benchmark injects application work (casts, sends)
+// into a member. Call it from the driving goroutine between runs, or
+// from a previously enqueued fn on the same member.
+func (c *Cluster) Enqueue(idx int, delay int64, fn func()) {
+	c.sim.After(delay, func() { c.eps[idx].mailbox = append(c.eps[idx].mailbox, mail{t: c.sim.now, fn: fn}) })
+}
+
+// route is installed as the Net's delivery hook: schedule the arrival on
+// the authoritative heap; at pop time the scheduler does the accounting
+// and mailbox append.
+func (c *Cluster) route(p Packet, delay int64) {
+	t := c.base + delay
+	idx, ok := c.byAddr[p.To]
+	if !ok {
+		// Destination was never a cluster endpoint: account the drop at
+		// what would have been delivery time.
+		c.sim.At(t, func() { c.net.stats.Dropped++ })
+		return
+	}
+	c.sim.At(t, func() { c.arrive(idx, p) })
+}
+
+// arrive runs on the scheduler at the packet's delivery time.
+func (c *Cluster) arrive(idx int, p Packet) {
+	ep := c.eps[idx]
+	if _, attached := c.net.eps[p.To]; !attached || ep.detached || ep.recv == nil {
+		c.net.stats.Dropped++
+		c.traceLine('x', c.sim.now, p)
+		return
+	}
+	c.net.stats.Delivered++
+	c.traceLine('d', c.sim.now, p)
+	ep.mailbox = append(ep.mailbox, mail{t: c.sim.now, pkt: p})
+}
+
+func (c *Cluster) traceLine(tag byte, t int64, p Packet) {
+	if !c.tracing {
+		return
+	}
+	c.trace = fmt.Appendf(c.trace, "%c t=%d %d<-%d cast=%t n=%d crc=%08x\n",
+		tag, t, p.To, p.From, p.Cast, len(p.Data), crc32.ChecksumIEEE(p.Data))
+}
+
+// commit replays every member's effect log in canonical member order:
+// this is the only place member-produced work touches the shared RNG,
+// heap, and Net, which is what makes the delivery order independent of
+// drain-phase scheduling.
+func (c *Cluster) commit() {
+	for _, ep := range c.eps {
+		effs := ep.effects
+		ep.effects = ep.effects[:0]
+		for i := range effs {
+			e := &effs[i]
+			c.base = e.base
+			switch e.kind {
+			case effSend:
+				if c.tracing {
+					c.trace = fmt.Appendf(c.trace, "s t=%d %d->%d n=%d crc=%08x\n",
+						e.base, ep.addr, e.to, len(e.data), crc32.ChecksumIEEE(e.data))
+				}
+				c.net.Send(ep.addr, e.to, e.data)
+			case effCast:
+				if c.tracing {
+					c.trace = fmt.Appendf(c.trace, "s t=%d %d->* n=%d crc=%08x\n",
+						e.base, ep.addr, len(e.data), crc32.ChecksumIEEE(e.data))
+				}
+				c.net.Cast(ep.addr, e.data)
+			case effAfter:
+				idx, fn := ep.idx, e.fn
+				c.sim.At(e.base+e.delay, func() {
+					c.eps[idx].mailbox = append(c.eps[idx].mailbox, mail{t: c.sim.now, fn: fn})
+				})
+			case effDetach:
+				ep.detached = true
+				c.net.Detach(ep.addr)
+			}
+			if e.data != nil {
+				ep.spare = append(ep.spare, e.data)
+			}
+			*e = effect{}
+		}
+	}
+}
+
+// Run drives the cluster sequentially until the heap drains or virtual
+// time passes deadline; it returns the number of heap events executed.
+// The trace is identical to RunConcurrent's for the same seed.
+func (c *Cluster) Run(deadline int64) int { return c.run(deadline, 1) }
+
+// RunConcurrent is Run with every member draining its mailbox on its
+// own goroutine, at most `workers` members at a time; workers <= 1
+// falls back to sequential draining on the scheduler goroutine. The
+// delivery schedule — and the trace — is byte-identical to Run's.
+func (c *Cluster) RunConcurrent(deadline int64, workers int) int {
+	return c.run(deadline, workers)
+}
+
+func (c *Cluster) run(deadline int64, workers int) int {
+	if c.running {
+		panic("netsim: Cluster run re-entered")
+	}
+	c.running = true
+	defer func() { c.running = false }()
+
+	var rp *runnerPool
+	if workers > 1 && len(c.eps) > 1 {
+		rp = c.startRunners(workers)
+		defer rp.stop()
+	}
+
+	n := 0
+	for {
+		// Commit effects pending from setup or the previous drain phase.
+		c.commit()
+		if c.sim.pq.Len() == 0 || c.sim.pq[0].t > deadline {
+			break
+		}
+		// Route one batch: the earliest pending time plus the quantum
+		// window.
+		batchEnd := c.sim.pq[0].t + c.quantum
+		if batchEnd > deadline {
+			batchEnd = deadline
+		}
+		for c.sim.pq.Len() > 0 && c.sim.pq[0].t <= batchEnd {
+			ev := heap.Pop(&c.sim.pq).(simEvent)
+			c.sim.now = ev.t
+			c.base = ev.t
+			ev.fn()
+			n++
+		}
+		// Drain: the only phase where member code runs.
+		if rp != nil {
+			rp.drainAll()
+		} else {
+			for _, ep := range c.eps {
+				ep.drain()
+			}
+		}
+	}
+	if c.sim.now < deadline {
+		c.sim.now = deadline
+	}
+	return n
+}
+
+// runnerPool keeps one goroutine per member alive for the duration of a
+// concurrent run; a semaphore caps how many drain simultaneously.
+type runnerPool struct {
+	c    *Cluster
+	work []chan struct{}
+	wg   sync.WaitGroup
+	sem  chan struct{}
+}
+
+func (c *Cluster) startRunners(workers int) *runnerPool {
+	rp := &runnerPool{c: c, sem: make(chan struct{}, workers)}
+	rp.work = make([]chan struct{}, len(c.eps))
+	for i := range c.eps {
+		ch := make(chan struct{})
+		rp.work[i] = ch
+		go func(i int, ch chan struct{}) {
+			for range ch {
+				rp.sem <- struct{}{}
+				c.eps[i].drain()
+				<-rp.sem
+				rp.wg.Done()
+			}
+		}(i, ch)
+	}
+	return rp
+}
+
+// drainAll releases every member with pending mail and waits for the
+// barrier. The channel send/WaitGroup pair is the happens-before edge
+// that hands mailbox and effect-log ownership across goroutines.
+func (rp *runnerPool) drainAll() {
+	for i, ep := range rp.c.eps {
+		if len(ep.mailbox) == 0 {
+			continue
+		}
+		rp.wg.Add(1)
+		rp.work[i] <- struct{}{}
+	}
+	rp.wg.Wait()
+}
+
+func (rp *runnerPool) stop() {
+	for _, ch := range rp.work {
+		close(ch)
+	}
+}

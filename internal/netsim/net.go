@@ -43,7 +43,13 @@ func Lossy(lossProb float64) Profile {
 	return Profile{Latency: 50_000, Jitter: 100_000, LossProb: lossProb, DupProb: lossProb / 2}
 }
 
-// Stats counts what the network did, for tests and reports.
+// Stats counts what the network did, for tests and reports. Once the
+// simulator has drained, every transmission is accounted for:
+//
+//	Sent + Duplicated == Delivered + Dropped
+//
+// (each Send or per-receiver Cast attempt either delivers or drops, and
+// each duplicate adds one more delivery-or-drop outcome).
 type Stats struct {
 	Sent, Delivered, Dropped, Duplicated int64
 	BytesSent                            int64
@@ -62,6 +68,12 @@ type Net struct {
 	// filter, when set, decides reachability per (from, to) pair —
 	// returning false drops the packet. Used to create partitions.
 	filter func(from, to event.Addr) bool
+
+	// route, when set, takes over delivery scheduling: the Cluster
+	// installs it to route packets through per-member mailboxes instead
+	// of direct callbacks (see cluster.go). delay is relative to the
+	// transmission time.
+	route func(p Packet, delay int64)
 }
 
 // SetFilter installs (or clears, with nil) a reachability filter; use it
@@ -69,7 +81,12 @@ type Net struct {
 func (n *Net) SetFilter(f func(from, to event.Addr) bool) { n.filter = f }
 
 // Partition splits the attached endpoints into reachability islands:
-// packets only flow between addresses in the same island. Healing is
+// packets only flow between addresses in the same island. An endpoint
+// not listed in any island is isolated — it can reach no one, not even
+// other unlisted endpoints. (Before this was pinned down, every
+// unlisted endpoint mapped to the same implicit island 0 and they could
+// all reach each other, which silently turned "partition these three
+// off" into "put these three in a room together".) Healing is
 // SetFilter(nil).
 func (n *Net) Partition(islands ...[]event.Addr) {
 	island := map[event.Addr]int{}
@@ -79,7 +96,9 @@ func (n *Net) Partition(islands ...[]event.Addr) {
 		}
 	}
 	n.SetFilter(func(from, to event.Addr) bool {
-		return island[from] == island[to]
+		fi, fok := island[from]
+		ti, tok := island[to]
+		return fok && tok && fi == ti
 	})
 }
 
@@ -122,16 +141,17 @@ func (n *Net) Send(from, to event.Addr, data []byte) {
 }
 
 // Cast transmits a multicast packet to every attached endpoint except
-// the sender. Loss is independent per receiver.
+// the sender. Loss is independent per receiver. Every receiver gets its
+// own copy of data: transports decode in place, so a shared backing
+// slice would let one member's decode corrupt another's packet.
 func (n *Net) Cast(from event.Addr, data []byte) {
-	copied := append([]byte(nil), data...)
 	for _, to := range n.order {
 		if to == from {
 			continue
 		}
 		n.stats.Sent++
-		n.stats.BytesSent += int64(len(copied))
-		n.transmit(Packet{From: from, To: to, Data: copied, Cast: true})
+		n.stats.BytesSent += int64(len(data))
+		n.transmit(Packet{From: from, To: to, Data: append([]byte(nil), data...), Cast: true})
 	}
 }
 
@@ -147,7 +167,12 @@ func (n *Net) transmit(p Packet) {
 	n.deliverAfter(p, n.delay())
 	if n.profile.DupProb > 0 && n.sim.rng.Float64() < n.profile.DupProb {
 		n.stats.Duplicated++
-		n.deliverAfter(p, n.delay())
+		// The duplicate needs its own buffer too: both copies reach the
+		// same endpoint, and an in-place decode of the first must not
+		// mangle the second.
+		q := p
+		q.Data = append([]byte(nil), p.Data...)
+		n.deliverAfter(q, n.delay())
 	}
 }
 
@@ -160,10 +185,22 @@ func (n *Net) delay() int64 {
 }
 
 func (n *Net) deliverAfter(p Packet, delay int64) {
-	n.sim.After(delay, func() {
-		if recv, ok := n.eps[p.To]; ok {
-			n.stats.Delivered++
-			recv(p)
-		}
-	})
+	if n.route != nil {
+		n.route(p, delay)
+		return
+	}
+	n.sim.After(delay, func() { n.deliverNow(p) })
+}
+
+// deliverNow hands p to its endpoint at delivery time. A packet whose
+// endpoint detached while it was in flight counts as dropped — without
+// that, such packets vanish from the books and the Sent/Delivered/
+// Dropped invariant (see stats) silently breaks.
+func (n *Net) deliverNow(p Packet) {
+	if recv, ok := n.eps[p.To]; ok {
+		n.stats.Delivered++
+		recv(p)
+		return
+	}
+	n.stats.Dropped++
 }

@@ -23,6 +23,10 @@ type UDPNet struct {
 	recv   func(Packet)
 	funcs  chan func()
 	closed chan struct{}
+	// timers tracks every outstanding time.AfterFunc so Close can stop
+	// them: an untracked timer outlives Close and fires into a closed
+	// endpoint (and keeps the process alive until it expires).
+	timers map[*time.Timer]struct{}
 }
 
 // NewUDPNet opens a UDP endpoint at listen (host:port) for member self,
@@ -42,6 +46,7 @@ func NewUDPNet(self event.Addr, listen string, peers map[event.Addr]string) (*UD
 		peers:  map[event.Addr]*net.UDPAddr{},
 		funcs:  make(chan func(), 256),
 		closed: make(chan struct{}),
+		timers: map[*time.Timer]struct{}{},
 	}
 	for a, hostport := range peers {
 		ua, err := net.ResolveUDPAddr("udp", hostport)
@@ -94,14 +99,27 @@ func (u *UDPNet) Cast(from event.Addr, data []byte) {
 // Now implements the member clock in real nanoseconds.
 func (u *UDPNet) Now() int64 { return time.Now().UnixNano() }
 
-// After schedules fn on the Run goroutine.
+// After schedules fn on the Run goroutine. Timers registered after
+// Close never fire; timers outstanding at Close are stopped.
 func (u *UDPNet) After(delay int64, fn func()) {
-	time.AfterFunc(time.Duration(delay), func() {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	select {
+	case <-u.closed:
+		return
+	default:
+	}
+	var tm *time.Timer
+	tm = time.AfterFunc(time.Duration(delay), func() {
+		u.mu.Lock()
+		delete(u.timers, tm)
+		u.mu.Unlock()
 		select {
 		case u.funcs <- fn:
 		case <-u.closed:
 		}
 	})
+	u.timers[tm] = struct{}{}
 }
 
 // Do runs fn on the Run goroutine (for application sends).
@@ -163,12 +181,18 @@ func (u *UDPNet) addrOf(ra *net.UDPAddr) event.Addr {
 	return -1
 }
 
-// Close shuts the endpoint down.
+// Close shuts the endpoint down and stops every outstanding timer.
 func (u *UDPNet) Close() error {
+	u.mu.Lock()
 	select {
 	case <-u.closed:
 	default:
 		close(u.closed)
+		for tm := range u.timers {
+			tm.Stop()
+		}
+		u.timers = map[*time.Timer]struct{}{}
 	}
+	u.mu.Unlock()
 	return u.conn.Close()
 }

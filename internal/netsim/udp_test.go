@@ -98,3 +98,46 @@ func TestUDPClockSerialization(t *testing.T) {
 		t.Fatalf("order = %v", order)
 	}
 }
+
+// TestUDPCloseStopsTimers: timers outstanding at Close are stopped and
+// never fire into the closed endpoint, and After on a closed endpoint
+// is a no-op.
+func TestUDPCloseStopsTimers(t *testing.T) {
+	u, err := NewUDPNet(1, "127.0.0.1:0", map[event.Addr]string{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	fired := 0
+	for i := 0; i < 8; i++ {
+		u.After(int64(20*time.Millisecond), func() {
+			mu.Lock()
+			fired++
+			mu.Unlock()
+		})
+	}
+	u.mu.Lock()
+	outstanding := len(u.timers)
+	u.mu.Unlock()
+	if outstanding != 8 {
+		t.Fatalf("tracked %d timers, want 8", outstanding)
+	}
+	u.Close()
+	u.mu.Lock()
+	remaining := len(u.timers)
+	u.mu.Unlock()
+	if remaining != 0 {
+		t.Fatalf("%d timers still tracked after Close", remaining)
+	}
+	u.After(int64(time.Millisecond), func() {
+		mu.Lock()
+		fired++
+		mu.Unlock()
+	})
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	defer mu.Unlock()
+	if fired != 0 {
+		t.Fatalf("%d timers fired after Close", fired)
+	}
+}
