@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race verify bench bench-throughput pooldebug clean
+.PHONY: all build test race verify bench bench-throughput bench-gate pooldebug clean
 
 all: build test
 
@@ -27,6 +27,7 @@ verify:
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/...
+	$(MAKE) bench-gate
 
 # The paper-table benchmarks (Tables 1, 2 and Figure 6).
 bench:
@@ -36,6 +37,16 @@ bench:
 # 0 allocs/op for IMP, FUNC and MACH (see EXPERIMENTS.md).
 bench-throughput:
 	$(GO) test -run xxx -bench BenchmarkThroughput -benchtime 5000x .
+
+# The batching regression gate: the 10-layer two-node throughput
+# benchmarks (batched included) must stay at 0 allocs/op, and the
+# 8-member batched network runs must coalesce >= 2 sub-packets per
+# frame. The parsed numbers are recorded in BENCH_PR3.json.
+bench-gate:
+	$(GO) test -run xxx -bench 'BenchmarkThroughput_' -benchtime 1x . > .bench_gate_unit.out
+	$(GO) test -run xxx -bench 'BenchmarkThroughputNet_' -benchtime 150x . > .bench_gate_net.out
+	$(GO) run ./cmd/bench-gate -unit .bench_gate_unit.out -net .bench_gate_net.out -out BENCH_PR3.json
+	rm -f .bench_gate_unit.out .bench_gate_net.out
 
 # The full test suite with pool debugging forced on everywhere.
 pooldebug:

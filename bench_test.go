@@ -80,11 +80,35 @@ func BenchmarkTable2a_OptimizedStack(b *testing.B) { benchCounters(b, bench.MACH
 
 func benchThroughput(b *testing.B, cfg bench.Config, names []string, size int) {
 	b.Helper()
-	r, err := bench.NewThroughputRunner(cfg, names, size)
+	benchThroughputRunner(b, cfg, names, size, false)
+}
+
+// The Batched variants put the wire batcher's frame encode and the
+// receiver's WalkFrame decode on the measured path (flushing every 8
+// rounds, so data frames carry ~8 sub-packets); the steady state must
+// stay at 0 allocs/op — the batcher recycles its frame buffers.
+func benchThroughputBatched(b *testing.B, cfg bench.Config, names []string, size int) {
+	b.Helper()
+	benchThroughputRunner(b, cfg, names, size, true)
+}
+
+func benchThroughputRunner(b *testing.B, cfg bench.Config, names []string, size int, batched bool) {
+	b.Helper()
+	var r *bench.ThroughputRunner
+	var err error
+	if batched {
+		r, err = bench.NewBatchedThroughputRunner(cfg, names, size)
+	} else {
+		r, err = bench.NewThroughputRunner(cfg, names, size)
+	}
 	if err != nil {
 		b.Fatal(err)
 	}
-	r.Run(512) // reach steady state: pools warm, windows open
+	// Reach steady state: pools warm, windows open. The warmup runs past
+	// the 256-round housekeeping sweep boundary because the first round
+	// after a sweep regrows a pooled buffer once; measuring from round
+	// 513 exactly would charge that one-time growth to a 1x run.
+	r.Run(520)
 	before := r.Delivered()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -94,6 +118,9 @@ func benchThroughput(b *testing.B, cfg bench.Config, names []string, size int) {
 		b.Fatalf("%d rounds but only %d deliveries", b.N, got)
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msgs/sec")
+	if bs := r.BatchStats(); bs.Frames > 0 {
+		b.ReportMetric(float64(bs.SubPackets)/float64(bs.Frames), "subs/frame")
+	}
 }
 
 func BenchmarkThroughput_10Layer_IMP(b *testing.B) {
@@ -116,6 +143,22 @@ func BenchmarkThroughput_4Layer_MACH(b *testing.B) {
 }
 func BenchmarkThroughput_4Layer_HAND(b *testing.B) {
 	benchThroughput(b, bench.HAND, layers.Stack4(), 4)
+}
+
+func BenchmarkThroughput_10Layer_IMP_Batched(b *testing.B) {
+	benchThroughputBatched(b, bench.IMP, layers.Stack10(), 4)
+}
+func BenchmarkThroughput_10Layer_FUNC_Batched(b *testing.B) {
+	benchThroughputBatched(b, bench.FUNC, layers.Stack10(), 4)
+}
+func BenchmarkThroughput_10Layer_MACH_Batched(b *testing.B) {
+	benchThroughputBatched(b, bench.MACH, layers.Stack10(), 4)
+}
+func BenchmarkThroughput_4Layer_MACH_Batched(b *testing.B) {
+	benchThroughputBatched(b, bench.MACH, layers.Stack4(), 4)
+}
+func BenchmarkThroughput_4Layer_HAND_Batched(b *testing.B) {
+	benchThroughputBatched(b, bench.HAND, layers.Stack4(), 4)
 }
 
 // §4.2: the common-case-predicate check itself ("checking the CCPs takes
@@ -151,18 +194,32 @@ func BenchmarkAblation_MACH_InlineEffects(b *testing.B) {
 // msgs/sec difference is pure scheduling overhead or parallel speedup.
 
 func benchThroughputNet(b *testing.B, cfg bench.Config, members, workers int) {
+	benchThroughputNetMode(b, cfg, members, workers, false)
+}
+
+// The Batched variants run the members' wire batching with the adaptive
+// quantum (the unbatched ones run the immediate-mode ablation) and
+// report the observed coalescing factor.
+func benchThroughputNetBatched(b *testing.B, cfg bench.Config, members, workers int) {
+	benchThroughputNetMode(b, cfg, members, workers, true)
+}
+
+func benchThroughputNetMode(b *testing.B, cfg bench.Config, members, workers int, batched bool) {
 	b.Helper()
 	rounds := b.N
 	if rounds < 8 {
 		rounds = 8
 	}
-	res, err := bench.MeasureNetThroughput(cfg, layers.Stack10(), members, 64, rounds, 29, workers)
+	res, err := bench.MeasureNetThroughput(cfg, layers.Stack10(), members, 64, rounds, 29, workers, batched)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ReportMetric(res.MsgsPerSec, "msgs/sec")
 	b.ReportMetric(res.VirtualLatency, "virt-ns/delivery")
 	b.ReportMetric(float64(res.Delivered)/float64(rounds), "deliveries/round")
+	if batched {
+		b.ReportMetric(res.SubsPerFrame, "subs/frame")
+	}
 }
 
 func BenchmarkThroughputNet_3Members_IMP_Seq(b *testing.B) {
@@ -182,4 +239,16 @@ func BenchmarkThroughputNet_8Members_FUNC_Seq(b *testing.B) {
 }
 func BenchmarkThroughputNet_8Members_FUNC_Conc(b *testing.B) {
 	benchThroughputNet(b, bench.FUNC, 8, 8)
+}
+func BenchmarkThroughputNet_3Members_IMP_Seq_Batched(b *testing.B) {
+	benchThroughputNetBatched(b, bench.IMP, 3, 1)
+}
+func BenchmarkThroughputNet_5Members_MACH_Conc_Batched(b *testing.B) {
+	benchThroughputNetBatched(b, bench.MACH, 5, 5)
+}
+func BenchmarkThroughputNet_8Members_FUNC_Seq_Batched(b *testing.B) {
+	benchThroughputNetBatched(b, bench.FUNC, 8, 1)
+}
+func BenchmarkThroughputNet_8Members_FUNC_Conc_Batched(b *testing.B) {
+	benchThroughputNetBatched(b, bench.FUNC, 8, 8)
 }

@@ -1,0 +1,184 @@
+// bench-gate parses `go test -bench` output for the sustained-throughput
+// benchmarks and enforces the batching PR's regression bars:
+//
+//   - every 10-layer two-node throughput benchmark (batched or not) must
+//     report 0 allocs/op — the wire batcher's frame encode and the
+//     receiver's WalkFrame decode live on the zero-allocation hot path;
+//   - the 8-member batched network runs must coalesce at least two
+//     sub-packets per frame on average.
+//
+// It optionally records the parsed numbers as a JSON trajectory file so
+// the repository keeps a machine-readable history of the batching
+// figures next to the PR that produced them.
+//
+// Usage:
+//
+//	go test -run xxx -bench 'BenchmarkThroughput_' -benchtime 1x . > unit.out
+//	go test -run xxx -bench 'BenchmarkThroughputNet_' -benchtime 150x . > net.out
+//	go run ./cmd/bench-gate -unit unit.out -net net.out -out BENCH_PR3.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// result is one benchmark line's metrics, keyed by unit ("ns/op",
+// "msgs/sec", "subs/frame", "B/op", "allocs/op", ...).
+type result map[string]float64
+
+// parseBench extracts benchmark lines from `go test -bench` output.
+// A line looks like:
+//
+//	BenchmarkThroughput_10Layer_IMP-8  5000  1519 ns/op  658146 msgs/sec  1 B/op  0 allocs/op
+func parseBench(data []byte) map[string]result {
+	out := map[string]result{}
+	for _, line := range strings.Split(string(data), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+		r := result{}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			r[fields[i+1]] = v
+		}
+		if len(r) > 0 {
+			out[name] = r
+		}
+	}
+	return out
+}
+
+func sortedNames(m map[string]result) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func main() {
+	unitPath := flag.String("unit", "", "two-node throughput bench output (BenchmarkThroughput_*)")
+	netPath := flag.String("net", "", "N-member network bench output (BenchmarkThroughputNet_*)")
+	outPath := flag.String("out", "", "optional JSON trajectory file to write")
+	flag.Parse()
+
+	unit := map[string]result{}
+	net := map[string]result{}
+	if *unitPath != "" {
+		data, err := os.ReadFile(*unitPath)
+		if err != nil {
+			fatal("read %s: %v", *unitPath, err)
+		}
+		unit = parseBench(data)
+	}
+	if *netPath != "" {
+		data, err := os.ReadFile(*netPath)
+		if err != nil {
+			fatal("read %s: %v", *netPath, err)
+		}
+		net = parseBench(data)
+	}
+
+	failures := 0
+	fail := func(format string, args ...any) {
+		failures++
+		fmt.Fprintf(os.Stderr, "bench-gate: FAIL: "+format+"\n", args...)
+	}
+
+	// Gate 1: the 10-layer two-node hot path allocates nothing, batched
+	// included.
+	tenLayer, batchedUnit := 0, 0
+	for _, name := range sortedNames(unit) {
+		if !strings.Contains(name, "_10Layer_") {
+			continue
+		}
+		tenLayer++
+		if strings.Contains(name, "Batched") {
+			batchedUnit++
+		}
+		if allocs, ok := unit[name]["allocs/op"]; !ok {
+			fail("%s reports no allocs/op (run with -benchmem or b.ReportAllocs)", name)
+		} else if allocs != 0 {
+			fail("%s allocates %.0f allocs/op, want 0", name, allocs)
+		}
+	}
+	if *unitPath != "" {
+		if tenLayer == 0 {
+			fail("no 10-layer throughput benchmarks found in %s", *unitPath)
+		}
+		if batchedUnit == 0 {
+			fail("no batched 10-layer throughput benchmarks found in %s", *unitPath)
+		}
+	}
+
+	// Gate 2: the 8-member batched network runs really coalesce.
+	netBatched8 := 0
+	for _, name := range sortedNames(net) {
+		if !strings.Contains(name, "Batched") || !strings.Contains(name, "8Members") {
+			continue
+		}
+		netBatched8++
+		if spf, ok := net[name]["subs/frame"]; !ok {
+			fail("%s reports no subs/frame metric", name)
+		} else if spf < 2 {
+			fail("%s coalesced only %.2f subs/frame, want >= 2", name, spf)
+		}
+	}
+	if *netPath != "" && netBatched8 == 0 {
+		fail("no 8-member batched network benchmarks found in %s", *netPath)
+	}
+
+	if *outPath != "" {
+		doc := map[string]any{
+			"pr":    3,
+			"title": "Per-peer wire batching: coalesced writev-style flush from member to transport, with an adaptive netsim quantum",
+			"date":  time.Now().Format("2006-01-02"),
+			"method": "make bench-gate: go test -run xxx -bench BenchmarkThroughput_ -benchtime 1x (alloc gate) " +
+				"and -bench BenchmarkThroughputNet_ -benchtime 150x (coalescing gate); parsed by cmd/bench-gate",
+			"gates": map[string]any{
+				"ten_layer_allocs_op":          0,
+				"net_8members_subs_per_frame":  ">= 2",
+				"ten_layer_benchmarks":         tenLayer,
+				"batched_unit_benchmarks":      batchedUnit,
+				"batched_8member_net_variants": netBatched8,
+			},
+			"throughput":     unit,
+			"net_throughput": net,
+		}
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fatal("marshal: %v", err)
+		}
+		if err := os.WriteFile(*outPath, append(data, '\n'), 0o644); err != nil {
+			fatal("write %s: %v", *outPath, err)
+		}
+		fmt.Printf("bench-gate: wrote %s\n", *outPath)
+	}
+
+	if failures > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("bench-gate: OK (%d ten-layer benchmarks at 0 allocs/op, %d batched 8-member net runs >= 2 subs/frame)\n",
+		tenLayer, netBatched8)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bench-gate: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -34,6 +34,15 @@ type ThroughputRunner struct {
 	submit func()
 	sweep  func(now int64)
 	rounds int
+
+	// Batched mode: outgoing wires coalesce in per-member Batchers that
+	// are flushed every flushEvery rounds (and at the end of every Run),
+	// putting the frame encode and the WalkFrame decode on the measured
+	// path. flush drains both members until neither has pending frames.
+	batched    bool
+	flushEvery int
+	flush      func()
+	batchStats func() transport.BatcherStats
 }
 
 // wirePump moves marshaled packets between the two members without
@@ -82,7 +91,20 @@ func (p *wirePump) send(to int, wire []byte) {
 
 // NewThroughputRunner builds the two-member system for cfg.
 func NewThroughputRunner(cfg Config, names []string, size int) (*ThroughputRunner, error) {
-	r := &ThroughputRunner{cfg: cfg, payload: make([]byte, size)}
+	return newThroughputRunner(cfg, names, size, false)
+}
+
+// NewBatchedThroughputRunner builds the two-member system with wire
+// batching on the measured path: wires append into per-member Batchers
+// and frames are walked back apart at the receiver. Flushing every 8
+// rounds gives the steady state a real coalescing factor (≥ 8 subs per
+// data frame) while keeping flow-control feedback timely.
+func NewBatchedThroughputRunner(cfg Config, names []string, size int) (*ThroughputRunner, error) {
+	return newThroughputRunner(cfg, names, size, true)
+}
+
+func newThroughputRunner(cfg Config, names []string, size int, batched bool) (*ThroughputRunner, error) {
+	r := &ThroughputRunner{cfg: cfg, payload: make([]byte, size), batched: batched, flushEvery: 8}
 	switch cfg {
 	case IMP, FUNC:
 		mode := stack.Imp
@@ -106,6 +128,53 @@ func NewThroughputRunner(cfg Config, names []string, size int) (*ThroughputRunne
 	return r, nil
 }
 
+// pumpSink adapts the wirePump to the Batcher's sink contract for the
+// two-member harness (addresses are the member indexes 0 and 1). The
+// pump copies frame data during send, which is exactly the contract the
+// Batcher requires before it recycles the frame buffer.
+type pumpSink struct{ pump *wirePump }
+
+func (s pumpSink) Send(from, to event.Addr, data []byte) { s.pump.send(int(to), data) }
+func (s pumpSink) Cast(from event.Addr, data []byte)     { s.pump.send(1-int(from), data) }
+
+// emitters returns the per-member wire emitters and installs the flush
+// hook: direct pump sends when unbatched, per-member Batchers when
+// batched. flush alternates the two members until neither has pending
+// frames, because flushing one member's frames can make the other emit
+// (acknowledgments, credit).
+func (r *ThroughputRunner) emitters(pump *wirePump) [2]func(to int, wire []byte) {
+	var emit [2]func(to int, wire []byte)
+	if !r.batched {
+		for m := range emit {
+			emit[m] = func(to int, wire []byte) { pump.send(to, wire) }
+		}
+		r.flush = func() {}
+		r.batchStats = func() transport.BatcherStats { return transport.BatcherStats{} }
+		return emit
+	}
+	var batch [2]*transport.Batcher
+	for m := range batch {
+		m := m
+		batch[m] = transport.NewBatcher(pumpSink{pump: pump}, event.Addr(m), 0)
+		emit[m] = func(to int, wire []byte) { batch[m].Send(event.Addr(to), wire) }
+	}
+	r.flush = func() {
+		for batch[0].Pending()+batch[1].Pending() > 0 {
+			batch[0].Flush()
+			batch[1].Flush()
+		}
+	}
+	r.batchStats = func() transport.BatcherStats {
+		a, b := batch[0].Stats(), batch[1].Stats()
+		return transport.BatcherStats{
+			SubPackets: a.SubPackets + b.SubPackets,
+			Frames:     a.Frames + b.Frames,
+			Flushes:    a.Flushes + b.Flushes,
+		}
+	}
+	return emit
+}
+
 // initStacks wires two plain stacks back to back over an in-process
 // perfect link: every outgoing data event is marshaled and pumped into
 // the peer, so the transport is on the measured path (unlike the
@@ -113,13 +182,26 @@ func NewThroughputRunner(cfg Config, names []string, size int) (*ThroughputRunne
 func (r *ThroughputRunner) initStacks(names []string, mode stack.Mode) error {
 	var stks [2]stack.Stack
 	var wbufs [2]transport.Writer
-	pump := &wirePump{deliver: func(to int, wire []byte) {
+	var walk [2]func(sub []byte)
+	deliverOne := func(to int, wire []byte) {
 		up, err := transport.Unmarshal(wire)
 		if err != nil {
 			panic(fmt.Sprintf("bench: unmarshal: %v", err))
 		}
 		stks[to].DeliverUp(up)
+	}
+	pump := &wirePump{deliver: func(to int, wire []byte) {
+		if transport.IsFrame(wire) {
+			transport.WalkFrame(wire, walk[to])
+			return
+		}
+		deliverOne(to, wire)
 	}}
+	for m := 0; m < 2; m++ {
+		m := m
+		walk[m] = func(sub []byte) { deliverOne(m, sub) }
+	}
+	emit := r.emitters(pump)
 	for m := 0; m < 2; m++ {
 		m := m
 		cfg := layer.DefaultConfig(benchView(2, m))
@@ -136,7 +218,7 @@ func (r *ThroughputRunner) initStacks(names []string, mode stack.Mode) error {
 				if err := transport.Marshal(ev, m, &wbufs[m]); err != nil {
 					panic(fmt.Sprintf("bench: marshal: %v", err))
 				}
-				pump.send(1-m, wbufs[m].Seal())
+				emit[m](1-m, wbufs[m].Seal())
 			},
 		})
 		if err != nil {
@@ -154,7 +236,19 @@ func (r *ThroughputRunner) initStacks(names []string, mode stack.Mode) error {
 
 func (r *ThroughputRunner) initMach(names []string) error {
 	var engs [2]*opt.Engine
-	pump := &wirePump{deliver: func(to int, wire []byte) { engs[to].Packet(wire) }}
+	var walk [2]func(sub []byte)
+	pump := &wirePump{deliver: func(to int, wire []byte) {
+		if transport.IsFrame(wire) {
+			transport.WalkFrame(wire, walk[to])
+			return
+		}
+		engs[to].Packet(wire)
+	}}
+	for m := 0; m < 2; m++ {
+		m := m
+		walk[m] = func(sub []byte) { engs[m].Packet(sub) }
+	}
+	emit := r.emitters(pump)
 	for m := 0; m < 2; m++ {
 		m := m
 		eng, err := opt.NewEngine(names, layer.DefaultConfig(benchView(2, m)), stack.Func)
@@ -167,7 +261,7 @@ func (r *ThroughputRunner) initMach(names []string) error {
 			if cast {
 				to = 1 - m
 			}
-			pump.send(to, wire)
+			emit[m](to, wire)
 		}
 		engs[m] = eng
 	}
@@ -181,7 +275,19 @@ func (r *ThroughputRunner) initMach(names []string) error {
 
 func (r *ThroughputRunner) initHand() error {
 	var hands [2]*layers.HandEngine
-	pump := &wirePump{deliver: func(to int, wire []byte) { hands[to].Packet(wire) }}
+	var walk [2]func(sub []byte)
+	pump := &wirePump{deliver: func(to int, wire []byte) {
+		if transport.IsFrame(wire) {
+			transport.WalkFrame(wire, walk[to])
+			return
+		}
+		hands[to].Packet(wire)
+	}}
+	for m := 0; m < 2; m++ {
+		m := m
+		walk[m] = func(sub []byte) { hands[m].Packet(sub) }
+	}
+	emit := r.emitters(pump)
 	for m := 0; m < 2; m++ {
 		m := m
 		h, err := layers.NewHandEngine(layer.DefaultConfig(benchView(2, m)), stack.Func)
@@ -194,7 +300,7 @@ func (r *ThroughputRunner) initHand() error {
 			if cast {
 				to = 1 - m
 			}
-			pump.send(to, wire)
+			emit[m](to, wire)
 		}
 		hands[m] = h
 	}
@@ -208,16 +314,31 @@ func (r *ThroughputRunner) initHand() error {
 
 // Run drives n cast rounds, sweeping the housekeeping timers every 256
 // rounds as the latency harness does (stability gossip keeps the
-// retransmission buffers garbage-collected during long runs).
+// retransmission buffers garbage-collected during long runs). In
+// batched mode the batchers flush every flushEvery rounds and once more
+// at the end, so every submitted round is delivered before Run returns.
 func (r *ThroughputRunner) Run(n int) {
 	for i := 0; i < n; i++ {
 		r.submit()
 		r.rounds++
+		if r.batched && r.rounds%r.flushEvery == 0 {
+			r.flush()
+		}
 		if r.rounds%256 == 0 {
 			r.sweep(int64(r.rounds) * int64(1e6))
+			if r.batched {
+				r.flush()
+			}
 		}
 	}
+	if r.batched {
+		r.flush()
+	}
 }
+
+// BatchStats reports the aggregate batching counters across both
+// members (zero when the runner is unbatched).
+func (r *ThroughputRunner) BatchStats() transport.BatcherStats { return r.batchStats() }
 
 // Delivered reports application deliveries observed so far (two per
 // round for stacks with self-delivery, one otherwise).
@@ -239,6 +360,10 @@ type Throughput struct {
 	AllocsPerMsg     float64
 	AllocBytesPerMsg float64
 	GCCycles         uint32
+	// Batched reports whether wire batching was on the measured path;
+	// SubsPerFrame is the observed coalescing factor (0 when unbatched).
+	Batched      bool
+	SubsPerFrame float64
 }
 
 // MeasureThroughput runs `rounds` steady-state cast rounds of
@@ -246,11 +371,21 @@ type Throughput struct {
 // A warmup of 512 rounds runs first so pools and windows reach steady
 // state before the bracketed measurement.
 func MeasureThroughput(cfg Config, names []string, size, rounds int) (Throughput, error) {
-	r, err := NewThroughputRunner(cfg, names, size)
+	return measureThroughput(cfg, names, size, rounds, false)
+}
+
+// MeasureBatchedThroughput is MeasureThroughput with wire batching on
+// the measured path (see NewBatchedThroughputRunner).
+func MeasureBatchedThroughput(cfg Config, names []string, size, rounds int) (Throughput, error) {
+	return measureThroughput(cfg, names, size, rounds, true)
+}
+
+func measureThroughput(cfg Config, names []string, size, rounds int, batched bool) (Throughput, error) {
+	r, err := newThroughputRunner(cfg, names, size, batched)
 	if err != nil {
 		return Throughput{}, err
 	}
-	r.Run(512)
+	r.Run(520) // past the 256-round sweep boundary, see bench_test.go
 	base := r.Delivered()
 	smp, err := perfcount.Measure(func() error { r.Run(rounds); return nil })
 	if err != nil {
@@ -261,7 +396,7 @@ func MeasureThroughput(cfg Config, names []string, size, rounds int) (Throughput
 		return Throughput{}, fmt.Errorf("bench: %d rounds but only %d deliveries", rounds, got)
 	}
 	n := float64(rounds)
-	return Throughput{
+	tp := Throughput{
 		Config:           cfg,
 		Layers:           len(names),
 		Size:             size,
@@ -272,7 +407,12 @@ func MeasureThroughput(cfg Config, names []string, size, rounds int) (Throughput
 		AllocsPerMsg:     float64(smp.Mallocs) / n,
 		AllocBytesPerMsg: float64(smp.AllocBytes) / n,
 		GCCycles:         smp.GCCycles,
-	}, nil
+		Batched:          batched,
+	}
+	if bs := r.BatchStats(); bs.Frames > 0 {
+		tp.SubsPerFrame = float64(bs.SubPackets) / float64(bs.Frames)
+	}
+	return tp, nil
 }
 
 // ThroughputTable renders the sustained-throughput comparison across

@@ -1,0 +1,160 @@
+package core
+
+// Wire-batching tests at the group-runtime level: members emit framed
+// (coalesced) data packets, the network substrates unpack them, and
+// malformed framing lands in the same stray-packet accounting as any
+// other garbage (mirroring malformed_test.go).
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"ensemble/internal/event"
+	"ensemble/internal/layers"
+	"ensemble/internal/netsim"
+	"ensemble/internal/stack"
+	"ensemble/internal/transport"
+)
+
+func appendSub(frame, sub []byte) []byte {
+	frame = binary.AppendUvarint(frame, uint64(len(sub)))
+	return append(frame, sub...)
+}
+
+// TestBatchedFrameStrayEdgeCases: a frame whose sub-packets are
+// malformed — or whose framing itself is malformed (truncated length
+// prefix, zero-length sub, declared length overrunning the buffer) —
+// must surface as stray packets at the member, never panic, never
+// disturb clean traffic.
+func TestBatchedFrameStrayEdgeCases(t *testing.T) {
+	for _, optimized := range []bool{false, true} {
+		name := "stack"
+		if optimized {
+			name = "optimized"
+		}
+		t.Run(name, func(t *testing.T) {
+			var g *Group
+			var err error
+			if optimized {
+				g, err = NewOptimizedGroup(2, netsim.Profile{Latency: 1000}, 3, layers.Stack10(), stack.Func, nil)
+			} else {
+				g, err = NewGroup(2, netsim.Profile{Latency: 1000}, 3, layers.Stack10(), stack.Imp, nil)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := g.Members[0]
+			garbage := appendUvarint(nil, 99) // wrong epoch
+			cases := []struct {
+				name   string
+				frame  []byte
+				strays int64
+			}{
+				{"two-garbage-subs",
+					appendSub(appendSub([]byte{transport.FrameMagic}, garbage), garbage), 2},
+				{"zero-length-sub",
+					appendSub([]byte{transport.FrameMagic}, nil), 1},
+				{"truncated-length-prefix",
+					append(appendSub([]byte{transport.FrameMagic}, garbage), 0x80), 2},
+				{"overflowing-length-prefix",
+					append([]byte{transport.FrameMagic}, bytes.Repeat([]byte{0x80}, 11)...), 1},
+				{"declared-length-overrun",
+					append(binary.AppendUvarint([]byte{transport.FrameMagic}, 100), 1, 2, 3), 1},
+				{"magic-only", []byte{transport.FrameMagic}, 0},
+			}
+			for _, tc := range cases {
+				before := m.Stats().StrayPackets
+				g.Net.Send(99, m.addr, tc.frame)
+				g.Run(g.Sim.Now() + int64(1e7))
+				if got := m.Stats().StrayPackets - before; got != tc.strays {
+					t.Errorf("%s: %d new strays, want %d", tc.name, got, tc.strays)
+				}
+			}
+			// The member is still live after the garbage.
+			m.Cast([]byte("still alive"))
+			g.Run(g.Sim.Now() + int64(1e8))
+			if g.Members[1].Stats().CastsDelivered == 0 {
+				t.Fatal("member stopped delivering after malformed frames")
+			}
+		})
+	}
+}
+
+// TestPt2ptSweepOneFlushPerPeer: with acknowledgments cut off, every
+// housekeeping sweep retransmits the whole unacked window to the peer —
+// and the batcher coalesces that burst into exactly one frame per peer
+// per sweep. Stack4 keeps the sweep free of stability gossip so the
+// only periodic traffic is the pt2pt retransmission burst.
+func TestPt2ptSweepOneFlushPerPeer(t *testing.T) {
+	g, err := NewGroup(2, netsim.Profile{Latency: 1000}, 5, layers.Stack4(), stack.Imp, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := g.Members[0]
+	// Drop everything addressed to member 0: acks never arrive, so its
+	// unacked window stays full and every sweep retransmits all of it.
+	g.Net.SetFilter(func(from, to event.Addr) bool { return to != m.addr })
+	const sends = 6
+	for i := 0; i < sends; i++ {
+		if err := m.Send(1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var before, after transport.BatcherStats
+	g.Sim.After(int64(125e6), func() { before = m.Batcher().Stats() })
+	g.Sim.After(int64(375e6), func() { after = m.Batcher().Stats() })
+	g.Run(int64(400e6))
+
+	flushes := after.Flushes - before.Flushes
+	frames := after.Frames - before.Frames
+	subs := after.SubPackets - before.SubPackets
+	if flushes < 3 {
+		t.Fatalf("only %d sweeps in the window", flushes)
+	}
+	if frames != flushes {
+		t.Fatalf("%d frames over %d sweeps — want exactly one frame per peer per sweep", frames, flushes)
+	}
+	if subs != sends*frames {
+		t.Fatalf("%d sub-packets over %d frames, want %d retransmissions per frame", subs, frames, sends)
+	}
+}
+
+// TestBatcherImmediateModeEquivalent: the immediate-mode ablation (one
+// single-sub frame per wire) delivers exactly the same traffic — the
+// receivers cannot tell the difference.
+func TestBatcherImmediateModeEquivalent(t *testing.T) {
+	run := func(immediate bool) []string {
+		var log []string
+		g, err := NewGroup(3, netsim.Profile{Latency: 1000}, 17, layers.Stack10(), stack.Imp, func(rank int) Handlers {
+			return Handlers{OnCast: func(origin int, payload []byte) {
+				if rank == 1 {
+					log = append(log, fmt.Sprintf("%d:%s", origin, payload))
+				}
+			}}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if immediate {
+			for _, m := range g.Members {
+				m.Batcher().SetImmediate(true)
+			}
+		}
+		for i := 0; i < 10; i++ {
+			for _, m := range g.Members {
+				m.Cast([]byte{byte('a' + i)})
+			}
+		}
+		g.Run(int64(5e9))
+		return log
+	}
+	batched, immediate := run(false), run(true)
+	if fmt.Sprint(batched) != fmt.Sprint(immediate) {
+		t.Fatalf("delivery diverges:\nbatched:   %v\nimmediate: %v", batched, immediate)
+	}
+	if len(batched) == 0 {
+		t.Fatal("nothing delivered")
+	}
+}

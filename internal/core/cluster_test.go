@@ -19,9 +19,10 @@ import (
 
 // clusterRun drives a randomized N-member cast workload over a
 // ClusterGroup and returns the per-member delivery logs plus the
-// network trace.
+// network trace. tune, if non-nil, adjusts the group (e.g. adaptive
+// quantum) before the workload starts.
 func clusterRun(t *testing.T, members, workers int, seed int64, profile netsim.Profile,
-	names []string, mode stack.Mode, optimized bool) ([][]string, string) {
+	names []string, mode stack.Mode, optimized bool, tune func(*ClusterGroup)) ([][]string, string) {
 	t.Helper()
 	logs := make([][]string, members)
 	build := func(rank int) Handlers {
@@ -45,6 +46,9 @@ func clusterRun(t *testing.T, members, workers int, seed int64, profile netsim.P
 		t.Fatal(err)
 	}
 	g.Cluster.EnableTrace()
+	if tune != nil {
+		tune(g)
+	}
 	// Every member casts a numbered stream; a couple of point-to-point
 	// sends ride along. All injections go through the member's own
 	// goroutine via Do.
@@ -87,8 +91,8 @@ func TestClusterGroupSeqConcEquivalence(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			const members = 5
-			seqLogs, seqTrace := clusterRun(t, members, 1, 71, netsim.Lossy(0.15), tc.names, tc.mode, tc.optimized)
-			concLogs, concTrace := clusterRun(t, members, members, 71, netsim.Lossy(0.15), tc.names, tc.mode, tc.optimized)
+			seqLogs, seqTrace := clusterRun(t, members, 1, 71, netsim.Lossy(0.15), tc.names, tc.mode, tc.optimized, nil)
+			concLogs, concTrace := clusterRun(t, members, members, 71, netsim.Lossy(0.15), tc.names, tc.mode, tc.optimized, nil)
 			if seqTrace != concTrace {
 				t.Fatalf("network traces diverge (len %d vs %d)", len(seqTrace), len(concTrace))
 			}
@@ -101,6 +105,42 @@ func TestClusterGroupSeqConcEquivalence(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestClusterGroupAdaptiveBatchedEquivalence: with the adaptive quantum
+// controller on and wire batching active (the default), sequential and
+// concurrent runs still produce byte-identical traces and delivery
+// logs — and the members actually coalesce (more sub-packets than
+// frames on the wire).
+func TestClusterGroupAdaptiveBatchedEquivalence(t *testing.T) {
+	const members = 5
+	adaptive := func(g *ClusterGroup) { g.Cluster.EnableAdaptiveQuantum(1_000, 1_000_000) }
+	seqLogs, seqTrace := clusterRun(t, members, 1, 71, netsim.Lossy(0.15), layers.Stack10(), stack.Imp, false, adaptive)
+	concLogs, concTrace := clusterRun(t, members, members, 71, netsim.Lossy(0.15), layers.Stack10(), stack.Imp, false, adaptive)
+	if seqTrace != concTrace {
+		t.Fatalf("adaptive traces diverge (len %d vs %d)", len(seqTrace), len(concTrace))
+	}
+	for r := 0; r < members; r++ {
+		if fmt.Sprint(seqLogs[r]) != fmt.Sprint(concLogs[r]) {
+			t.Fatalf("member %d delivery logs diverge under adaptive quantum", r)
+		}
+		if len(seqLogs[r]) == 0 {
+			t.Fatalf("member %d delivered nothing", r)
+		}
+	}
+}
+
+// TestClusterGroupBatchingCoalesces: under the cluster scheduler, the
+// drain-end flush actually merges wires — the network sees fewer frames
+// than sub-packets.
+func TestClusterGroupBatchingCoalesces(t *testing.T) {
+	var g *ClusterGroup
+	_, _ = clusterRun(t, 4, 1, 29, netsim.Profile{Latency: 50_000}, layers.Stack10(), stack.Imp, false,
+		func(cg *ClusterGroup) { g = cg })
+	st := g.Cluster.Net().Stats()
+	if st.Frames == 0 || st.SubPackets <= st.Frames {
+		t.Fatalf("no coalescing observed: Frames=%d SubPackets=%d", st.Frames, st.SubPackets)
 	}
 }
 

@@ -46,6 +46,11 @@ func (m *Member) maybeProbe() {
 	if len(foreign) == 0 {
 		return
 	}
+	// Probe in ascending address order — emission order must not depend
+	// on map iteration order, or the same run replayed from the same
+	// seed produces a different network schedule (the draws the
+	// simulator assigns to each transmission are positional).
+	sort.Slice(foreign, func(i, j int) bool { return foreign[i] < foreign[j] })
 	pkt := make([]byte, 0, 16+4*m.view.N())
 	pkt = appendUvarint(pkt, 0) // the control epoch
 	pkt = append(pkt, ctrlProbe)

@@ -230,6 +230,21 @@ func (s *membershipState) coord() int {
 
 func (s *membershipState) iAmCoord() bool { return s.coord() == s.view.Rank }
 
+// authorized reports whether rank from could legitimately be driving a
+// view change: every rank below it must already be excluded in our own
+// books (equivalently, from is no higher than our current coordinator).
+// Without this check a partitioned member that has wrongly suspected
+// everyone else — and therefore considers *itself* the coordinator —
+// can poison survivors: its flush and singleton-view install leave
+// under the old epoch, which every member still shares, and any
+// survivor whose copy of the partitioned member's cast stream has no
+// loss gap would accept the install, read its own absence as an
+// expulsion, and restart as a singleton. The epoch tag cannot close
+// this hole (the traffic is genuinely old-epoch); coordinator authority
+// is the membership-level complement to it. Regression:
+// TestPartitionedMemberCannotPoisonSurvivors.
+func (s *membershipState) authorized(from int) bool { return from <= s.coord() }
+
 // excluded reports whether rank r leaves the next view.
 func (s *membershipState) excluded(r int) bool { return s.suspects[r] || s.leaving[r] }
 
@@ -283,10 +298,14 @@ func (s *membershipState) HandleUp(ev *event.Event, snk layer.Sink) {
 		case membPass:
 			snk.PassUp(ev)
 		case membFlush:
-			s.handleFlush(h, snk)
+			if s.authorized(ev.Peer) {
+				s.handleFlush(h, snk)
+			}
 			event.Free(ev)
 		case membView:
-			s.handleView(h, snk)
+			if s.authorized(ev.Peer) {
+				s.handleView(h, snk)
+			}
 			event.Free(ev)
 		case membLeave:
 			s.handleExclusion([]int{int(h.Rank)}, true, snk)

@@ -242,7 +242,10 @@ func (s *pt2ptState) sendAck(peer int, snk layer.Sink) {
 // acknowledgments. Driven by the housekeeping timer. Retransmissions go
 // out in ascending sequence order — emission order must not depend on
 // map iteration order, or the same run replayed from the same seed
-// produces a different network schedule.
+// produces a different network schedule. Because the whole burst for a
+// peer is emitted consecutively within one timer entry, the member's
+// wire batcher coalesces it into a single frame per peer per sweep
+// (core/batch_test.go asserts exactly that).
 func (s *pt2ptState) sweep(snk layer.Sink) {
 	for peer := range s.peers {
 		p := &s.peers[peer]

@@ -34,6 +34,7 @@ import (
 	"sync"
 
 	"ensemble/internal/event"
+	"ensemble/internal/transport"
 )
 
 // Cluster is an N-member deterministic network simulation with
@@ -50,6 +51,11 @@ type Cluster struct {
 	// earliest pending time are routed before the members run. Zero
 	// batches exact virtual-time ties only.
 	quantum int64
+
+	// adaptive scales quantum between qMin and qMax from observed
+	// per-batch routed-event counts (see EnableAdaptiveQuantum).
+	adaptive   bool
+	qMin, qMax int64
 
 	// base is the virtual time effects are committed against: the
 	// emitting event's time, so a member's send leaves at the time the
@@ -87,7 +93,34 @@ func (c *Cluster) Net() *Net { return c.net }
 // not exceed the link latency, or a member's response could be
 // scheduled into the past of the current batch (the scheduler clamps
 // such times forward, which distorts the profile's timing).
-func (c *Cluster) SetQuantum(q int64) { c.quantum = q }
+func (c *Cluster) SetQuantum(q int64) { c.quantum = q; c.adaptive = false }
+
+// EnableAdaptiveQuantum replaces the fixed quantum with a controller
+// that scales the batch window from observed load: after each batch,
+// if fewer than 4 events per member were routed the window doubles
+// (batches are too fine to coalesce or parallelize), and if more than
+// 32 events per member were routed it halves (batches are so coarse
+// that virtual-time fidelity and memory suffer), clamped to [min, max].
+// The controller reads only the routed-event count — a value that is
+// identical between Run and RunConcurrent by construction — so adaptive
+// runs remain byte-identical per seed across both modes. min is clamped
+// to at least 1ns (a zero quantum could never double).
+func (c *Cluster) EnableAdaptiveQuantum(min, max int64) {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	c.adaptive = true
+	c.qMin, c.qMax = min, max
+	if c.quantum < min {
+		c.quantum = min
+	}
+	if c.quantum > max {
+		c.quantum = max
+	}
+}
 
 // EnableTrace starts recording the delivery trace (sends at commit
 // time, deliveries and drops at delivery time, in canonical order).
@@ -114,6 +147,15 @@ type Endpoint struct {
 	effects  []effect
 	spare    [][]byte
 	detached bool
+
+	// flush, when set, runs at the end of every drain — core.Member
+	// installs its batcher flush here so wires coalesced across a drain
+	// phase are emitted exactly once, at the phase barrier. draining
+	// lets the member distinguish scheduler-driven entry (defer the
+	// flush to the barrier) from direct calls between runs (flush on
+	// exit, since no barrier is coming).
+	flush    func()
+	draining bool
 }
 
 type mail struct {
@@ -158,6 +200,21 @@ func (c *Cluster) NewEndpoint(addr event.Addr) *Endpoint {
 
 // Addr returns the endpoint's network address.
 func (ep *Endpoint) Addr() event.Addr { return ep.addr }
+
+// SetDrainFlush installs fn to run on this member's goroutine at the
+// end of every drain phase, after the mailbox has been processed. The
+// intended use is batched-wire flushing: anything fn emits lands in the
+// effect log and is committed at the same barrier as the drain's other
+// effects. The invariant that keeps Run and RunConcurrent identical —
+// the concurrent scheduler skips members with empty mailboxes — is that
+// a member with an empty mailbox has nothing batched, which holds
+// because members only batch while handling mail (and flush direct
+// calls immediately; see InDrain).
+func (ep *Endpoint) SetDrainFlush(fn func()) { ep.flush = fn }
+
+// InDrain reports whether the endpoint is currently inside its drain
+// phase (and a SetDrainFlush hook is installed to run at its end).
+func (ep *Endpoint) InDrain() bool { return ep.draining && ep.flush != nil }
 
 // Attach implements the member network contract. The recv callback runs
 // on this member's goroutine (in RunConcurrent) at the packet's
@@ -215,8 +272,11 @@ func (ep *Endpoint) snapshot(data []byte) []byte {
 	return append(buf[:0], data...)
 }
 
-// drain runs the member over its mailbox, in delivery order.
+// drain runs the member over its mailbox, in delivery order, then runs
+// the drain-flush hook so wires batched across the phase are emitted at
+// the barrier (with base = the last handled event's time).
 func (ep *Endpoint) drain() {
+	ep.draining = true
 	box := ep.mailbox
 	for i := range box {
 		m := &box[i]
@@ -229,6 +289,10 @@ func (ep *Endpoint) drain() {
 		*m = mail{}
 	}
 	ep.mailbox = ep.mailbox[:0]
+	if ep.flush != nil {
+		ep.flush()
+	}
+	ep.draining = false
 }
 
 // Enqueue schedules fn to run on member idx's goroutine at now+delay —
@@ -254,7 +318,11 @@ func (c *Cluster) route(p Packet, delay int64) {
 	c.sim.At(t, func() { c.arrive(idx, p) })
 }
 
-// arrive runs on the scheduler at the packet's delivery time.
+// arrive runs on the scheduler at the packet's delivery time. Delivery
+// (and the trace line, and the books) is per transmission: a batched
+// frame is one 'd' however many wires it carries. The fan-out into one
+// mail per sub-packet happens here, so the member's recv sees exactly
+// the raw-wire interface it always did.
 func (c *Cluster) arrive(idx int, p Packet) {
 	ep := c.eps[idx]
 	if _, attached := c.net.eps[p.To]; !attached || ep.detached || ep.recv == nil {
@@ -264,7 +332,18 @@ func (c *Cluster) arrive(idx int, p Packet) {
 	}
 	c.net.stats.Delivered++
 	c.traceLine('d', c.sim.now, p)
-	ep.mailbox = append(ep.mailbox, mail{t: c.sim.now, pkt: p})
+	if !transport.IsFrame(p.Data) {
+		ep.mailbox = append(ep.mailbox, mail{t: c.sim.now, pkt: p})
+		return
+	}
+	c.net.stats.Frames++
+	t := c.sim.now
+	transport.WalkFrame(p.Data, func(sub []byte) {
+		c.net.stats.SubPackets++
+		q := p
+		q.Data = sub
+		ep.mailbox = append(ep.mailbox, mail{t: t, pkt: q})
+	})
 }
 
 func (c *Cluster) traceLine(tag byte, t int64, p Packet) {
@@ -355,19 +434,38 @@ func (c *Cluster) run(deadline int64, workers int) int {
 		if batchEnd > deadline {
 			batchEnd = deadline
 		}
+		routed := 0
 		for c.sim.pq.Len() > 0 && c.sim.pq[0].t <= batchEnd {
 			ev := heap.Pop(&c.sim.pq).(simEvent)
 			c.sim.now = ev.t
 			c.base = ev.t
 			ev.fn()
-			n++
+			routed++
 		}
+		n += routed
 		// Drain: the only phase where member code runs.
 		if rp != nil {
 			rp.drainAll()
 		} else {
 			for _, ep := range c.eps {
 				ep.drain()
+			}
+		}
+		// Adaptive quantum: scale the window from this batch's routed
+		// count. The count is a pure function of the (deterministic)
+		// schedule, so the trajectory is identical in Run and
+		// RunConcurrent for the same seed.
+		if c.adaptive {
+			if routed < 4*len(c.eps) && c.quantum < c.qMax {
+				c.quantum *= 2
+				if c.quantum > c.qMax {
+					c.quantum = c.qMax
+				}
+			} else if routed > 32*len(c.eps) && c.quantum > c.qMin {
+				c.quantum /= 2
+				if c.quantum < c.qMin {
+					c.quantum = c.qMin
+				}
 			}
 		}
 	}

@@ -1,0 +1,117 @@
+package netsim
+
+// Batched-frame delivery tests: the network substrates unpack coalesced
+// frames (transport.FrameMagic + length-prefixed sub-packets) so that a
+// receiver sees one recv call per wire, while the Stats invariant stays
+// at the transmission level (one frame = one Sent = one Delivered).
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"ensemble/internal/event"
+	"ensemble/internal/transport"
+)
+
+func buildFrame(subs ...[]byte) []byte {
+	buf := []byte{transport.FrameMagic}
+	for _, s := range subs {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	return buf
+}
+
+func TestNetDeliversFrameSubPackets(t *testing.T) {
+	s := NewSim(1)
+	n := NewNet(s, Profile{Latency: 1000})
+	var got [][]byte
+	n.Attach(1, func(Packet) {})
+	n.Attach(2, func(p Packet) { got = append(got, append([]byte(nil), p.Data...)) })
+
+	frame := buildFrame([]byte("alpha"), []byte("b"), []byte("ccc"))
+	n.Send(1, 2, frame)
+	n.Send(1, 2, []byte{0x01, 0x02}) // raw packet, passed through whole
+	s.Run(int64(1e9))
+
+	if len(got) != 4 {
+		t.Fatalf("receiver saw %d packets, want 4 (3 subs + 1 raw)", len(got))
+	}
+	if string(got[0]) != "alpha" || string(got[1]) != "b" || string(got[2]) != "ccc" {
+		t.Fatalf("sub-packets mangled: %q", got[:3])
+	}
+	st := n.Stats()
+	if st.Sent != 2 || st.Delivered != 2 {
+		t.Fatalf("invariant must stay frame-level: %+v", st)
+	}
+	if st.Frames != 1 || st.SubPackets != 3 {
+		t.Fatalf("Frames=%d SubPackets=%d, want 1/3", st.Frames, st.SubPackets)
+	}
+	if st.Sent+st.Duplicated != st.Delivered+st.Dropped {
+		t.Fatalf("stats invariant broken: %+v", st)
+	}
+}
+
+func TestClusterArriveUnpacksFrames(t *testing.T) {
+	c := NewCluster(3, Profile{Latency: 1000})
+	var got []string
+	for i := 0; i < 2; i++ {
+		ep := c.NewEndpoint(event.Addr(i + 1))
+		ep.Attach(ep.Addr(), func(p Packet) { got = append(got, string(p.Data)) })
+	}
+	c.Enqueue(0, 0, func() {
+		c.eps[0].Send(1, 2, buildFrame([]byte("x1"), []byte("x2")))
+		c.eps[0].Cast(1, buildFrame([]byte("y1")))
+	})
+	c.Run(int64(1e9))
+
+	want := []string{"x1", "x2", "y1"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	st := c.Net().Stats()
+	if st.Sent != 2 || st.Delivered != 2 || st.Frames != 2 || st.SubPackets != 3 {
+		t.Fatalf("cluster frame accounting: %+v", st)
+	}
+}
+
+// TestAdaptiveQuantumDeterminism: the adaptive controller reads only the
+// per-batch routed-event count, so Run and RunConcurrent still produce
+// byte-identical traces for the same seed while the window scales.
+func TestAdaptiveQuantumDeterminism(t *testing.T) {
+	mk := func() *Cluster {
+		c := clusterEcho(7, Lossy(0.2), 6, 5)
+		c.EnableAdaptiveQuantum(1_000, 40_000)
+		return c
+	}
+	seq := mk()
+	seq.Run(int64(5e9))
+	conc := mk()
+	conc.RunConcurrent(int64(5e9), 3) // fewer workers than members
+	if seq.TraceString() != conc.TraceString() {
+		t.Fatal("adaptive-quantum traces diverge between Run and RunConcurrent")
+	}
+	if seq.quantum == 1_000 {
+		t.Fatal("quantum never adapted from its floor")
+	}
+}
+
+// TestAdaptiveQuantumClamps: the controller stays inside [min, max] and
+// a zero/negative floor is lifted to 1 so doubling can always make
+// progress.
+func TestAdaptiveQuantumClamps(t *testing.T) {
+	c := clusterEcho(9, Profile{Latency: 50_000}, 3, 4)
+	c.EnableAdaptiveQuantum(0, 8_000)
+	if c.qMin != 1 {
+		t.Fatalf("qMin = %d, want 1", c.qMin)
+	}
+	c.Run(int64(5e9))
+	if c.quantum < c.qMin || c.quantum > c.qMax {
+		t.Fatalf("quantum %d escaped [%d, %d]", c.quantum, c.qMin, c.qMax)
+	}
+}

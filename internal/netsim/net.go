@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ensemble/internal/event"
+	"ensemble/internal/transport"
 )
 
 // Packet is what the network delivers to an endpoint.
@@ -49,10 +50,17 @@ func Lossy(lossProb float64) Profile {
 //	Sent + Duplicated == Delivered + Dropped
 //
 // (each Send or per-receiver Cast attempt either delivers or drops, and
-// each duplicate adds one more delivery-or-drop outcome).
+// each duplicate adds one more delivery-or-drop outcome). The invariant
+// is counted at the transmission level: a batched frame is one Sent and
+// one Delivered however many sub-packets it carries. Frames and
+// SubPackets are informational — SubPackets/Frames is the observed
+// coalescing efficiency (1.0 means batching bought nothing).
 type Stats struct {
 	Sent, Delivered, Dropped, Duplicated int64
 	BytesSent                            int64
+	// Frames counts delivered transmissions that were batched frames;
+	// SubPackets counts the wires fanned out of them.
+	Frames, SubPackets int64
 }
 
 // Net is a simulated network attached to a Sim. It implements both
@@ -195,12 +203,27 @@ func (n *Net) deliverAfter(p Packet, delay int64) {
 // deliverNow hands p to its endpoint at delivery time. A packet whose
 // endpoint detached while it was in flight counts as dropped — without
 // that, such packets vanish from the books and the Sent/Delivered/
-// Dropped invariant (see stats) silently breaks.
+// Dropped invariant (see stats) silently breaks. A batched frame is one
+// delivery on the books but fans out into one recv call per sub-packet,
+// in order — the receiving member cannot tell batched wires from raw
+// ones (malformed sub-packets surface as garbage and land in the
+// member's stray-packet accounting, like any malformed raw packet).
 func (n *Net) deliverNow(p Packet) {
-	if recv, ok := n.eps[p.To]; ok {
-		n.stats.Delivered++
+	recv, ok := n.eps[p.To]
+	if !ok {
+		n.stats.Dropped++
+		return
+	}
+	n.stats.Delivered++
+	if !transport.IsFrame(p.Data) {
 		recv(p)
 		return
 	}
-	n.stats.Dropped++
+	n.stats.Frames++
+	transport.WalkFrame(p.Data, func(sub []byte) {
+		n.stats.SubPackets++
+		q := p
+		q.Data = sub
+		recv(q)
+	})
 }

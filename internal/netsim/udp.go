@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"ensemble/internal/event"
+	"ensemble/internal/transport"
 )
 
 // UDPNet runs one group member's endpoint over real UDP sockets, for
@@ -160,9 +161,21 @@ func (u *UDPNet) Run() error {
 			u.mu.Lock()
 			recv := u.recv
 			u.mu.Unlock()
-			if recv != nil {
-				recv(p)
+			if recv == nil {
+				break
 			}
+			// A batched frame is one datagram fanned out into its
+			// sub-packets; the reader loop copied the datagram into a
+			// fresh buffer, so the subs can alias it safely.
+			if !transport.IsFrame(p.Data) {
+				recv(p)
+				break
+			}
+			transport.WalkFrame(p.Data, func(sub []byte) {
+				q := p
+				q.Data = sub
+				recv(q)
+			})
 		case fn := <-u.funcs:
 			fn()
 		case <-u.closed:

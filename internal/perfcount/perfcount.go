@@ -25,8 +25,14 @@ type Sample struct {
 }
 
 // Measure brackets run with counter snapshots. The garbage collector is
-// cycled first so the baseline is clean.
+// cycled twice first so the baseline is clean: sync.Pool caches survive
+// one collection (current generation moves to the victim cache and is
+// only discarded by the next), so a single cycle would leave the run's
+// allocation count at the mercy of whatever warmed the pools before the
+// experiment — measurements must not depend on what ran earlier in the
+// same process.
 func Measure(run func() error) (Sample, error) {
+	runtime.GC()
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)

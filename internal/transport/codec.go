@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ensemble/internal/event"
 )
@@ -23,17 +24,36 @@ type HeaderCodec struct {
 	Decode func(r *Reader) (event.Header, error)
 }
 
+// The registry has two phases. During init, components register codecs
+// under codecMu. The first lookup seals the registry into an immutable
+// snapshot (a map plus a dense array, read through one atomic load):
+// the hot path marshals and unmarshals one header per layer per packet,
+// and an RLock per header was measurably on the critical path (see
+// BenchmarkHeaderCodecLookup). Registration after the seal panics — it
+// is a component-library configuration bug (codecs belong in init), and
+// silently missing it from the snapshot would be far worse.
 var (
-	codecMu      sync.RWMutex
+	codecMu      sync.Mutex
 	codecByLayer = map[string]*HeaderCodec{}
 	codecByID    = map[byte]*HeaderCodec{}
+	codecTab     atomic.Pointer[codecTables]
 )
 
+// codecTables is the immutable post-init snapshot of the registry.
+type codecTables struct {
+	byLayer map[string]*HeaderCodec
+	byID    [256]*HeaderCodec
+}
+
 // RegisterCodec installs a header codec. Duplicate layer names or wire
-// ids panic: they are component-library configuration bugs.
+// ids panic, as does registration after the first lookup has sealed
+// the registry: both are component-library configuration bugs.
 func RegisterCodec(c HeaderCodec) {
 	codecMu.Lock()
 	defer codecMu.Unlock()
+	if codecTab.Load() != nil {
+		panic(fmt.Sprintf("transport: RegisterCodec(%q) after the registry was sealed by a lookup — codecs must be registered in init", c.Layer))
+	}
 	if _, dup := codecByLayer[c.Layer]; dup {
 		panic(fmt.Sprintf("transport: duplicate codec for layer %q", c.Layer))
 	}
@@ -45,21 +65,45 @@ func RegisterCodec(c HeaderCodec) {
 	codecByID[c.ID] = &cc
 }
 
+// sealCodecs builds the immutable snapshot on the first lookup. All
+// registration happens in package init, which the runtime completes
+// before any lookup can run, so sealing here is safe; the mutex only
+// arbitrates concurrent first lookups.
+func sealCodecs() *codecTables {
+	codecMu.Lock()
+	defer codecMu.Unlock()
+	if t := codecTab.Load(); t != nil {
+		return t
+	}
+	t := &codecTables{byLayer: make(map[string]*HeaderCodec, len(codecByLayer))}
+	for name, c := range codecByLayer {
+		t.byLayer[name] = c
+	}
+	for id, c := range codecByID {
+		t.byID[id] = c
+	}
+	codecTab.Store(t)
+	return t
+}
+
+func codecs() *codecTables {
+	if t := codecTab.Load(); t != nil {
+		return t
+	}
+	return sealCodecs()
+}
+
 func lookupCodecByLayer(name string) (*HeaderCodec, error) {
-	codecMu.RLock()
-	defer codecMu.RUnlock()
-	c, ok := codecByLayer[name]
-	if !ok {
+	c := codecs().byLayer[name]
+	if c == nil {
 		return nil, fmt.Errorf("transport: no codec registered for layer %q", name)
 	}
 	return c, nil
 }
 
 func lookupCodecByID(id byte) (*HeaderCodec, error) {
-	codecMu.RLock()
-	defer codecMu.RUnlock()
-	c, ok := codecByID[id]
-	if !ok {
+	c := codecs().byID[id]
+	if c == nil {
 		return nil, fmt.Errorf("transport: no codec registered for wire id %d", id)
 	}
 	return c, nil

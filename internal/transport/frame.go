@@ -1,0 +1,216 @@
+package transport
+
+// Per-peer wire batching (writev-style coalescing). The paper's bypass
+// engine already defers non-critical work inside one member's path (§4,
+// item 3); this file extends the idea across the member/transport
+// boundary: instead of handing each outgoing wire image to the network
+// one syscall-shaped call at a time, wires headed to the same
+// destination are appended into a coalesced *frame* — length-prefixed
+// sub-packets sharing one buffer — and the network sees a single
+// transmit per destination per flush window.
+//
+// Frame wire format:
+//
+//	magic     byte = FrameMagic
+//	subs      repeated { uvarint length, length bytes }
+//
+// Safety ("Causing Communication Closure", Engelhardt & Moses): batching
+// must coalesce, never reorder. The Batcher below guarantees something
+// stronger than per-peer FIFO: it only ever appends to the *newest*
+// frame in its queue and flushes frames in creation order, so the
+// global emission order of wires is exactly the append order. A send to
+// peer A between two casts therefore closes the open cast frame — the
+// second cast starts a new one — rather than being overtaken by it.
+
+import (
+	"encoding/binary"
+
+	"ensemble/internal/event"
+)
+
+// FrameMagic is the first byte of a batched frame. Members always emit
+// data packets as frames (even a frame of one sub-packet), so a
+// substrate that sees this magic knows the packet came from a Batcher;
+// raw packets (control traffic, hand-crafted test packets) are passed
+// through untouched.
+const FrameMagic = 0xB7
+
+// DefaultFrameBytes is the default size threshold: a frame is flushed
+// rather than grown past roughly one MTU's worth of sub-packets.
+const DefaultFrameBytes = 1400
+
+// IsFrame reports whether data begins a batched frame.
+func IsFrame(data []byte) bool { return len(data) > 0 && data[0] == FrameMagic }
+
+// WalkFrame fans a batched frame out into its sub-packets, calling fn
+// once per sub-packet in order, and returns the number of sub-packets
+// surfaced. Malformed framing is never dropped silently: a truncated
+// length prefix or a declared length overrunning the buffer surfaces
+// the remaining bytes as one final (garbage) sub-packet, and a
+// zero-length sub-packet surfaces as an empty one — downstream decoders
+// count both as stray packets, exactly as they would a malformed raw
+// packet. Calling WalkFrame on a non-frame is a programming error and
+// surfaces the whole buffer as one sub-packet.
+func WalkFrame(data []byte, fn func(sub []byte)) int {
+	if !IsFrame(data) {
+		fn(data)
+		return 1
+	}
+	subs := 0
+	off := 1
+	for off < len(data) {
+		n, k := binary.Uvarint(data[off:])
+		if k <= 0 {
+			// Truncated or overflowing length prefix: the tail is
+			// undecodable as framing — hand it over as-is.
+			fn(data[off:])
+			return subs + 1
+		}
+		off += k
+		end := off + int(n)
+		if end < off || end > len(data) {
+			// Declared length overruns the buffer.
+			fn(data[off:])
+			return subs + 1
+		}
+		// Three-index slice: the sub's capacity ends at its length, so a
+		// receiver that appends to (rather than reslices) the sub cannot
+		// scribble over the next sub's bytes in the shared frame buffer.
+		fn(data[off:end:end])
+		subs++
+		off = end
+	}
+	return subs
+}
+
+// BatchSink consumes flushed frames. core.Network's transmit half
+// (netsim.Net, netsim.Endpoint, netsim.UDPNet) satisfies it.
+type BatchSink interface {
+	Send(from, to event.Addr, data []byte)
+	Cast(from event.Addr, data []byte)
+}
+
+// BatcherStats counts batching activity, for tests and benchmarks.
+// SubPackets/Frames is the coalescing efficiency (1.0 = no batching).
+type BatcherStats struct {
+	// SubPackets counts wires appended.
+	SubPackets int64
+	// Frames counts frames handed to the sink.
+	Frames int64
+	// Flushes counts Flush calls that emitted at least one frame.
+	Flushes int64
+}
+
+// batchFrame is one pending coalesced frame: a cast frame fans out to
+// the whole group at flush time, a peer frame goes to one destination.
+type batchFrame struct {
+	cast bool
+	to   event.Addr
+	subs int
+	buf  []byte
+}
+
+// Batcher coalesces outgoing wire images into per-destination frames.
+// It is single-goroutine, like the member that owns it, and recycles
+// its frame buffers so the steady-state hot path allocates nothing
+// (the sink consumes frame data during the call, per the Network
+// contract). Flush triggers: (a) the size threshold — a frame that
+// would outgrow maxBytes flushes everything first; (b) the owner's
+// end-of-sweep — core.Member flushes when its outermost entry point
+// returns; (c) an explicit Flush at a scheduler barrier — the cluster
+// harness flushes each member at the end of its drain phase.
+type Batcher struct {
+	sink      BatchSink
+	from      event.Addr
+	maxBytes  int
+	immediate bool
+
+	frames []batchFrame
+	free   [][]byte
+	stats  BatcherStats
+}
+
+// NewBatcher builds a batcher for the member at from, flushing frames
+// into sink. maxBytes <= 0 selects DefaultFrameBytes.
+func NewBatcher(sink BatchSink, from event.Addr, maxBytes int) *Batcher {
+	if maxBytes <= 0 {
+		maxBytes = DefaultFrameBytes
+	}
+	return &Batcher{sink: sink, from: from, maxBytes: maxBytes}
+}
+
+// SetImmediate switches coalescing off: every wire is flushed as its
+// own single-sub frame during the call that appended it. This is the
+// ablation knob for measuring what batching buys; the wire format is
+// unchanged, so receivers cannot tell the difference.
+func (b *Batcher) SetImmediate(on bool) {
+	b.Flush()
+	b.immediate = on
+}
+
+// Stats returns a snapshot of the batching counters.
+func (b *Batcher) Stats() BatcherStats { return b.stats }
+
+// Pending reports the number of frames awaiting a flush.
+func (b *Batcher) Pending() int { return len(b.frames) }
+
+// Send appends a point-to-point wire image headed to peer to. The data
+// is copied during the call; the caller may reuse its buffer.
+func (b *Batcher) Send(to event.Addr, wire []byte) { b.append(false, to, wire) }
+
+// Cast appends a multicast wire image. The data is copied during the
+// call.
+func (b *Batcher) Cast(wire []byte) { b.append(true, 0, wire) }
+
+func (b *Batcher) append(cast bool, to event.Addr, wire []byte) {
+	b.stats.SubPackets++
+	need := binary.MaxVarintLen32 + len(wire)
+	f := b.tail(cast, to, need)
+	f.buf = binary.AppendUvarint(f.buf, uint64(len(wire)))
+	f.buf = append(f.buf, wire...)
+	f.subs++
+	if b.immediate || len(f.buf) >= b.maxBytes {
+		b.Flush()
+	}
+}
+
+// tail returns the frame to append into: the newest frame when it has
+// the same destination and room, a fresh frame at the end of the queue
+// otherwise. Only the newest frame is ever appendable — that is what
+// makes emission order equal append order (see the file comment).
+func (b *Batcher) tail(cast bool, to event.Addr, need int) *batchFrame {
+	if n := len(b.frames); n > 0 {
+		f := &b.frames[n-1]
+		if f.cast == cast && (cast || f.to == to) && len(f.buf)+need <= b.maxBytes {
+			return f
+		}
+	}
+	var buf []byte
+	if n := len(b.free); n > 0 {
+		buf = b.free[n-1]
+		b.free = b.free[:n-1]
+	}
+	b.frames = append(b.frames, batchFrame{cast: cast, to: to, buf: append(buf[:0], FrameMagic)})
+	return &b.frames[len(b.frames)-1]
+}
+
+// Flush hands every pending frame to the sink, in creation order, and
+// recycles the buffers. Safe to call with nothing pending.
+func (b *Batcher) Flush() {
+	if len(b.frames) == 0 {
+		return
+	}
+	for i := range b.frames {
+		f := &b.frames[i]
+		if f.cast {
+			b.sink.Cast(b.from, f.buf)
+		} else {
+			b.sink.Send(b.from, f.to, f.buf)
+		}
+		b.stats.Frames++
+		b.free = append(b.free, f.buf)
+		*f = batchFrame{}
+	}
+	b.frames = b.frames[:0]
+	b.stats.Flushes++
+}
