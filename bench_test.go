@@ -80,25 +80,36 @@ func BenchmarkTable2a_OptimizedStack(b *testing.B) { benchCounters(b, bench.MACH
 
 func benchThroughput(b *testing.B, cfg bench.Config, names []string, size int) {
 	b.Helper()
-	benchThroughputRunner(b, cfg, names, size, false)
+	benchThroughputRunner(b, cfg, names, size, bench.Immediate)
 }
 
 // The Batched variants put the wire batcher's frame encode and the
-// receiver's WalkFrame decode on the measured path (flushing every 8
+// receiver's walker decode on the measured path (flushing every 8
 // rounds, so data frames carry ~8 sub-packets); the steady state must
-// stay at 0 allocs/op — the batcher recycles its frame buffers.
+// stay at 0 allocs/op — the batcher recycles its frame buffers. The
+// BatchedDelta variants run the same path over the delta-compressed
+// frame format, putting the delta encode and the reconstructing decode
+// under the same zero-allocation gate.
 func benchThroughputBatched(b *testing.B, cfg bench.Config, names []string, size int) {
 	b.Helper()
-	benchThroughputRunner(b, cfg, names, size, true)
+	benchThroughputRunner(b, cfg, names, size, bench.Batched)
 }
 
-func benchThroughputRunner(b *testing.B, cfg bench.Config, names []string, size int, batched bool) {
+func benchThroughputBatchedDelta(b *testing.B, cfg bench.Config, names []string, size int) {
+	b.Helper()
+	benchThroughputRunner(b, cfg, names, size, bench.BatchedDelta)
+}
+
+func benchThroughputRunner(b *testing.B, cfg bench.Config, names []string, size int, mode bench.BatchMode) {
 	b.Helper()
 	var r *bench.ThroughputRunner
 	var err error
-	if batched {
+	switch mode {
+	case bench.Batched:
 		r, err = bench.NewBatchedThroughputRunner(cfg, names, size)
-	} else {
+	case bench.BatchedDelta:
+		r, err = bench.NewBatchedDeltaThroughputRunner(cfg, names, size)
+	default:
 		r, err = bench.NewThroughputRunner(cfg, names, size)
 	}
 	if err != nil {
@@ -160,6 +171,12 @@ func BenchmarkThroughput_4Layer_MACH_Batched(b *testing.B) {
 func BenchmarkThroughput_4Layer_HAND_Batched(b *testing.B) {
 	benchThroughputBatched(b, bench.HAND, layers.Stack4(), 4)
 }
+func BenchmarkThroughput_10Layer_MACH_BatchedDelta(b *testing.B) {
+	benchThroughputBatchedDelta(b, bench.MACH, layers.Stack10(), 4)
+}
+func BenchmarkThroughput_10Layer_FUNC_BatchedDelta(b *testing.B) {
+	benchThroughputBatchedDelta(b, bench.FUNC, layers.Stack10(), 4)
+}
 
 // §4.2: the common-case-predicate check itself ("checking the CCPs takes
 // only about 3 µs" on the paper's hardware).
@@ -194,31 +211,35 @@ func BenchmarkAblation_MACH_InlineEffects(b *testing.B) {
 // msgs/sec difference is pure scheduling overhead or parallel speedup.
 
 func benchThroughputNet(b *testing.B, cfg bench.Config, members, workers int) {
-	benchThroughputNetMode(b, cfg, members, workers, false)
+	benchThroughputNetMode(b, cfg, members, workers, 64, bench.Immediate)
 }
 
 // The Batched variants run the members' wire batching with the adaptive
-// quantum (the unbatched ones run the immediate-mode ablation) and
-// report the observed coalescing factor.
+// quantum (the unbatched ones run the immediate-mode ablation) on the
+// classic frame format and report the observed coalescing factor; the
+// BatchedDelta variants add delta header compression. Both report
+// bytes/msg — bytes on the wire during the data phase per application
+// cast — which is what the compression gate compares.
 func benchThroughputNetBatched(b *testing.B, cfg bench.Config, members, workers int) {
-	benchThroughputNetMode(b, cfg, members, workers, true)
+	benchThroughputNetMode(b, cfg, members, workers, 64, bench.Batched)
 }
 
-func benchThroughputNetMode(b *testing.B, cfg bench.Config, members, workers int, batched bool) {
+func benchThroughputNetMode(b *testing.B, cfg bench.Config, members, workers, size int, mode bench.BatchMode) {
 	b.Helper()
 	rounds := b.N
 	if rounds < 8 {
 		rounds = 8
 	}
-	res, err := bench.MeasureNetThroughput(cfg, layers.Stack10(), members, 64, rounds, 29, workers, batched)
+	res, err := bench.MeasureNetThroughput(cfg, layers.Stack10(), members, size, rounds, 29, workers, mode)
 	if err != nil {
 		b.Fatal(err)
 	}
 	b.ReportMetric(res.MsgsPerSec, "msgs/sec")
 	b.ReportMetric(res.VirtualLatency, "virt-ns/delivery")
 	b.ReportMetric(float64(res.Delivered)/float64(rounds), "deliveries/round")
-	if batched {
+	if mode != bench.Immediate {
 		b.ReportMetric(res.SubsPerFrame, "subs/frame")
+		b.ReportMetric(res.BytesPerMsg, "bytes/msg")
 	}
 }
 
@@ -252,3 +273,41 @@ func BenchmarkThroughputNet_8Members_FUNC_Seq_Batched(b *testing.B) {
 func BenchmarkThroughputNet_8Members_FUNC_Conc_Batched(b *testing.B) {
 	benchThroughputNetBatched(b, bench.FUNC, 8, 8)
 }
+
+// The compression gate pair: the same 8-member MACH cast workload at the
+// minimum stamped payload (8 bytes — header-dominated wires, the case
+// delta compression exists for), classic frames vs delta frames. The
+// bench gate requires the delta variant's bytes/msg to come in at least
+// 25% under the classic one.
+func BenchmarkThroughputNet_8Members_MACH_Seq_Batched(b *testing.B) {
+	benchThroughputNetMode(b, bench.MACH, 8, 1, 8, bench.Batched)
+}
+func BenchmarkThroughputNet_8Members_MACH_Seq_BatchedDelta(b *testing.B) {
+	benchThroughputNetMode(b, bench.MACH, 8, 1, 8, bench.BatchedDelta)
+}
+
+// The UDP loopback benchmarks exercise the batched real-socket path:
+// wires cross the kernel loopback device in coalesced datagrams rather
+// than the simulator. Not part of the bench gate (kernel scheduling
+// noise), but the same three metrics as the simulated runs, for
+// side-by-side reading.
+func benchThroughputUDP(b *testing.B, mode bench.BatchMode) {
+	b.Helper()
+	msgs := b.N
+	if msgs < 64 {
+		msgs = 64
+	}
+	res, err := bench.MeasureUDPThroughput(msgs, 8, 8, mode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.MsgsPerSec, "msgs/sec")
+	b.ReportMetric(res.BytesPerMsg, "bytes/msg")
+	if mode != bench.Immediate {
+		b.ReportMetric(res.SubsPerFrame, "subs/frame")
+	}
+}
+
+func BenchmarkThroughputUDP_Immediate(b *testing.B)    { benchThroughputUDP(b, bench.Immediate) }
+func BenchmarkThroughputUDP_Batched(b *testing.B)      { benchThroughputUDP(b, bench.Batched) }
+func BenchmarkThroughputUDP_BatchedDelta(b *testing.B) { benchThroughputUDP(b, bench.BatchedDelta) }

@@ -1,11 +1,15 @@
 // bench-gate parses `go test -bench` output for the sustained-throughput
 // benchmarks and enforces the batching PR's regression bars:
 //
-//   - every 10-layer two-node throughput benchmark (batched or not) must
-//     report 0 allocs/op — the wire batcher's frame encode and the
-//     receiver's WalkFrame decode live on the zero-allocation hot path;
+//   - every 10-layer two-node throughput benchmark (batched, delta or
+//     not) must report 0 allocs/op — the wire batcher's frame encode and
+//     the receiver's frame-walk decode live on the zero-allocation hot
+//     path;
 //   - the 8-member batched network runs must coalesce at least two
-//     sub-packets per frame on average.
+//     sub-packets per frame on average;
+//   - delta header compression must cut the 8-member MACH workload's
+//     bytes on the wire per message by at least 25% against the classic
+//     frame format (BatchedDelta bytes/msg <= 0.75x Batched).
 //
 // It optionally records the parsed numbers as a JSON trajectory file so
 // the repository keeps a machine-readable history of the batching
@@ -15,7 +19,7 @@
 //
 //	go test -run xxx -bench 'BenchmarkThroughput_' -benchtime 1x . > unit.out
 //	go test -run xxx -bench 'BenchmarkThroughputNet_' -benchtime 150x . > net.out
-//	go run ./cmd/bench-gate -unit unit.out -net net.out -out BENCH_PR3.json
+//	go run ./cmd/bench-gate -unit unit.out -net net.out -out BENCH_PR4.json
 package main
 
 import (
@@ -144,16 +148,44 @@ func main() {
 		fail("no 8-member batched network benchmarks found in %s", *netPath)
 	}
 
+	// Gate 3: delta header compression pays on the wire. The gate pair is
+	// the 8-member MACH cast workload at the minimum stamped payload (the
+	// header-dominated regime compression targets), same harness either
+	// side — only the frame format differs.
+	const classicName = "BenchmarkThroughputNet_8Members_MACH_Seq_Batched"
+	const deltaName = "BenchmarkThroughputNet_8Members_MACH_Seq_BatchedDelta"
+	bytesRatio := 0.0
+	if *netPath != "" {
+		classic, okC := net[classicName]["bytes/msg"]
+		delta, okD := net[deltaName]["bytes/msg"]
+		switch {
+		case !okC:
+			fail("%s reports no bytes/msg metric", classicName)
+		case !okD:
+			fail("%s reports no bytes/msg metric", deltaName)
+		case classic <= 0:
+			fail("%s reports %.2f bytes/msg — nothing on the wire?", classicName, classic)
+		default:
+			bytesRatio = delta / classic
+			if bytesRatio > 0.75 {
+				fail("delta compression saved only %.1f%% bytes/msg (%.2f vs %.2f), want >= 25%%",
+					(1-bytesRatio)*100, delta, classic)
+			}
+		}
+	}
+
 	if *outPath != "" {
 		doc := map[string]any{
-			"pr":    3,
-			"title": "Per-peer wire batching: coalesced writev-style flush from member to transport, with an adaptive netsim quantum",
+			"pr":    4,
+			"title": "Intra-frame delta header compression + batched real-socket UDP path, with a bytes-on-wire gate",
 			"date":  time.Now().Format("2006-01-02"),
 			"method": "make bench-gate: go test -run xxx -bench BenchmarkThroughput_ -benchtime 1x (alloc gate) " +
-				"and -bench BenchmarkThroughputNet_ -benchtime 150x (coalescing gate); parsed by cmd/bench-gate",
+				"and -bench BenchmarkThroughputNet_ -benchtime 150x (coalescing + compression gates); parsed by cmd/bench-gate",
 			"gates": map[string]any{
 				"ten_layer_allocs_op":          0,
 				"net_8members_subs_per_frame":  ">= 2",
+				"delta_bytes_per_msg_ratio":    "<= 0.75",
+				"measured_bytes_per_msg_ratio": bytesRatio,
 				"ten_layer_benchmarks":         tenLayer,
 				"batched_unit_benchmarks":      batchedUnit,
 				"batched_8member_net_variants": netBatched8,
@@ -174,8 +206,8 @@ func main() {
 	if failures > 0 {
 		os.Exit(1)
 	}
-	fmt.Printf("bench-gate: OK (%d ten-layer benchmarks at 0 allocs/op, %d batched 8-member net runs >= 2 subs/frame)\n",
-		tenLayer, netBatched8)
+	fmt.Printf("bench-gate: OK (%d ten-layer benchmarks at 0 allocs/op, %d batched 8-member net runs >= 2 subs/frame, delta bytes/msg ratio %.3f)\n",
+		tenLayer, netBatched8, bytesRatio)
 }
 
 func fatal(format string, args ...any) {

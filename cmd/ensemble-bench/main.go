@@ -7,7 +7,7 @@
 //	ensemble-bench -table 1a
 //	ensemble-bench -table fig6 -rounds 4000
 //
-// Tables: 1a, 1b, fig6, 2a, 2b, e2e, ccp, theorems, all.
+// Tables: 1a, 1b, fig6, 2a, 2b, e2e, ccp, theorems, wire, all.
 package main
 
 import (
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to regenerate: 1a, 1b, fig6, 2a, 2b, e2e, ccp, theorems, all")
+	table := flag.String("table", "all", "which table to regenerate: 1a, 1b, fig6, 2a, 2b, e2e, ccp, theorems, wire, all")
 	rounds := flag.Int("rounds", 10000, "measurement rounds per configuration (the paper uses 10,000)")
 	flag.Parse()
 
@@ -37,6 +37,10 @@ func main() {
 		{"e2e", func() (string, error) { return bench.E2ETable(*rounds) }},
 		{"ccp", func() (string, error) { return bench.CCPTable(*rounds) }},
 		{"theorems", func() (string, error) { return bench.TheoremListing(layers.Stack10(), 0, 2) }},
+		// The wire table drives rounds cast rounds per mode; the paper
+		// default of 10,000 is sized for code-latency sampling, so the
+		// wire ladder caps it to keep `-table all` quick.
+		{"wire", func() (string, error) { return bench.WireTable(min(*rounds, 2000)) }},
 	}
 	ran := false
 	for _, g := range gens {

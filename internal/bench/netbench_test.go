@@ -13,11 +13,11 @@ import (
 func TestNetThroughputConcurrent(t *testing.T) {
 	for _, cfg := range []Config{IMP, FUNC, MACH} {
 		t.Run(cfg.String(), func(t *testing.T) {
-			conc, err := MeasureNetThroughput(cfg, layers.Stack10(), 5, 64, 40, 17, 5, true)
+			conc, err := MeasureNetThroughput(cfg, layers.Stack10(), 5, 64, 40, 17, 5, BatchedDelta)
 			if err != nil {
 				t.Fatal(err)
 			}
-			seq, err := MeasureNetThroughput(cfg, layers.Stack10(), 5, 64, 40, 17, 1, true)
+			seq, err := MeasureNetThroughput(cfg, layers.Stack10(), 5, 64, 40, 17, 1, BatchedDelta)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -40,10 +40,10 @@ func TestNetThroughputConcurrent(t *testing.T) {
 // TestNetThroughputRejectsBadShapes: unsupported configs and degenerate
 // group sizes fail loudly instead of measuring nonsense.
 func TestNetThroughputRejectsBadShapes(t *testing.T) {
-	if _, err := MeasureNetThroughput(HAND, layers.Stack4(), 4, 8, 4, 1, 1, false); err == nil {
+	if _, err := MeasureNetThroughput(HAND, layers.Stack4(), 4, 8, 4, 1, 1, Immediate); err == nil {
 		t.Fatal("HAND has no N-member harness but was accepted")
 	}
-	if _, err := MeasureNetThroughput(IMP, layers.Stack10(), 1, 8, 4, 1, 1, false); err == nil {
+	if _, err := MeasureNetThroughput(IMP, layers.Stack10(), 1, 8, 4, 1, 1, Immediate); err == nil {
 		t.Fatal("1-member group was accepted")
 	}
 }
@@ -55,14 +55,14 @@ func TestNetThroughputRejectsBadShapes(t *testing.T) {
 // the run data-dominated; the fixed 2 s stability tail is mostly
 // lonely gossip frames and would dilute the factor on a short run.
 func TestNetThroughputBatchedCoalesces(t *testing.T) {
-	batched, err := MeasureNetThroughput(IMP, layers.Stack10(), 8, 64, 150, 29, 1, true)
+	batched, err := MeasureNetThroughput(IMP, layers.Stack10(), 8, 64, 150, 29, 1, Batched)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if batched.SubsPerFrame < 2 {
 		t.Fatalf("batched 8-member run coalesced only %.2f subs/frame, want >= 2", batched.SubsPerFrame)
 	}
-	ablated, err := MeasureNetThroughput(IMP, layers.Stack10(), 8, 64, 150, 29, 1, false)
+	ablated, err := MeasureNetThroughput(IMP, layers.Stack10(), 8, 64, 150, 29, 1, Immediate)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -22,6 +22,29 @@ import (
 // avoiding garbage-collection cycles): the steady-state data path is
 // expected to run allocation-free.
 
+// BatchMode selects how outgoing wires reach the network in a measured
+// run: one transmission per wire (Immediate — the ablation), classic
+// coalesced frames (Batched), or delta-compressed frames (BatchedDelta,
+// the production default for members — see transport/delta.go).
+type BatchMode int
+
+const (
+	Immediate BatchMode = iota
+	Batched
+	BatchedDelta
+)
+
+func (m BatchMode) String() string {
+	switch m {
+	case Batched:
+		return "batched"
+	case BatchedDelta:
+		return "batched+delta"
+	default:
+		return "immediate"
+	}
+}
+
 // ThroughputRunner drives steady-state cast rounds between a rank-0
 // sender and a rank-1 receiver under one configuration. Construction
 // (stack build, bypass compilation) is separated from Run so benchmarks
@@ -35,15 +58,17 @@ type ThroughputRunner struct {
 	sweep  func(now int64)
 	rounds int
 
-	// Batched mode: outgoing wires coalesce in per-member Batchers that
+	// Batched modes: outgoing wires coalesce in per-member Batchers that
 	// are flushed every flushEvery rounds (and at the end of every Run),
-	// putting the frame encode and the WalkFrame decode on the measured
+	// putting the frame encode and the walker decode on the measured
 	// path. flush drains both members until neither has pending frames.
-	batched    bool
+	mode       BatchMode
 	flushEvery int
 	flush      func()
 	batchStats func() transport.BatcherStats
 }
+
+func (r *ThroughputRunner) batched() bool { return r.mode != Immediate }
 
 // wirePump moves marshaled packets between the two members without
 // recursion: a send snapshots the wire into a recycled buffer (the
@@ -91,7 +116,7 @@ func (p *wirePump) send(to int, wire []byte) {
 
 // NewThroughputRunner builds the two-member system for cfg.
 func NewThroughputRunner(cfg Config, names []string, size int) (*ThroughputRunner, error) {
-	return newThroughputRunner(cfg, names, size, false)
+	return newThroughputRunner(cfg, names, size, Immediate)
 }
 
 // NewBatchedThroughputRunner builds the two-member system with wire
@@ -100,11 +125,19 @@ func NewThroughputRunner(cfg Config, names []string, size int) (*ThroughputRunne
 // rounds gives the steady state a real coalescing factor (≥ 8 subs per
 // data frame) while keeping flow-control feedback timely.
 func NewBatchedThroughputRunner(cfg Config, names []string, size int) (*ThroughputRunner, error) {
-	return newThroughputRunner(cfg, names, size, true)
+	return newThroughputRunner(cfg, names, size, Batched)
 }
 
-func newThroughputRunner(cfg Config, names []string, size int, batched bool) (*ThroughputRunner, error) {
-	r := &ThroughputRunner{cfg: cfg, payload: make([]byte, size), batched: batched, flushEvery: 8}
+// NewBatchedDeltaThroughputRunner is NewBatchedThroughputRunner with the
+// delta-compressed frame format, putting the delta encode and the
+// reconstructing walker decode on the measured path. The harness's bare
+// wires carry no epoch prefix, so the codec runs with prefix arity 0.
+func NewBatchedDeltaThroughputRunner(cfg Config, names []string, size int) (*ThroughputRunner, error) {
+	return newThroughputRunner(cfg, names, size, BatchedDelta)
+}
+
+func newThroughputRunner(cfg Config, names []string, size int, mode BatchMode) (*ThroughputRunner, error) {
+	r := &ThroughputRunner{cfg: cfg, payload: make([]byte, size), mode: mode, flushEvery: 8}
 	switch cfg {
 	case IMP, FUNC:
 		mode := stack.Imp
@@ -144,7 +177,7 @@ func (s pumpSink) Cast(from event.Addr, data []byte)     { s.pump.send(1-int(fro
 // (acknowledgments, credit).
 func (r *ThroughputRunner) emitters(pump *wirePump) [2]func(to int, wire []byte) {
 	var emit [2]func(to int, wire []byte)
-	if !r.batched {
+	if !r.batched() {
 		for m := range emit {
 			emit[m] = func(to int, wire []byte) { pump.send(to, wire) }
 		}
@@ -156,6 +189,9 @@ func (r *ThroughputRunner) emitters(pump *wirePump) [2]func(to int, wire []byte)
 	for m := range batch {
 		m := m
 		batch[m] = transport.NewBatcher(pumpSink{pump: pump}, event.Addr(m), 0)
+		if r.mode == BatchedDelta {
+			batch[m].EnableDelta(0) // bare wires: no epoch prefix
+		}
 		emit[m] = func(to int, wire []byte) { batch[m].Send(event.Addr(to), wire) }
 	}
 	r.flush = func() {
@@ -170,6 +206,8 @@ func (r *ThroughputRunner) emitters(pump *wirePump) [2]func(to int, wire []byte)
 			SubPackets: a.SubPackets + b.SubPackets,
 			Frames:     a.Frames + b.Frames,
 			Flushes:    a.Flushes + b.Flushes,
+			DeltaSubs:  a.DeltaSubs + b.DeltaSubs,
+			FrameBytes: a.FrameBytes + b.FrameBytes,
 		}
 	}
 	return emit
@@ -190,9 +228,13 @@ func (r *ThroughputRunner) initStacks(names []string, mode stack.Mode) error {
 		}
 		stks[to].DeliverUp(up)
 	}
+	// Ephemeral scratch walker: the pump already requires receivers to
+	// consume (or copy) a wire during delivery, so reconstructed delta
+	// subs may share one recycled buffer — keeping the path at 0 allocs.
+	wk := transport.NewFrameWalker(0, false)
 	pump := &wirePump{deliver: func(to int, wire []byte) {
 		if transport.IsFrame(wire) {
-			transport.WalkFrame(wire, walk[to])
+			wk.Walk(wire, walk[to])
 			return
 		}
 		deliverOne(to, wire)
@@ -237,9 +279,10 @@ func (r *ThroughputRunner) initStacks(names []string, mode stack.Mode) error {
 func (r *ThroughputRunner) initMach(names []string) error {
 	var engs [2]*opt.Engine
 	var walk [2]func(sub []byte)
+	wk := transport.NewFrameWalker(0, false)
 	pump := &wirePump{deliver: func(to int, wire []byte) {
 		if transport.IsFrame(wire) {
-			transport.WalkFrame(wire, walk[to])
+			wk.Walk(wire, walk[to])
 			return
 		}
 		engs[to].Packet(wire)
@@ -276,9 +319,10 @@ func (r *ThroughputRunner) initMach(names []string) error {
 func (r *ThroughputRunner) initHand() error {
 	var hands [2]*layers.HandEngine
 	var walk [2]func(sub []byte)
+	wk := transport.NewFrameWalker(0, false)
 	pump := &wirePump{deliver: func(to int, wire []byte) {
 		if transport.IsFrame(wire) {
-			transport.WalkFrame(wire, walk[to])
+			wk.Walk(wire, walk[to])
 			return
 		}
 		hands[to].Packet(wire)
@@ -321,17 +365,17 @@ func (r *ThroughputRunner) Run(n int) {
 	for i := 0; i < n; i++ {
 		r.submit()
 		r.rounds++
-		if r.batched && r.rounds%r.flushEvery == 0 {
+		if r.batched() && r.rounds%r.flushEvery == 0 {
 			r.flush()
 		}
 		if r.rounds%256 == 0 {
 			r.sweep(int64(r.rounds) * int64(1e6))
-			if r.batched {
+			if r.batched() {
 				r.flush()
 			}
 		}
 	}
-	if r.batched {
+	if r.batched() {
 		r.flush()
 	}
 }
@@ -360,10 +404,13 @@ type Throughput struct {
 	AllocsPerMsg     float64
 	AllocBytesPerMsg float64
 	GCCycles         uint32
-	// Batched reports whether wire batching was on the measured path;
-	// SubsPerFrame is the observed coalescing factor (0 when unbatched).
-	Batched      bool
+	// Mode reports how wires reached the pump; SubsPerFrame is the
+	// observed coalescing factor (0 when unbatched). In the batched
+	// modes BytesPerMsg is frame bytes on the wire per cast round —
+	// the figure delta compression (BatchedDelta) shrinks.
+	Mode         BatchMode
 	SubsPerFrame float64
+	BytesPerMsg  float64
 }
 
 // MeasureThroughput runs `rounds` steady-state cast rounds of
@@ -371,22 +418,29 @@ type Throughput struct {
 // A warmup of 512 rounds runs first so pools and windows reach steady
 // state before the bracketed measurement.
 func MeasureThroughput(cfg Config, names []string, size, rounds int) (Throughput, error) {
-	return measureThroughput(cfg, names, size, rounds, false)
+	return measureThroughput(cfg, names, size, rounds, Immediate)
 }
 
 // MeasureBatchedThroughput is MeasureThroughput with wire batching on
 // the measured path (see NewBatchedThroughputRunner).
 func MeasureBatchedThroughput(cfg Config, names []string, size, rounds int) (Throughput, error) {
-	return measureThroughput(cfg, names, size, rounds, true)
+	return measureThroughput(cfg, names, size, rounds, Batched)
 }
 
-func measureThroughput(cfg Config, names []string, size, rounds int, batched bool) (Throughput, error) {
-	r, err := newThroughputRunner(cfg, names, size, batched)
+// MeasureBatchedDeltaThroughput is MeasureBatchedThroughput over the
+// delta-compressed frame format.
+func MeasureBatchedDeltaThroughput(cfg Config, names []string, size, rounds int) (Throughput, error) {
+	return measureThroughput(cfg, names, size, rounds, BatchedDelta)
+}
+
+func measureThroughput(cfg Config, names []string, size, rounds int, mode BatchMode) (Throughput, error) {
+	r, err := newThroughputRunner(cfg, names, size, mode)
 	if err != nil {
 		return Throughput{}, err
 	}
 	r.Run(520) // past the 256-round sweep boundary, see bench_test.go
 	base := r.Delivered()
+	baseBytes := r.BatchStats().FrameBytes
 	smp, err := perfcount.Measure(func() error { r.Run(rounds); return nil })
 	if err != nil {
 		return Throughput{}, err
@@ -407,10 +461,11 @@ func measureThroughput(cfg Config, names []string, size, rounds int, batched boo
 		AllocsPerMsg:     float64(smp.Mallocs) / n,
 		AllocBytesPerMsg: float64(smp.AllocBytes) / n,
 		GCCycles:         smp.GCCycles,
-		Batched:          batched,
+		Mode:             mode,
 	}
 	if bs := r.BatchStats(); bs.Frames > 0 {
 		tp.SubsPerFrame = float64(bs.SubPackets) / float64(bs.Frames)
+		tp.BytesPerMsg = float64(bs.FrameBytes-baseBytes) / n
 	}
 	return tp, nil
 }

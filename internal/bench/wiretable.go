@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"ensemble/internal/layers"
+)
+
+// WireTable reports what the wire-format ladder buys, mode by mode:
+// immediate single-sub frames (no coalescing), classic batched frames,
+// and delta-compressed batched frames — the member default. The figure
+// of merit is bytes on the wire per application message during the data
+// phase (see NetThroughput.BytesPerMsg for the measurement window); the
+// workload is the compression gate's — an 8-member MACH group casting
+// minimum-size (header-dominated) messages over a 10-layer stack.
+func WireTable(rounds int) (string, error) {
+	const members, size, seed, workers = 8, 8, 7, 1
+	var b strings.Builder
+	fmt.Fprintf(&b, "Bytes on the wire per message (%d-member MACH cast workload, 10-layer stack, %d rounds)\n",
+		members, rounds)
+	fmt.Fprintf(&b, "%-15s %12s %12s %12s %14s\n",
+		"mode", "bytes/msg", "subs/frame", "msgs/sec", "window bytes")
+	var perMode [3]NetThroughput
+	for _, mode := range []BatchMode{Immediate, Batched, BatchedDelta} {
+		nt, err := MeasureNetThroughput(MACH, layers.Stack10(), members, size, rounds, seed, workers, mode)
+		if err != nil {
+			return "", err
+		}
+		perMode[mode] = nt
+		fmt.Fprintf(&b, "%-15s %12.2f %12.2f %12.0f %14d\n",
+			mode.String(), nt.BytesPerMsg, nt.SubsPerFrame, nt.MsgsPerSec, nt.WindowBytesOnWire)
+	}
+	if classic := perMode[Batched].BytesPerMsg; classic > 0 {
+		fmt.Fprintf(&b, "delta vs batched: %+.1f%% bytes/msg\n",
+			(perMode[BatchedDelta].BytesPerMsg/classic-1)*100)
+	}
+	return b.String(), nil
+}

@@ -295,6 +295,13 @@ func (ep *Endpoint) drain() {
 	ep.draining = false
 }
 
+// AtVirtual schedules fn on the scheduler goroutine at virtual time t
+// (route phase). It is for instrumentation only — snapshotting Net
+// stats at a fixed virtual time, say — and fn must not touch member
+// state or the RNG, or the Run/RunConcurrent determinism guarantee is
+// forfeit.
+func (c *Cluster) AtVirtual(t int64, fn func()) { c.sim.At(t, fn) }
+
 // Enqueue schedules fn to run on member idx's goroutine at now+delay —
 // the way a test or benchmark injects application work (casts, sends)
 // into a member. Call it from the driving goroutine between runs, or
@@ -338,7 +345,11 @@ func (c *Cluster) arrive(idx int, p Packet) {
 	}
 	c.net.stats.Frames++
 	t := c.sim.now
-	transport.WalkFrame(p.Data, func(sub []byte) {
+	// The shared walker runs in stable mode, so delta-reconstructed subs
+	// (like classic ones, which alias the per-transmit frame copy) stay
+	// valid from this mailbox append through the member's drain-phase
+	// consumption and beyond.
+	c.net.walker.Walk(p.Data, func(sub []byte) {
 		c.net.stats.SubPackets++
 		q := p
 		q.Data = sub

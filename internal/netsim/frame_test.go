@@ -115,3 +115,177 @@ func TestAdaptiveQuantumClamps(t *testing.T) {
 		t.Fatalf("quantum %d escaped [%d, %d]", c.quantum, c.qMin, c.qMax)
 	}
 }
+
+// --- delta-compressed frames through the netsim substrates ---
+
+// compressedWire builds a compressed wire image the way core.Member emits
+// them: epoch prefix uvarints, then the 0xC0 compressed header.
+func compressedWire(epochSeq, viewTag uint64, id uint16, sender uint64, seq int64, rest ...byte) []byte {
+	w := binary.AppendUvarint(nil, epochSeq)
+	w = binary.AppendUvarint(w, viewTag)
+	w = append(w, transport.WireCompressed, byte(id), byte(id>>8))
+	w = binary.AppendUvarint(w, sender)
+	w = binary.AppendVarint(w, seq)
+	return append(w, rest...)
+}
+
+// frameCapture is a BatchSink that keeps copies of flushed frames.
+type frameCapture struct{ frames [][]byte }
+
+func (c *frameCapture) Send(from, to event.Addr, data []byte) {
+	c.frames = append(c.frames, append([]byte(nil), data...))
+}
+func (c *frameCapture) Cast(from event.Addr, data []byte) {
+	c.frames = append(c.frames, append([]byte(nil), data...))
+}
+
+// deltaFrame batches the wires with delta compression on (member epoch
+// prefix) and returns the single resulting frame.
+func deltaFrame(t *testing.T, wires ...[]byte) []byte {
+	t.Helper()
+	sink := &frameCapture{}
+	b := transport.NewBatcher(sink, 1, 1<<20)
+	b.EnableDelta(transport.EpochPrefixUvarints)
+	for _, w := range wires {
+		b.Cast(w)
+	}
+	b.Flush()
+	if len(sink.frames) != 1 {
+		t.Fatalf("batcher emitted %d frames, want 1", len(sink.frames))
+	}
+	return sink.frames[0]
+}
+
+// TestNetDeliversDeltaFrameSubPackets: a delta-compressed frame fans out
+// into the original wires, byte for byte, while the Stats invariant stays
+// at the transmission level and BytesOnWire counts the compressed frame.
+func TestNetDeliversDeltaFrameSubPackets(t *testing.T) {
+	wires := [][]byte{
+		compressedWire(3, 7, 12, 1, 100, 0xAA),
+		compressedWire(3, 7, 12, 1, 101, 0xBB), // pure delta: elided header
+		compressedWire(3, 7, 12, 1, 102, 0xCC),
+		compressedWire(4, 7, 12, 1, 0, 0xDD), // epoch changed: explicit
+	}
+	frame := deltaFrame(t, wires...)
+	sum := 0
+	for _, w := range wires {
+		sum += len(w)
+	}
+	if len(frame) >= sum {
+		t.Fatalf("delta frame (%dB) not smaller than its wires (%dB)", len(frame), sum)
+	}
+
+	s := NewSim(1)
+	n := NewNet(s, Profile{Latency: 1000})
+	var got [][]byte
+	n.Attach(1, func(Packet) {})
+	n.Attach(2, func(p Packet) { got = append(got, p.Data) }) // retained, no copy: stable walker
+	n.Send(1, 2, frame)
+	s.Run(int64(1e9))
+
+	if len(got) != len(wires) {
+		t.Fatalf("receiver saw %d subs, want %d", len(got), len(wires))
+	}
+	for i, w := range wires {
+		if string(got[i]) != string(w) {
+			t.Fatalf("sub %d: got % x, want % x", i, got[i], w)
+		}
+	}
+	st := n.Stats()
+	if st.Sent != 1 || st.Delivered != 1 || st.Frames != 1 || st.SubPackets != int64(len(wires)) {
+		t.Fatalf("frame accounting: %+v", st)
+	}
+	if st.BytesOnWire != int64(len(frame)) {
+		t.Fatalf("BytesOnWire = %d, want frame size %d", st.BytesOnWire, len(frame))
+	}
+	if st.Sent+st.Duplicated != st.Delivered+st.Dropped {
+		t.Fatalf("stats invariant broken: %+v", st)
+	}
+}
+
+// TestNetDeltaGarbageKeepsInvariant: a corrupt delta frame (delta sub
+// first, with no base) surfaces its tail as one garbage sub — delivered,
+// counted, no panic — so the frame-level invariant survives malformed
+// input exactly as it does for classic frames.
+func TestNetDeltaGarbageKeepsInvariant(t *testing.T) {
+	frame := []byte{transport.DeltaFrameMagic, 0x01, 0x00, 0x02, 0xFF}
+	s := NewSim(1)
+	n := NewNet(s, Profile{Latency: 1000})
+	var got [][]byte
+	n.Attach(1, func(Packet) {})
+	n.Attach(2, func(p Packet) { got = append(got, p.Data) })
+	n.Send(1, 2, frame)
+	s.Run(int64(1e9))
+
+	if len(got) != 1 || string(got[0]) != string(frame[1:]) {
+		t.Fatalf("garbage tail not surfaced whole: %v", got)
+	}
+	st := n.Stats()
+	if st.Sent != 1 || st.Delivered != 1 || st.Frames != 1 || st.SubPackets != 1 {
+		t.Fatalf("garbage accounting: %+v", st)
+	}
+	if st.Sent+st.Duplicated != st.Delivered+st.Dropped {
+		t.Fatalf("stats invariant broken: %+v", st)
+	}
+}
+
+// TestClusterArriveUnpacksDeltaFrames: the mailbox path decodes delta
+// frames too, and because the walker runs in stable mode the subs stay
+// intact after further frames are walked (mailboxes hold subs across
+// deliveries within a drain).
+func TestClusterArriveUnpacksDeltaFrames(t *testing.T) {
+	wires := [][]byte{
+		compressedWire(1, 1, 9, 1, 5, 'a'),
+		compressedWire(1, 1, 9, 1, 6, 'b'),
+		compressedWire(1, 1, 9, 1, 7, 'c'),
+	}
+	c := NewCluster(3, Profile{Latency: 1000})
+	var got [][]byte
+	for i := 0; i < 2; i++ {
+		ep := c.NewEndpoint(event.Addr(i + 1))
+		ep.Attach(ep.Addr(), func(p Packet) { got = append(got, p.Data) })
+	}
+	frame := deltaFrame(t, wires...)
+	c.Enqueue(0, 0, func() {
+		c.eps[0].Send(1, 2, frame)
+		c.eps[0].Cast(1, deltaFrame(t, wires[0]))
+	})
+	c.Run(int64(1e9))
+
+	if len(got) != 4 {
+		t.Fatalf("got %d subs, want 4", len(got))
+	}
+	for i := 0; i < 3; i++ {
+		if string(got[i]) != string(wires[i]) {
+			t.Fatalf("sub %d mangled: % x", i, got[i])
+		}
+	}
+	if string(got[3]) != string(wires[0]) {
+		t.Fatalf("cast sub mangled: % x", got[3])
+	}
+	st := c.Net().Stats()
+	if st.Sent != 2 || st.Delivered != 2 || st.Frames != 2 || st.SubPackets != 4 {
+		t.Fatalf("cluster delta accounting: %+v", st)
+	}
+}
+
+// TestNetCastBytesOnWireCountsOnce: a multicast frame's bytes land on the
+// wire once, however many receivers fan out (BytesSent keeps the
+// per-receiver figure).
+func TestNetCastBytesOnWireCountsOnce(t *testing.T) {
+	s := NewSim(1)
+	n := NewNet(s, Profile{})
+	for i := 1; i <= 4; i++ {
+		n.Attach(event.Addr(i), func(Packet) {})
+	}
+	data := []byte("hello world")
+	n.Cast(1, data)
+	s.Run(int64(1e9))
+	st := n.Stats()
+	if st.BytesOnWire != int64(len(data)) {
+		t.Fatalf("BytesOnWire = %d, want %d (counted once)", st.BytesOnWire, len(data))
+	}
+	if st.BytesSent != int64(3*len(data)) {
+		t.Fatalf("BytesSent = %d, want %d (per receiver)", st.BytesSent, 3*len(data))
+	}
+}

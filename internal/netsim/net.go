@@ -58,6 +58,12 @@ func Lossy(lossProb float64) Profile {
 type Stats struct {
 	Sent, Delivered, Dropped, Duplicated int64
 	BytesSent                            int64
+	// BytesOnWire counts bytes handed to the medium once per
+	// transmission: a multicast frame counts its bytes once however many
+	// receivers it fans out to (BytesSent counts per receiver). This is
+	// the figure header compression shrinks — bytes/msg in the bench
+	// tables is BytesOnWire over application messages.
+	BytesOnWire int64
 	// Frames counts delivered transmissions that were batched frames;
 	// SubPackets counts the wires fanned out of them.
 	Frames, SubPackets int64
@@ -82,6 +88,14 @@ type Net struct {
 	// of direct callbacks (see cluster.go). delay is relative to the
 	// transmission time.
 	route func(p Packet, delay int64)
+
+	// walker unpacks batched frames (classic and delta) at delivery.
+	// Stable mode: surfaced subs live as long as the frame buffer — a
+	// per-transmit copy here — so receivers may retain decoded payload
+	// slices, as the member Handlers contract allows. Deliveries run on
+	// one goroutine (the simulator's, or the cluster scheduler's), so
+	// one walker serves both delivery paths.
+	walker *transport.FrameWalker
 }
 
 // SetFilter installs (or clears, with nil) a reachability filter; use it
@@ -112,7 +126,12 @@ func (n *Net) Partition(islands ...[]event.Addr) {
 
 // NewNet attaches a network with the given behaviour profile to sim.
 func NewNet(sim *Sim, profile Profile) *Net {
-	return &Net{sim: sim, profile: profile, eps: map[event.Addr]func(Packet){}}
+	return &Net{
+		sim:     sim,
+		profile: profile,
+		eps:     map[event.Addr]func(Packet){},
+		walker:  transport.NewFrameWalker(transport.EpochPrefixUvarints, true),
+	}
 }
 
 // Stats returns a snapshot of the traffic counters.
@@ -145,6 +164,7 @@ func (n *Net) Detach(addr event.Addr) {
 func (n *Net) Send(from, to event.Addr, data []byte) {
 	n.stats.Sent++
 	n.stats.BytesSent += int64(len(data))
+	n.stats.BytesOnWire += int64(len(data))
 	n.transmit(Packet{From: from, To: to, Data: append([]byte(nil), data...)})
 }
 
@@ -153,6 +173,7 @@ func (n *Net) Send(from, to event.Addr, data []byte) {
 // own copy of data: transports decode in place, so a shared backing
 // slice would let one member's decode corrupt another's packet.
 func (n *Net) Cast(from event.Addr, data []byte) {
+	n.stats.BytesOnWire += int64(len(data))
 	for _, to := range n.order {
 		if to == from {
 			continue
@@ -220,7 +241,7 @@ func (n *Net) deliverNow(p Packet) {
 		return
 	}
 	n.stats.Frames++
-	transport.WalkFrame(p.Data, func(sub []byte) {
+	n.walker.Walk(p.Data, func(sub []byte) {
 		n.stats.SubPackets++
 		q := p
 		q.Data = sub

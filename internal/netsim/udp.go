@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ensemble/internal/event"
@@ -15,6 +16,15 @@ import (
 // Clock contracts the simulator does; all callbacks (packets and timers)
 // are serialized onto the Run goroutine, so the protocol stack needs no
 // locking — the discipline Ensemble itself uses.
+//
+// Like a cluster Endpoint, UDPNet exposes the drain-flush capability
+// (SetDrainFlush/InDrain), so an attached core.Member defers its wire
+// batching across one *burst* of Run-goroutine work — every packet and
+// scheduled function that is immediately available — and flushes when
+// the burst ends. The wires a member emits while handling a burst
+// coalesce into one datagram (one sendto syscall) per destination
+// instead of one per wire, and with delta encoding on, their headers
+// compress against each other too.
 type UDPNet struct {
 	self  event.Addr
 	conn  *net.UDPConn
@@ -28,7 +38,39 @@ type UDPNet struct {
 	// them: an untracked timer outlives Close and fires into a closed
 	// endpoint (and keeps the process alive until it expires).
 	timers map[*time.Timer]struct{}
+
+	// drainFlush is the member's batch-flush hook; draining is true
+	// while the Run goroutine is inside a burst (the member's InDrain).
+	drainFlush func()
+	draining   atomic.Bool
+
+	stats  UDPStats
+	walker *transport.FrameWalker
 }
+
+// UDPStats counts the socket-side traffic. Every datagram handed to
+// Send/Cast lands in exactly one counter — Datagrams (written), or
+// DroppedOnClose (the socket closed under it), or SendErrors — so
+// nothing leaves the books silently.
+type UDPStats struct {
+	// Datagrams and BytesOnWire count successful socket writes; a
+	// multicast counts one write per peer (UDP has no broadcast here).
+	Datagrams   int64
+	BytesOnWire int64
+	// SendErrors counts failed writes on a live socket.
+	SendErrors int64
+	// DroppedOnClose counts datagrams dropped because the socket closed
+	// while they were pending — batched wires flushed at the end of the
+	// burst that called Close. They are deliberately dropped, not
+	// leaked: Close is allowed to cut a burst's tail off, but the count
+	// makes it visible.
+	DroppedOnClose int64
+}
+
+// maxBurst bounds how many mailbox items one burst may absorb before a
+// forced flush, so a sustained packet storm cannot defer the batched
+// wires (and the peers' acknowledgments) indefinitely.
+const maxBurst = 64
 
 // NewUDPNet opens a UDP endpoint at listen (host:port) for member self,
 // with the addresses of every member (including self) in peers.
@@ -48,6 +90,7 @@ func NewUDPNet(self event.Addr, listen string, peers map[event.Addr]string) (*UD
 		funcs:  make(chan func(), 256),
 		closed: make(chan struct{}),
 		timers: map[*time.Timer]struct{}{},
+		walker: transport.NewFrameWalker(transport.EpochPrefixUvarints, true),
 	}
 	for a, hostport := range peers {
 		ua, err := net.ResolveUDPAddr("udp", hostport)
@@ -62,6 +105,13 @@ func NewUDPNet(self event.Addr, listen string, peers map[event.Addr]string) (*UD
 
 // LocalAddr reports the bound socket address (useful with port 0).
 func (u *UDPNet) LocalAddr() string { return u.conn.LocalAddr().String() }
+
+// Stats returns a snapshot of the socket counters.
+func (u *UDPNet) Stats() UDPStats {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.stats
+}
 
 // Attach implements the member network contract.
 func (u *UDPNet) Attach(addr event.Addr, recv func(Packet)) {
@@ -80,10 +130,24 @@ func (u *UDPNet) Detach(addr event.Addr) {
 	u.mu.Unlock()
 }
 
+// SetDrainFlush registers the hook the Run goroutine calls at the end of
+// every burst — core.Member installs its batch flush here, which is what
+// routes the real-socket send path through the Batcher.
+func (u *UDPNet) SetDrainFlush(fn func()) {
+	u.mu.Lock()
+	u.drainFlush = fn
+	u.mu.Unlock()
+}
+
+// InDrain reports whether the Run goroutine is inside a burst; the
+// member keeps batching while it is, knowing the end-of-burst hook is
+// coming.
+func (u *UDPNet) InDrain() bool { return u.draining.Load() }
+
 // Send transmits point-to-point.
 func (u *UDPNet) Send(from, to event.Addr, data []byte) {
 	if ua, ok := u.peers[to]; ok {
-		_, _ = u.conn.WriteToUDP(data, ua)
+		u.write(data, ua)
 	}
 }
 
@@ -93,8 +157,29 @@ func (u *UDPNet) Cast(from event.Addr, data []byte) {
 		if a == from {
 			continue
 		}
-		_, _ = u.conn.WriteToUDP(data, ua)
+		u.write(data, ua)
 	}
+}
+
+// write pushes one datagram at the socket and accounts for the outcome;
+// see UDPStats for the taxonomy. WriteToUDP is goroutine-safe, so both
+// the Run goroutine (burst-end flushes) and application goroutines
+// (sends outside a burst) may land here.
+func (u *UDPNet) write(data []byte, ua *net.UDPAddr) {
+	_, err := u.conn.WriteToUDP(data, ua)
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if err != nil {
+		select {
+		case <-u.closed:
+			u.stats.DroppedOnClose++
+		default:
+			u.stats.SendErrors++
+		}
+		return
+	}
+	u.stats.Datagrams++
+	u.stats.BytesOnWire += int64(len(data))
 }
 
 // Now implements the member clock in real nanoseconds.
@@ -131,8 +216,17 @@ func (u *UDPNet) Do(fn func()) {
 	}
 }
 
+// Flush schedules an empty entry on the Run goroutine; its burst-end
+// hook flushes whatever the attached member has batched. Deployments
+// that want wires on the network at a specific moment (before blocking
+// on a reply, say) call this; the routine flush points — end of every
+// burst — need no help.
+func (u *UDPNet) Flush() { u.Do(func() {}) }
+
 // Run reads packets and executes scheduled functions until Close,
-// serializing everything onto this goroutine.
+// serializing everything onto this goroutine. Work is absorbed in
+// bursts: one blocking receive, then everything else immediately
+// available (bounded by maxBurst), then the end-of-burst flush hook.
 func (u *UDPNet) Run() error {
 	pkts := make(chan Packet, 256)
 	go func() {
@@ -158,30 +252,62 @@ func (u *UDPNet) Run() error {
 			if !ok {
 				return nil
 			}
-			u.mu.Lock()
-			recv := u.recv
-			u.mu.Unlock()
-			if recv == nil {
-				break
-			}
-			// A batched frame is one datagram fanned out into its
-			// sub-packets; the reader loop copied the datagram into a
-			// fresh buffer, so the subs can alias it safely.
-			if !transport.IsFrame(p.Data) {
-				recv(p)
-				break
-			}
-			transport.WalkFrame(p.Data, func(sub []byte) {
-				q := p
-				q.Data = sub
-				recv(q)
-			})
+			u.draining.Store(true)
+			u.deliver(p)
 		case fn := <-u.funcs:
+			u.draining.Store(true)
 			fn()
 		case <-u.closed:
 			return nil
 		}
+	burst:
+		for n := 1; n < maxBurst; n++ {
+			select {
+			case p, ok := <-pkts:
+				if !ok {
+					break burst
+				}
+				u.deliver(p)
+			case fn := <-u.funcs:
+				fn()
+			default:
+				break burst
+			}
+		}
+		// End of burst: run the member's deferred batch flush (with
+		// draining still true, exactly like a cluster drain barrier),
+		// then hand the "not in a burst" state back.
+		u.mu.Lock()
+		flush := u.drainFlush
+		u.mu.Unlock()
+		if flush != nil {
+			flush()
+		}
+		u.draining.Store(false)
 	}
+}
+
+// deliver fans a received datagram out to the endpoint: batched frames
+// (classic or delta) become one recv call per sub-packet, raw packets
+// pass through whole. The reader loop copied the datagram into a fresh
+// buffer and the walker runs in stable mode, so subs — including
+// delta-reconstructed ones — can be retained safely downstream.
+func (u *UDPNet) deliver(p Packet) {
+	u.mu.Lock()
+	recv := u.recv
+	u.mu.Unlock()
+	if recv == nil {
+		return
+	}
+	if !transport.IsFrame(p.Data) {
+		recv(p)
+		return
+	}
+	u.walker.Walk(p.Data, func(sub []byte) {
+		q := p
+		q.Data = sub
+		recv(q)
+	})
 }
 
 // addrOf maps a socket address back to a member address.
@@ -195,6 +321,10 @@ func (u *UDPNet) addrOf(ra *net.UDPAddr) event.Addr {
 }
 
 // Close shuts the endpoint down and stops every outstanding timer.
+// Wires still batched in the attached member when Close lands mid-burst
+// are deterministically dropped and counted (UDPStats.DroppedOnClose)
+// when the burst-end flush hits the closed socket — Close never leaves
+// sub-packets silently pending.
 func (u *UDPNet) Close() error {
 	u.mu.Lock()
 	select {

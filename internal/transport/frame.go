@@ -9,7 +9,8 @@ package transport
 // sub-packets sharing one buffer — and the network sees a single
 // transmit per destination per flush window.
 //
-// Frame wire format:
+// Classic frame wire format (EnableDelta selects the delta-compressed
+// variant — see delta.go):
 //
 //	magic     byte = FrameMagic
 //	subs      repeated { uvarint length, length bytes }
@@ -39,8 +40,12 @@ const FrameMagic = 0xB7
 // rather than grown past roughly one MTU's worth of sub-packets.
 const DefaultFrameBytes = 1400
 
-// IsFrame reports whether data begins a batched frame.
-func IsFrame(data []byte) bool { return len(data) > 0 && data[0] == FrameMagic }
+// IsFrame reports whether data begins a batched frame — classic or
+// delta-compressed (see delta.go). Pair it with FrameWalker.Walk, which
+// decodes both; WalkFrame below decodes only the classic format.
+func IsFrame(data []byte) bool {
+	return len(data) > 0 && (data[0] == FrameMagic || data[0] == DeltaFrameMagic)
+}
 
 // WalkFrame fans a batched frame out into its sub-packets, calling fn
 // once per sub-packet in order, and returns the number of sub-packets
@@ -52,7 +57,7 @@ func IsFrame(data []byte) bool { return len(data) > 0 && data[0] == FrameMagic }
 // packet. Calling WalkFrame on a non-frame is a programming error and
 // surfaces the whole buffer as one sub-packet.
 func WalkFrame(data []byte, fn func(sub []byte)) int {
-	if !IsFrame(data) {
+	if len(data) == 0 || data[0] != FrameMagic {
 		fn(data)
 		return 1
 	}
@@ -99,6 +104,16 @@ type BatcherStats struct {
 	Frames int64
 	// Flushes counts Flush calls that emitted at least one frame.
 	Flushes int64
+	// DeltaSubs counts wires that went out field-delta-encoded against
+	// their in-frame predecessor (always 0 with delta disabled).
+	DeltaSubs int64
+	// PrefixSubs counts wires that went out as shared-prefix subs — the
+	// shape-agnostic fallback for wires the field delta cannot parse
+	// (always 0 with delta disabled).
+	PrefixSubs int64
+	// FrameBytes counts frame bytes handed to the sink — the batcher's
+	// own bytes-on-wire figure, for substrates that do not keep one.
+	FrameBytes int64
 }
 
 // batchFrame is one pending coalesced frame: a cast frame fans out to
@@ -108,6 +123,10 @@ type batchFrame struct {
 	to   event.Addr
 	subs int
 	buf  []byte
+	// base is the previous sub's parsed header — the delta base for the
+	// next append. Tail-only append makes this well defined: only the
+	// newest frame ever grows, so one base per frame is the whole state.
+	base subMeta
 }
 
 // Batcher coalesces outgoing wire images into per-destination frames.
@@ -124,10 +143,21 @@ type Batcher struct {
 	from      event.Addr
 	maxBytes  int
 	immediate bool
+	// delta selects the delta-compressed frame format (magic
+	// DeltaFrameMagic): compressed wire images are encoded against their
+	// in-frame predecessor, everything else rides as full subs. nPrefix
+	// is the epoch prefix length the sub parser expects (see delta.go).
+	delta   bool
+	nPrefix int
 
 	frames []batchFrame
 	free   [][]byte
-	stats  BatcherStats
+	// prev holds a copy of the last wire appended to the newest frame —
+	// the base for shared-prefix encoding. One buffer suffices because
+	// only the newest frame is ever appendable; tail() empties it when a
+	// fresh frame starts.
+	prev  []byte
+	stats BatcherStats
 }
 
 // NewBatcher builds a batcher for the member at from, flushing frames
@@ -148,6 +178,32 @@ func (b *Batcher) SetImmediate(on bool) {
 	b.immediate = on
 }
 
+// EnableDelta switches the batcher to the delta-compressed frame format
+// (see delta.go): sub-packet headers are elided or delta-encoded against
+// the previous sub in the frame. prefixUvarints is the number of epoch
+// uvarints prefixed to every wire (EpochPrefixUvarints for core.Member
+// traffic, 0 for bare wires); receivers must walk frames with a
+// FrameWalker built with the same value. Pending frames are flushed
+// first, so a frame is never half one format.
+func (b *Batcher) EnableDelta(prefixUvarints int) {
+	if prefixUvarints < 0 || prefixUvarints > maxPrefix {
+		panic("transport: prefixUvarints out of range")
+	}
+	b.Flush()
+	b.delta = true
+	b.nPrefix = prefixUvarints
+}
+
+// DisableDelta restores the classic frame format — the ablation knob for
+// measuring what delta compression buys.
+func (b *Batcher) DisableDelta() {
+	b.Flush()
+	b.delta = false
+}
+
+// DeltaEnabled reports whether the delta frame format is selected.
+func (b *Batcher) DeltaEnabled() bool { return b.delta }
+
 // Stats returns a snapshot of the batching counters.
 func (b *Batcher) Stats() BatcherStats { return b.stats }
 
@@ -164,14 +220,55 @@ func (b *Batcher) Cast(wire []byte) { b.append(true, 0, wire) }
 
 func (b *Batcher) append(cast bool, to event.Addr, wire []byte) {
 	b.stats.SubPackets++
-	need := binary.MaxVarintLen32 + len(wire)
+	need := 1 + binary.MaxVarintLen32 + len(wire)
 	f := b.tail(cast, to, need)
-	f.buf = binary.AppendUvarint(f.buf, uint64(len(wire)))
-	f.buf = append(f.buf, wire...)
+	if b.delta {
+		b.appendDelta(f, wire)
+	} else {
+		f.buf = binary.AppendUvarint(f.buf, uint64(len(wire)))
+		f.buf = append(f.buf, wire...)
+	}
 	f.subs++
 	if b.immediate || len(f.buf) >= b.maxBytes {
 		b.Flush()
 	}
+}
+
+// appendDelta appends wire to a delta-format frame: field-delta-encoded
+// when both it and the frame's previous sub parse as compressed images
+// and the seqno delta fits; otherwise a shared-prefix sub when enough
+// leading bytes match the previous wire (acks and gossip repeat their
+// headers even though the coder has no model of their fields); a
+// flagged full sub as the last resort. Either way the wire becomes the
+// next delta base (an unparseable wire clears the field base, so a
+// following delta sub can never refer past an opaque one) and the next
+// prefix base.
+func (b *Batcher) appendDelta(f *batchFrame, wire []byte) {
+	cur := parseSub(wire, b.nPrefix)
+	if cur.ok && f.base.ok {
+		if buf, ok := appendDeltaSub(f.buf, wire, cur, f.base, b.nPrefix); ok {
+			f.buf = buf
+			f.base = cur
+			b.stats.DeltaSubs++
+			b.prev = append(b.prev[:0], wire...)
+			return
+		}
+	}
+	if n := commonPrefixLen(b.prev, wire); n >= minPrefixLen {
+		f.buf = append(f.buf, subPrefix)
+		f.buf = binary.AppendUvarint(f.buf, uint64(n))
+		f.buf = binary.AppendUvarint(f.buf, uint64(len(wire)-n))
+		f.buf = append(f.buf, wire[n:]...)
+		f.base = cur
+		b.stats.PrefixSubs++
+		b.prev = append(b.prev[:0], wire...)
+		return
+	}
+	f.buf = append(f.buf, subFull)
+	f.buf = binary.AppendUvarint(f.buf, uint64(len(wire)))
+	f.buf = append(f.buf, wire...)
+	f.base = cur
+	b.prev = append(b.prev[:0], wire...)
 }
 
 // tail returns the frame to append into: the newest frame when it has
@@ -190,7 +287,12 @@ func (b *Batcher) tail(cast bool, to event.Addr, need int) *batchFrame {
 		buf = b.free[n-1]
 		b.free = b.free[:n-1]
 	}
-	b.frames = append(b.frames, batchFrame{cast: cast, to: to, buf: append(buf[:0], FrameMagic)})
+	magic := byte(FrameMagic)
+	if b.delta {
+		magic = DeltaFrameMagic
+	}
+	b.prev = b.prev[:0] // a fresh frame has no in-frame predecessor
+	b.frames = append(b.frames, batchFrame{cast: cast, to: to, buf: append(buf[:0], magic)})
 	return &b.frames[len(b.frames)-1]
 }
 
@@ -208,6 +310,7 @@ func (b *Batcher) Flush() {
 			b.sink.Send(b.from, f.to, f.buf)
 		}
 		b.stats.Frames++
+		b.stats.FrameBytes += int64(len(f.buf))
 		b.free = append(b.free, f.buf)
 		*f = batchFrame{}
 	}
