@@ -7,6 +7,7 @@ import (
 	"ensemble/internal/event"
 	"ensemble/internal/layer"
 	"ensemble/internal/layers"
+	"ensemble/internal/obs"
 	"ensemble/internal/opt"
 	"ensemble/internal/perfcount"
 	"ensemble/internal/stack"
@@ -66,6 +67,15 @@ type ThroughputRunner struct {
 	flushEvery int
 	flush      func()
 	batchStats func() transport.BatcherStats
+
+	// Observed runners carry the full obs substrate on the measured
+	// path: every emitted wire bumps a registry counter and lands a
+	// flight record. This is the configuration the overhead gate (Gate 4)
+	// measures — it must stay allocation-free and within 3% of the
+	// unobserved throughput.
+	obsReg *obs.Registry
+	obsRec *obs.Recorder
+	obsOut [2]*obs.Counter
 }
 
 func (r *ThroughputRunner) batched() bool { return r.mode != Immediate }
@@ -136,8 +146,32 @@ func NewBatchedDeltaThroughputRunner(cfg Config, names []string, size int) (*Thr
 	return newThroughputRunner(cfg, names, size, BatchedDelta)
 }
 
+// NewObservedThroughputRunner builds the two-member system with the
+// metrics registry and flight recorder wired onto the emit path (see
+// ThroughputRunner.obsReg). mode selects the wire path as usual.
+func NewObservedThroughputRunner(cfg Config, names []string, size int, mode BatchMode) (*ThroughputRunner, error) {
+	return newObservedThroughputRunner(cfg, names, size, mode, true)
+}
+
 func newThroughputRunner(cfg Config, names []string, size int, mode BatchMode) (*ThroughputRunner, error) {
+	return newObservedThroughputRunner(cfg, names, size, mode, false)
+}
+
+func newObservedThroughputRunner(cfg Config, names []string, size int, mode BatchMode, observed bool) (*ThroughputRunner, error) {
 	r := &ThroughputRunner{cfg: cfg, payload: make([]byte, size), mode: mode, flushEvery: 8}
+	if observed {
+		// The registry and recorder must exist before init*, because the
+		// emit closures (where the instrumentation hangs) are captured
+		// there.
+		r.obsReg = obs.NewRegistry()
+		r.obsRec = obs.NewRecorder(2, 1024)
+		for m := range r.obsOut {
+			sc := r.obsReg.Scope(fmt.Sprintf("member%d/", m))
+			r.obsOut[m] = sc.Counter("wires_out")
+		}
+		r.obsReg.Func("delivered", func() int64 { return int64(r.delivered) })
+		r.obsReg.Func("rounds", func() int64 { return int64(r.rounds) })
+	}
 	switch cfg {
 	case IMP, FUNC:
 		mode := stack.Imp
@@ -176,6 +210,27 @@ func (s pumpSink) Cast(from event.Addr, data []byte)     { s.pump.send(1-int(fro
 // frames, because flushing one member's frames can make the other emit
 // (acknowledgments, credit).
 func (r *ThroughputRunner) emitters(pump *wirePump) [2]func(to int, wire []byte) {
+	emit := r.rawEmitters(pump)
+	if r.obsReg == nil {
+		return emit
+	}
+	// Observed runner: count and flight-record every emitted wire. Both
+	// operations are allocation-free (atomic add, fixed-ring store), so
+	// the observed hot path stays at 0 allocs/op — that is the point.
+	for m := range emit {
+		inner := emit[m]
+		cnt := r.obsOut[m]
+		trk := r.obsRec.Track(m)
+		emit[m] = func(to int, wire []byte) {
+			cnt.Inc()
+			trk.Record(int64(r.rounds), obs.KindPktOut, obs.DirDn, 0, cnt.Load())
+			inner(to, wire)
+		}
+	}
+	return emit
+}
+
+func (r *ThroughputRunner) rawEmitters(pump *wirePump) [2]func(to int, wire []byte) {
 	var emit [2]func(to int, wire []byte)
 	if !r.batched() {
 		for m := range emit {
@@ -388,6 +443,19 @@ func (r *ThroughputRunner) BatchStats() transport.BatcherStats { return r.batchS
 // round for stacks with self-delivery, one otherwise).
 func (r *ThroughputRunner) Delivered() int { return r.delivered }
 
+// Metrics snapshots the observed runner's registry (empty when the
+// runner was built without observability).
+func (r *ThroughputRunner) Metrics() obs.Snapshot {
+	if r.obsReg == nil {
+		return nil
+	}
+	return r.obsReg.Snapshot()
+}
+
+// FlightRecorder exposes the observed runner's recorder (nil when the
+// runner was built without observability).
+func (r *ThroughputRunner) FlightRecorder() *obs.Recorder { return r.obsRec }
+
 // Throughput is one sustained run's result.
 type Throughput struct {
 	Config    Config
@@ -433,8 +501,19 @@ func MeasureBatchedDeltaThroughput(cfg Config, names []string, size, rounds int)
 	return measureThroughput(cfg, names, size, rounds, BatchedDelta)
 }
 
+// MeasureObservedThroughput is measureThroughput with the obs substrate
+// (registry + flight recorder) live on the emit path — the overhead
+// configuration Gate 4 compares against the unobserved figures.
+func MeasureObservedThroughput(cfg Config, names []string, size, rounds int, mode BatchMode) (Throughput, error) {
+	return measureThroughputObs(cfg, names, size, rounds, mode, true)
+}
+
 func measureThroughput(cfg Config, names []string, size, rounds int, mode BatchMode) (Throughput, error) {
-	r, err := newThroughputRunner(cfg, names, size, mode)
+	return measureThroughputObs(cfg, names, size, rounds, mode, false)
+}
+
+func measureThroughputObs(cfg Config, names []string, size, rounds int, mode BatchMode, observed bool) (Throughput, error) {
+	r, err := newObservedThroughputRunner(cfg, names, size, mode, observed)
 	if err != nil {
 		return Throughput{}, err
 	}

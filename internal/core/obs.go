@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+
+	"ensemble/internal/event"
+	"ensemble/internal/obs"
+)
+
+// Observability wiring. A member exports its counters into a metrics
+// registry scope and records its externally visible activity — wires
+// out, wires in, deliveries, timer sweeps, view installs, barrier
+// flushes, and MACH bypass routing — onto a flight-recorder track.
+// Everything recorded is a deterministic function of the member's event
+// sequence and uses the member's virtual clock, so under the netsim
+// cluster protocol a Run and a RunConcurrent of the same seed produce
+// byte-identical flight dumps.
+
+// EnableObs wires the member into a registry scope and a flight track.
+// Call it before traffic flows (registration is not re-entrant); either
+// argument may be nil to enable only the other half.
+func (m *Member) EnableObs(sc *obs.Scope, trk *obs.Track) {
+	m.trk = trk
+	if sc != nil {
+		sc.Func("casts_delivered", func() int64 { return m.stats.CastsDelivered })
+		sc.Func("sends_delivered", func() int64 { return m.stats.SendsDelivered })
+		sc.Func("packets_out", func() int64 { return m.stats.PacketsOut })
+		sc.Func("packets_in", func() int64 { return m.stats.PacketsIn })
+		sc.Func("stray_packets", func() int64 { return m.stats.StrayPackets })
+		sc.Func("views", func() int64 { return m.stats.Views })
+		sc.Func("batch/sub_packets", func() int64 { return m.batch.Stats().SubPackets })
+		sc.Func("batch/frames", func() int64 { return m.batch.Stats().Frames })
+		sc.Func("batch/frame_bytes", func() int64 { return m.batch.Stats().FrameBytes })
+		sc.Func("batch/flushes", func() int64 { return m.batch.Stats().Flushes })
+		sc.Func("batch/flush_size", func() int64 { return m.batch.Stats().SizeFlushes })
+		sc.Func("batch/flush_entry_end", func() int64 { return m.batch.Stats().EntryEndFlushes })
+		sc.Func("batch/flush_barrier", func() int64 { return m.batch.Stats().BarrierFlushes })
+		sc.Func("batch/delta_subs", func() int64 { return m.batch.Stats().DeltaSubs })
+		sc.Func("batch/prefix_subs", func() int64 { return m.batch.Stats().PrefixSubs })
+	}
+	if m.optimized {
+		// MACH bypass accounting: the obs counters accumulate CCP hits
+		// and fall-throughs across the member's whole life, while the
+		// engine funcs read the *current* engine (stacks are rebuilt, and
+		// their engine counters reset, at every view change).
+		var hit, miss *obs.Counter
+		if sc != nil {
+			hit = sc.Counter("mach/ccp_hit")
+			miss = sc.Counter("mach/ccp_miss")
+			sc.Func("mach/dn_bypass", func() int64 { return m.eng.Stats().DnBypass })
+			sc.Func("mach/dn_partial", func() int64 { return m.eng.Stats().DnPartial })
+			sc.Func("mach/dn_full", func() int64 { return m.eng.Stats().DnFull })
+			sc.Func("mach/up_bypass", func() int64 { return m.eng.Stats().UpBypass })
+			sc.Func("mach/up_full", func() int64 { return m.eng.Stats().UpFull })
+			sc.Func("mach/uncompressed", func() int64 { return m.eng.Stats().Uncompressed })
+			sc.Func("mach/undecodable", func() int64 { return m.eng.Stats().Undecodable })
+		}
+		m.obsRoute = func(up, bypass bool) {
+			dir := obs.DirDn
+			if up {
+				dir = obs.DirUp
+			}
+			if bypass {
+				hit.Add(1)
+				m.trk.Record(m.sim.Now(), obs.KindCCPHit, dir, 0, hit.Load())
+				return
+			}
+			miss.Add(1)
+			m.trk.Record(m.sim.Now(), obs.KindCCPMiss, dir, 0, miss.Load())
+		}
+		m.eng.OnRoute = m.obsRoute
+	}
+}
+
+// RegisterPoolMetrics exports the process-global event/header pool
+// counters (gets/puts/news) into reg under "pool/". Counts are shared
+// by every member in the process, so register them once per registry.
+func RegisterPoolMetrics(reg *obs.Registry) {
+	reg.Func("pool/event_gets", func() int64 { return event.ReadPoolCounters().EventGets })
+	reg.Func("pool/event_puts", func() int64 { return event.ReadPoolCounters().EventPuts })
+	reg.Func("pool/event_news", func() int64 { return event.ReadPoolCounters().EventNews })
+	reg.Func("pool/header_gets", func() int64 { return event.ReadPoolCounters().HeaderGets })
+	reg.Func("pool/header_puts", func() int64 { return event.ReadPoolCounters().HeaderPuts })
+	reg.Func("pool/header_news", func() int64 { return event.ReadPoolCounters().HeaderNews })
+}
+
+// EnableObs wires the whole cluster group into a registry and a flight
+// recorder: the shared network's counters under "netsim/", the global
+// pools under "pool/", and each member under "member<rank>/" with its
+// flight records on rec's rank-matching track. Call before running
+// traffic.
+func (g *ClusterGroup) EnableObs(reg *obs.Registry, rec *obs.Recorder) {
+	if reg != nil {
+		g.Cluster.Net().RegisterMetrics(reg)
+		RegisterPoolMetrics(reg)
+	}
+	for i, m := range g.Members {
+		var sc *obs.Scope
+		if reg != nil {
+			sc = reg.Scope(fmt.Sprintf("member%d/", i))
+		}
+		m.EnableObs(sc, rec.Track(i))
+	}
+}

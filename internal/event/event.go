@@ -166,11 +166,15 @@ func (e *Event) String() string {
 // short-lived per-message objects, which Ensemble achieved with a private
 // message allocator. We use a sync.Pool plus explicit Free calls from the
 // stack glue.
-var pool = sync.Pool{New: func() any { return new(Event) }}
+var pool = sync.Pool{New: func() any {
+	poolCounters.eventNews.Add(1)
+	return new(Event)
+}}
 
 // Alloc returns a zeroed event from the pool. The event owns every
 // header later pushed onto its Msg.Headers stack: Free releases them.
 func Alloc() *Event {
+	poolCounters.eventGets.Add(1)
 	if poolDebug.Load() {
 		e := new(Event)
 		e.pooled = true
@@ -201,6 +205,7 @@ func Free(e *Event) {
 	hdrs := e.Msg.Headers[:0]
 	*e = Event{}
 	e.Msg.Headers = hdrs
+	poolCounters.eventPuts.Add(1)
 	pool.Put(e)
 }
 

@@ -183,6 +183,7 @@ type HdrPool[T comparable] struct {
 // Get returns a header record. Contents are unspecified: the caller
 // must set every field.
 func (hp *HdrPool[T]) Get() *T {
+	poolCounters.headerGets.Add(1)
 	if poolDebug.Load() {
 		p := new(T)
 		debugTrack(p, false)
@@ -191,6 +192,7 @@ func (hp *HdrPool[T]) Get() *T {
 	if v := hp.p.Get(); v != nil {
 		return v.(*T)
 	}
+	poolCounters.headerNews.Add(1)
 	return new(T)
 }
 
@@ -200,6 +202,7 @@ func (hp *HdrPool[T]) Put(p *T) {
 	if p == nil {
 		return
 	}
+	poolCounters.headerPuts.Add(1)
 	if poolDebug.Load() {
 		if debugRelease(p, "header", false) {
 			var zero T

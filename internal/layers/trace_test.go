@@ -1,0 +1,106 @@
+package layers
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"ensemble/internal/event"
+	"ensemble/internal/layer"
+)
+
+func newTraceState(t *testing.T) *traceState {
+	t.Helper()
+	b, err := layer.Lookup(Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b(layer.DefaultConfig(testView(2, 0))).(*traceState)
+}
+
+// TestTraceRingWraparound pins the ring semantics: once more than
+// traceRingSize events have passed, Recent returns exactly the newest
+// traceRingSize, oldest first, with a monotone ordinal.
+func TestTraceRingWraparound(t *testing.T) {
+	st := newTraceState(t)
+	const total = traceRingSize + 13
+	for i := 0; i < total; i++ {
+		_, dns := dn(st, event.CastEv([]byte("x")))
+		freeAll(dns)
+	}
+	recent := st.Recent()
+	if len(recent) != traceRingSize {
+		t.Fatalf("ring holds %d entries after %d events, want %d", len(recent), total, traceRingSize)
+	}
+	for i, line := range recent {
+		ordinal := total - traceRingSize + 1 + i
+		if want := fmt.Sprintf("%06d DnCast", ordinal); line != want {
+			t.Fatalf("recent[%d] = %q, want %q", i, line, want)
+		}
+	}
+	if st.Count(event.Dn, event.ECast) != total {
+		t.Fatalf("count = %d, want %d", st.Count(event.Dn, event.ECast), total)
+	}
+}
+
+// TestTraceSinkBehavior pins the sink contract: it sees every event with
+// the right direction while installed, and uninstalling (nil) stops the
+// callbacks without disturbing the counts or the ring.
+func TestTraceSinkBehavior(t *testing.T) {
+	st := newTraceState(t)
+	type obsEv struct {
+		dir event.Dir
+		typ event.Type
+	}
+	var seen []obsEv
+	st.SetSink(func(d event.Dir, ev *event.Event) { seen = append(seen, obsEv{d, ev.Type}) })
+
+	_, dns := dn(st, event.CastEv([]byte("a")))
+	freeAll(dns)
+	ev := event.Alloc()
+	ev.Dir, ev.Type, ev.Peer = event.Up, event.ESend, 1
+	ev.Msg.Push(traceHdr{})
+	ups, _ := up(st, ev)
+	freeAll(ups)
+
+	want := []obsEv{{event.Dn, event.ECast}, {event.Up, event.ESend}}
+	if len(seen) != len(want) {
+		t.Fatalf("sink saw %d events, want %d", len(seen), len(want))
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("sink event %d = %+v, want %+v", i, seen[i], want[i])
+		}
+	}
+
+	st.SetSink(nil)
+	_, dns = dn(st, event.CastEv([]byte("b")))
+	freeAll(dns)
+	if len(seen) != 2 {
+		t.Fatalf("sink fired after uninstall: saw %d events", len(seen))
+	}
+	if st.Count(event.Dn, event.ECast) != 2 || len(st.Recent()) != 3 {
+		t.Fatalf("uninstalling the sink disturbed counts/ring: count=%d ring=%d",
+			st.Count(event.Dn, event.ECast), len(st.Recent()))
+	}
+}
+
+// TestTraceMetricsSnapshot pins the obs view: the layer's counters are
+// readable as a deterministic snapshot named trace/<dir>/<type>.
+func TestTraceMetricsSnapshot(t *testing.T) {
+	st := newTraceState(t)
+	for i := 0; i < 3; i++ {
+		_, dns := dn(st, event.CastEv([]byte("x")))
+		freeAll(dns)
+	}
+	s := st.Metrics()
+	if v, ok := s.Get("trace/dn/Cast"); !ok || v != 3 {
+		t.Fatalf("trace/dn/Cast = %d, %t; want 3, true", v, ok)
+	}
+	if v, ok := s.Get("trace/up/Send"); !ok || v != 0 {
+		t.Fatalf("trace/up/Send = %d, %t; want 0, true", v, ok)
+	}
+	if !strings.Contains(s.String(), "trace/dn/Cast") {
+		t.Fatal("snapshot rendering lost the counter names")
+	}
+}

@@ -319,7 +319,7 @@ func (c *Cluster) route(p Packet, delay int64) {
 	if !ok {
 		// Destination was never a cluster endpoint: account the drop at
 		// what would have been delivery time.
-		c.sim.At(t, func() { c.net.stats.Dropped++ })
+		c.sim.At(t, func() { c.net.stats.dropped.Inc() })
 		return
 	}
 	c.sim.At(t, func() { c.arrive(idx, p) })
@@ -333,24 +333,24 @@ func (c *Cluster) route(p Packet, delay int64) {
 func (c *Cluster) arrive(idx int, p Packet) {
 	ep := c.eps[idx]
 	if _, attached := c.net.eps[p.To]; !attached || ep.detached || ep.recv == nil {
-		c.net.stats.Dropped++
+		c.net.stats.dropped.Inc()
 		c.traceLine('x', c.sim.now, p)
 		return
 	}
-	c.net.stats.Delivered++
+	c.net.stats.delivered.Inc()
 	c.traceLine('d', c.sim.now, p)
 	if !transport.IsFrame(p.Data) {
 		ep.mailbox = append(ep.mailbox, mail{t: c.sim.now, pkt: p})
 		return
 	}
-	c.net.stats.Frames++
+	c.net.stats.frames.Inc()
 	t := c.sim.now
 	// The shared walker runs in stable mode, so delta-reconstructed subs
 	// (like classic ones, which alias the per-transmit frame copy) stay
 	// valid from this mailbox append through the member's drain-phase
 	// consumption and beyond.
 	c.net.walker.Walk(p.Data, func(sub []byte) {
-		c.net.stats.SubPackets++
+		c.net.stats.subPackets.Inc()
 		q := p
 		q.Data = sub
 		ep.mailbox = append(ep.mailbox, mail{t: t, pkt: q})

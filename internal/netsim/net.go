@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ensemble/internal/event"
+	"ensemble/internal/obs"
 	"ensemble/internal/transport"
 )
 
@@ -69,6 +70,16 @@ type Stats struct {
 	Frames, SubPackets int64
 }
 
+// netCounters is the live, atomically-updated form of Stats. The
+// simulator/scheduler goroutine is the only writer, but benches and
+// instrumentation goroutines snapshot mid-run, so every counter is an
+// atomic and Snapshot reads outcomes before attempts (see Snapshot).
+type netCounters struct {
+	sent, delivered, dropped, duplicated obs.Counter
+	bytesSent, bytesOnWire               obs.Counter
+	frames, subPackets                   obs.Counter
+}
+
 // Net is a simulated network attached to a Sim. It implements both
 // point-to-point send and group multicast (multicast fans out to every
 // attached endpoint except the sender, as Ethernet multicast would).
@@ -77,7 +88,7 @@ type Net struct {
 	profile Profile
 	eps     map[event.Addr]func(Packet)
 	order   []event.Addr
-	stats   Stats
+	stats   netCounters
 
 	// filter, when set, decides reachability per (from, to) pair —
 	// returning false drops the packet. Used to create partitions.
@@ -134,8 +145,47 @@ func NewNet(sim *Sim, profile Profile) *Net {
 	}
 }
 
-// Stats returns a snapshot of the traffic counters.
-func (n *Net) Stats() Stats { return n.stats }
+// Stats returns a snapshot of the traffic counters (alias of Snapshot,
+// kept for existing call sites).
+func (n *Net) Stats() Stats { return n.Snapshot() }
+
+// Snapshot reads the traffic counters. It is safe to call from any
+// goroutine while a run is in progress. The counters are read outcomes
+// first (Delivered, Dropped) and attempts second (Sent, Duplicated): a
+// delivery's Sent increment happens before its Delivered increment on
+// the writer, so any outcome this order observes has its attempt
+// counted too, and the mid-run invariant
+//
+//	Delivered + Dropped <= Sent + Duplicated
+//
+// holds for every snapshot; equality is reached once the simulator
+// drains (see Stats).
+func (n *Net) Snapshot() Stats {
+	var s Stats
+	s.Delivered = n.stats.delivered.Load()
+	s.Dropped = n.stats.dropped.Load()
+	s.Frames = n.stats.frames.Load()
+	s.SubPackets = n.stats.subPackets.Load()
+	s.Sent = n.stats.sent.Load()
+	s.Duplicated = n.stats.duplicated.Load()
+	s.BytesSent = n.stats.bytesSent.Load()
+	s.BytesOnWire = n.stats.bytesOnWire.Load()
+	return s
+}
+
+// RegisterMetrics adopts the network's counters into reg under the
+// "netsim/" prefix.
+func (n *Net) RegisterMetrics(reg *obs.Registry) {
+	sc := reg.Scope("netsim/")
+	sc.Adopt("sent", &n.stats.sent)
+	sc.Adopt("delivered", &n.stats.delivered)
+	sc.Adopt("dropped", &n.stats.dropped)
+	sc.Adopt("duplicated", &n.stats.duplicated)
+	sc.Adopt("bytes_sent", &n.stats.bytesSent)
+	sc.Adopt("bytes_on_wire", &n.stats.bytesOnWire)
+	sc.Adopt("frames", &n.stats.frames)
+	sc.Adopt("sub_packets", &n.stats.subPackets)
+}
 
 // Attach registers an endpoint. The recv callback runs on the simulator
 // goroutine at the packet's delivery time.
@@ -162,9 +212,9 @@ func (n *Net) Detach(addr event.Addr) {
 // Send transmits a point-to-point packet. The data is copied: the caller
 // may reuse its buffer.
 func (n *Net) Send(from, to event.Addr, data []byte) {
-	n.stats.Sent++
-	n.stats.BytesSent += int64(len(data))
-	n.stats.BytesOnWire += int64(len(data))
+	n.stats.sent.Inc()
+	n.stats.bytesSent.Add(int64(len(data)))
+	n.stats.bytesOnWire.Add(int64(len(data)))
 	n.transmit(Packet{From: from, To: to, Data: append([]byte(nil), data...)})
 }
 
@@ -173,29 +223,29 @@ func (n *Net) Send(from, to event.Addr, data []byte) {
 // own copy of data: transports decode in place, so a shared backing
 // slice would let one member's decode corrupt another's packet.
 func (n *Net) Cast(from event.Addr, data []byte) {
-	n.stats.BytesOnWire += int64(len(data))
+	n.stats.bytesOnWire.Add(int64(len(data)))
 	for _, to := range n.order {
 		if to == from {
 			continue
 		}
-		n.stats.Sent++
-		n.stats.BytesSent += int64(len(data))
+		n.stats.sent.Inc()
+		n.stats.bytesSent.Add(int64(len(data)))
 		n.transmit(Packet{From: from, To: to, Data: append([]byte(nil), data...), Cast: true})
 	}
 }
 
 func (n *Net) transmit(p Packet) {
 	if n.filter != nil && !n.filter(p.From, p.To) {
-		n.stats.Dropped++
+		n.stats.dropped.Inc()
 		return
 	}
 	if n.profile.LossProb > 0 && n.sim.rng.Float64() < n.profile.LossProb {
-		n.stats.Dropped++
+		n.stats.dropped.Inc()
 		return
 	}
 	n.deliverAfter(p, n.delay())
 	if n.profile.DupProb > 0 && n.sim.rng.Float64() < n.profile.DupProb {
-		n.stats.Duplicated++
+		n.stats.duplicated.Inc()
 		// The duplicate needs its own buffer too: both copies reach the
 		// same endpoint, and an in-place decode of the first must not
 		// mangle the second.
@@ -232,17 +282,17 @@ func (n *Net) deliverAfter(p Packet, delay int64) {
 func (n *Net) deliverNow(p Packet) {
 	recv, ok := n.eps[p.To]
 	if !ok {
-		n.stats.Dropped++
+		n.stats.dropped.Inc()
 		return
 	}
-	n.stats.Delivered++
+	n.stats.delivered.Inc()
 	if !transport.IsFrame(p.Data) {
 		recv(p)
 		return
 	}
-	n.stats.Frames++
+	n.stats.frames.Inc()
 	n.walker.Walk(p.Data, func(sub []byte) {
-		n.stats.SubPackets++
+		n.stats.subPackets.Inc()
 		q := p
 		q.Data = sub
 		recv(q)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ensemble/internal/event"
+	"ensemble/internal/obs"
 	"ensemble/internal/transport"
 )
 
@@ -44,8 +45,14 @@ type UDPNet struct {
 	drainFlush func()
 	draining   atomic.Bool
 
-	stats  UDPStats
+	stats  udpCounters
 	walker *transport.FrameWalker
+}
+
+// udpCounters is the live, atomic form of UDPStats: write() runs on
+// whatever goroutine flushed, and benches read Stats mid-run.
+type udpCounters struct {
+	datagrams, bytesOnWire, sendErrors, droppedOnClose obs.Counter
 }
 
 // UDPStats counts the socket-side traffic. Every datagram handed to
@@ -106,11 +113,29 @@ func NewUDPNet(self event.Addr, listen string, peers map[event.Addr]string) (*UD
 // LocalAddr reports the bound socket address (useful with port 0).
 func (u *UDPNet) LocalAddr() string { return u.conn.LocalAddr().String() }
 
-// Stats returns a snapshot of the socket counters.
-func (u *UDPNet) Stats() UDPStats {
-	u.mu.Lock()
-	defer u.mu.Unlock()
-	return u.stats
+// Stats returns a snapshot of the socket counters (alias of Snapshot,
+// kept for existing call sites).
+func (u *UDPNet) Stats() UDPStats { return u.Snapshot() }
+
+// Snapshot reads the socket counters; safe from any goroutine while
+// the endpoint runs.
+func (u *UDPNet) Snapshot() UDPStats {
+	return UDPStats{
+		Datagrams:      u.stats.datagrams.Load(),
+		BytesOnWire:    u.stats.bytesOnWire.Load(),
+		SendErrors:     u.stats.sendErrors.Load(),
+		DroppedOnClose: u.stats.droppedOnClose.Load(),
+	}
+}
+
+// RegisterMetrics adopts the socket counters into reg under the "udp/"
+// prefix.
+func (u *UDPNet) RegisterMetrics(reg *obs.Registry) {
+	sc := reg.Scope("udp/")
+	sc.Adopt("datagrams", &u.stats.datagrams)
+	sc.Adopt("bytes_on_wire", &u.stats.bytesOnWire)
+	sc.Adopt("send_errors", &u.stats.sendErrors)
+	sc.Adopt("dropped_on_close", &u.stats.droppedOnClose)
 }
 
 // Attach implements the member network contract.
@@ -167,19 +192,17 @@ func (u *UDPNet) Cast(from event.Addr, data []byte) {
 // (sends outside a burst) may land here.
 func (u *UDPNet) write(data []byte, ua *net.UDPAddr) {
 	_, err := u.conn.WriteToUDP(data, ua)
-	u.mu.Lock()
-	defer u.mu.Unlock()
 	if err != nil {
 		select {
 		case <-u.closed:
-			u.stats.DroppedOnClose++
+			u.stats.droppedOnClose.Inc()
 		default:
-			u.stats.SendErrors++
+			u.stats.sendErrors.Inc()
 		}
 		return
 	}
-	u.stats.Datagrams++
-	u.stats.BytesOnWire += int64(len(data))
+	u.stats.datagrams.Inc()
+	u.stats.bytesOnWire.Add(int64(len(data)))
 }
 
 // Now implements the member clock in real nanoseconds.

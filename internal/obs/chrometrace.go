@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace_event export: a flight becomes a JSON Trace Event file
+// that chrome://tracing and Perfetto load directly, one named track
+// (pid 0, tid = rank) per member, one instant event per record.
+// Timestamps convert from virtual nanoseconds to the format's
+// microseconds without truncation (fractional ts is allowed).
+
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	Scope string         `json:"s,omitempty"`
+	TS    float64        `json:"ts"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the recorder's flight as Chrome trace_event
+// JSON. Metadata events name each member's track; every record becomes
+// a thread-scoped instant event carrying its seq/dir/layer as args.
+func WriteChromeTrace(w io.Writer, r *Recorder) error {
+	events := make([]chromeEvent, 0, 1+2*len(r.tracks))
+	events = append(events, chromeEvent{
+		Name: "process_name", Phase: "M", PID: 0,
+		Args: map[string]any{"name": "ensemble cluster"},
+	})
+	for rank := range r.tracks {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: 0, TID: rank,
+			Args: map[string]any{"name": fmt.Sprintf("member %d", rank)},
+		})
+	}
+	for rank, t := range r.tracks {
+		for _, rec := range t.Ordered() {
+			dir := "up"
+			if rec.Dir == DirDn {
+				dir = "dn"
+			}
+			events = append(events, chromeEvent{
+				Name: rec.Kind.String(), Phase: "i", Scope: "t",
+				TS: float64(rec.T) / 1e3, PID: 0, TID: rank,
+				Args: map[string]any{"seq": rec.Seq, "dir": dir, "layer": rec.Layer},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}

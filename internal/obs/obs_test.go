@@ -1,0 +1,223 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestRegistrySnapshotOrderedAndReadable(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("zeta/sent")
+	r.Func("alpha/frames", func() int64 { return 7 })
+	var adopted Counter
+	adopted.Store(3)
+	r.Adopt("mid/gauge", &adopted)
+	c.Add(5)
+	c.Inc()
+
+	s := r.Snapshot()
+	if len(s) != 3 {
+		t.Fatalf("snapshot has %d metrics, want 3", len(s))
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i-1].Name >= s[i].Name {
+			t.Fatalf("snapshot not sorted: %q before %q", s[i-1].Name, s[i].Name)
+		}
+	}
+	if v, ok := s.Get("zeta/sent"); !ok || v != 6 {
+		t.Fatalf("zeta/sent = %d, %t; want 6, true", v, ok)
+	}
+	if v, ok := s.Get("alpha/frames"); !ok || v != 7 {
+		t.Fatalf("alpha/frames = %d, %t; want 7, true", v, ok)
+	}
+	if v, ok := s.Get("mid/gauge"); !ok || v != 3 {
+		t.Fatalf("mid/gauge = %d, %t; want 3, true", v, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("Get on a missing metric reported ok")
+	}
+	if s.String() == "" {
+		t.Fatal("String rendered nothing")
+	}
+}
+
+func TestRegistryDuplicateNamePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("dup")
+}
+
+func TestScopePrefixesNames(t *testing.T) {
+	r := NewRegistry()
+	sc := r.Scope("member3/")
+	c := sc.Counter("mach/ccp_hit")
+	sc.Func("packets_in", func() int64 { return 2 })
+	c.Add(9)
+	s := r.Snapshot()
+	if v, ok := s.Get("member3/mach/ccp_hit"); !ok || v != 9 {
+		t.Fatalf("member3/mach/ccp_hit = %d, %t; want 9, true", v, ok)
+	}
+	if v, ok := s.Get("member3/packets_in"); !ok || v != 2 {
+		t.Fatalf("member3/packets_in = %d, %t; want 2, true", v, ok)
+	}
+}
+
+func TestCounterNilSafe(t *testing.T) {
+	var c *Counter
+	c.Add(1)
+	c.Inc()
+	c.Store(5)
+	if c.Load() != 0 {
+		t.Fatal("nil counter loaded nonzero")
+	}
+}
+
+func TestCounterIncrementAllocsNothing(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot")
+	if n := testing.AllocsPerRun(1000, func() { c.Add(1) }); n != 0 {
+		t.Fatalf("Counter.Add allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestTrackRecordAllocsNothing(t *testing.T) {
+	trk := NewRecorder(1, 64).Track(0)
+	var seq int64
+	if n := testing.AllocsPerRun(1000, func() {
+		seq++
+		trk.Record(seq, KindPktOut, DirDn, 0, seq)
+	}); n != 0 {
+		t.Fatalf("Track.Record allocates %.1f per op, want 0", n)
+	}
+}
+
+func TestTrackWraparound(t *testing.T) {
+	const ring = 8
+	trk := NewRecorder(1, ring).Track(0)
+	for i := int64(1); i <= 3; i++ {
+		trk.Record(i, KindPktIn, DirUp, 2, i)
+	}
+	got := trk.Ordered()
+	if len(got) != 3 || got[0].Seq != 1 || got[2].Seq != 3 {
+		t.Fatalf("partial ring: %+v", got)
+	}
+	for i := int64(4); i <= 20; i++ {
+		trk.Record(i, KindPktIn, DirUp, 2, i)
+	}
+	got = trk.Ordered()
+	if len(got) != ring {
+		t.Fatalf("wrapped ring has %d records, want %d", len(got), ring)
+	}
+	// Oldest-first: 20 records through an 8-slot ring keeps 13..20.
+	for i, rec := range got {
+		if want := int64(13 + i); rec.Seq != want {
+			t.Fatalf("record %d has seq %d, want %d", i, rec.Seq, want)
+		}
+	}
+	if trk.Total() != 20 {
+		t.Fatalf("Total = %d, want 20", trk.Total())
+	}
+}
+
+func TestNilTrackIsNoOp(t *testing.T) {
+	var trk *Track
+	trk.Record(1, KindPktOut, DirDn, 0, 1)
+	if trk.Ordered() != nil || trk.Total() != 0 {
+		t.Fatal("nil track recorded something")
+	}
+	r := NewRecorder(2, 4)
+	if r.Track(-1) != nil || r.Track(2) != nil {
+		t.Fatal("out-of-range rank returned a track")
+	}
+}
+
+func writeFlight(r *Recorder) {
+	for rank := 0; rank < r.Members(); rank++ {
+		trk := r.Track(rank)
+		for i := int64(0); i < 10; i++ {
+			trk.Record(100*i, KindPktOut, DirDn, uint8(rank), i)
+			trk.Record(100*i+50, KindDeliver, DirUp, 0, i)
+		}
+	}
+}
+
+func TestDumpBytesDeterministicAndParsable(t *testing.T) {
+	a, b := NewRecorder(3, 16), NewRecorder(3, 16)
+	writeFlight(a)
+	writeFlight(b)
+	da, db := a.DumpBytes(), b.DumpBytes()
+	if !bytes.Equal(da, db) {
+		t.Fatal("identical flights dumped different bytes")
+	}
+	parsed, err := ParseDump(da)
+	if err != nil {
+		t.Fatalf("ParseDump: %v", err)
+	}
+	if len(parsed) != 3 {
+		t.Fatalf("parsed %d tracks, want 3", len(parsed))
+	}
+	recs := parsed[1]
+	if len(recs) != 16 {
+		t.Fatalf("rank 1 parsed %d records, want 16 (ring size)", len(recs))
+	}
+	want := a.Track(1).Ordered()
+	for i := range recs {
+		if recs[i] != want[i] {
+			t.Fatalf("record %d round-trip mismatch: %+v vs %+v", i, recs[i], want[i])
+		}
+	}
+	if _, err := ParseDump([]byte("bogus")); err == nil {
+		t.Fatal("ParseDump accepted garbage")
+	}
+}
+
+func TestChromeTraceOneTrackPerMember(t *testing.T) {
+	r := NewRecorder(4, 32)
+	writeFlight(r)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	threads := map[int]bool{}
+	instants := 0
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Name == "thread_name" && ev.Phase == "M":
+			threads[ev.TID] = true
+		case ev.Phase == "i":
+			instants++
+		}
+	}
+	if len(threads) != 4 {
+		t.Fatalf("export names %d tracks, want 4", len(threads))
+	}
+	if want := 4 * 20; instants != want {
+		t.Fatalf("export carries %d instant events, want %d", instants, want)
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	if KindPktOut.String() != "PktOut" || KindCCPMiss.String() != "CCPMiss" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(1).String() != "Cast" { // mirrors event.ECast
+		t.Fatalf("event-mirroring kind renders %q, want Cast", Kind(1).String())
+	}
+}

@@ -58,6 +58,14 @@ type Engine struct {
 	MarkDnTransport func()
 	MarkUpStack     func()
 
+	// OnRoute, when set, observes every routing decision the engine
+	// makes: bypass is true when a compiled common-case predicate held
+	// (full or partial bypass) and false when the operation fell through
+	// to the full stack. core.Member installs its CCP hit/miss metrics
+	// and flight-record hook here. Undecodable packets route nowhere and
+	// are not reported.
+	OnRoute func(up, bypass bool)
+
 	// InlineEffects disables the deferral of non-critical work (§4,
 	// optimization 3): buffering runs before the send instead of after.
 	// Semantically identical; it exists as the ablation knob for
@@ -368,6 +376,13 @@ func (e *Engine) compileUp(comp *compiler, th *StackTheorem, sig WireSig) (*comp
 // Stats returns a snapshot of the routing counters.
 func (e *Engine) Stats() EngineStats { return e.stats }
 
+// route reports one routing decision to the OnRoute hook.
+func (e *Engine) route(up, bypass bool) {
+	if e.OnRoute != nil {
+		e.OnRoute(up, bypass)
+	}
+}
+
 // States exposes the shared layer states.
 func (e *Engine) States() []layer.State { return e.states }
 
@@ -447,15 +462,18 @@ func (e *Engine) Cast(payload []byte) {
 	ctx.peer, ctx.length = int64(e.Rank), int64(len(payload))
 	if e.dnCast != nil && evalCCP(e.dnCast.ccp, ctx) {
 		e.stats.DnBypass++
+		e.route(false, true)
 		e.runDn(e.dnCast, ctx, true, 0, payload, s)
 		return
 	}
 	if e.dnCastPartial != nil && evalCCP(e.dnCastPartial.ccp, ctx) {
 		e.stats.DnPartial++
+		e.route(false, true)
 		e.runDn(e.dnCastPartial, ctx, true, 0, payload, s)
 		return
 	}
 	e.stats.DnFull++
+	e.route(false, false)
 	e.stk.SubmitDn(event.CastEv(payload))
 }
 
@@ -468,11 +486,13 @@ func (e *Engine) Send(dst int, payload []byte) {
 		ctx.peer, ctx.length = int64(dst), int64(len(payload))
 		if evalCCP(e.dnSend.ccp, ctx) {
 			e.stats.DnBypass++
+			e.route(false, true)
 			e.runDn(e.dnSend, ctx, false, dst, payload, s)
 			return
 		}
 	}
 	e.stats.DnFull++
+	e.route(false, false)
 	e.stk.SubmitDn(event.SendEv(dst, payload))
 }
 
@@ -610,6 +630,7 @@ func (e *Engine) Packet(data []byte) {
 			return
 		}
 		e.stats.UpFull++
+		e.route(true, false)
 		e.stk.DeliverUp(ev)
 		return
 	}
@@ -657,6 +678,7 @@ func (e *Engine) Packet(data []byte) {
 
 	if evalCCP(cp.ccp, ctx) {
 		e.stats.UpBypass++
+		e.route(true, true)
 		e.runUp(cp, ctx, int(sender), payload, s)
 		return
 	}
@@ -664,6 +686,7 @@ func (e *Engine) Packet(data []byte) {
 	// original stack (the uncompression wrap of §4.1.3).
 	e.stats.Uncompressed++
 	e.stats.UpFull++
+	e.route(true, false)
 	ev := event.Alloc()
 	ev.Dir = event.Up
 	ev.Type = event.ESend

@@ -2,8 +2,11 @@ package perfcount
 
 import (
 	"errors"
+	"math"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
 func TestMeasureCountsAllocations(t *testing.T) {
@@ -44,6 +47,64 @@ func TestPerRound(t *testing.T) {
 	}
 	if s.PerRound(0) != s {
 		t.Fatal("PerRound(0) must be identity")
+	}
+	if s.PerRound(-7) != s {
+		t.Fatal("PerRound(negative) must be identity")
+	}
+}
+
+// TestPerRoundOverflowCounters pins that division of saturated counters
+// is plain unsigned arithmetic — no panic, no sign surprises — and that
+// GC cycles and pause time pass through undivided.
+func TestPerRoundOverflowCounters(t *testing.T) {
+	s := Sample{
+		Mallocs:    math.MaxUint64,
+		AllocBytes: math.MaxUint64,
+		Wall:       time.Duration(math.MaxInt64),
+		GCCycles:   math.MaxUint32,
+		PauseTotal: time.Duration(math.MaxInt64),
+	}
+	p := s.PerRound(3)
+	if p.Mallocs != math.MaxUint64/3 || p.AllocBytes != math.MaxUint64/3 {
+		t.Fatalf("overflow counters misdivided: %+v", p)
+	}
+	if p.GCCycles != s.GCCycles || p.PauseTotal != s.PauseTotal {
+		t.Fatalf("GCCycles/PauseTotal must pass through undivided: %+v", p)
+	}
+}
+
+// TestMeasureIsolatesPoolWarmth pins the reason Measure cycles the GC
+// twice: a sync.Pool warmed *before* the experiment survives one
+// collection (the victim cache), so a single cycle would let earlier
+// activity donate free objects and hide the run's true allocation
+// pressure. With the double cycle, the measured function must pay for
+// its own objects.
+func TestMeasureIsolatesPoolWarmth(t *testing.T) {
+	var pool sync.Pool
+	pool.New = func() any { return new([128]byte) }
+	// Warm the pool generously before measuring.
+	warm := make([]any, 64)
+	for i := range warm {
+		warm[i] = pool.Get()
+	}
+	for _, o := range warm {
+		pool.Put(o)
+	}
+	s, err := Measure(func() error {
+		objs := make([]any, 64)
+		for i := range objs {
+			objs[i] = pool.Get()
+		}
+		for _, o := range objs {
+			pool.Put(o)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mallocs < 64 {
+		t.Fatalf("Mallocs = %d; pool warmth leaked into the measurement (double GC failed to clear the victim cache)", s.Mallocs)
 	}
 }
 

@@ -95,6 +95,29 @@ type BatchSink interface {
 	Cast(from event.Addr, data []byte)
 }
 
+// FlushCause says why a flush happened — the three triggers the
+// batching design names (size threshold, owner's entry end, scheduler
+// drain barrier) plus explicit calls from tests and mode switches.
+// BatcherStats counts flushes per cause, which is the figure that shows
+// *where* coalescing windows actually close on a given workload.
+type FlushCause uint8
+
+const (
+	// FlushExplicit is a direct Flush() call (tests, mode switches,
+	// deployments forcing wires out before blocking).
+	FlushExplicit FlushCause = iota
+	// FlushSize is the size-threshold trigger: a frame would outgrow
+	// maxBytes (immediate mode counts here too — its threshold is
+	// "every wire").
+	FlushSize
+	// FlushEntryEnd is the owner's end-of-entry trigger: core.Member
+	// flushes when its outermost entry point returns.
+	FlushEntryEnd
+	// FlushBarrier is the scheduler drain-barrier trigger: the cluster
+	// (or UDP burst loop) flushes each member at the end of its drain.
+	FlushBarrier
+)
+
 // BatcherStats counts batching activity, for tests and benchmarks.
 // SubPackets/Frames is the coalescing efficiency (1.0 = no batching).
 type BatcherStats struct {
@@ -104,6 +127,9 @@ type BatcherStats struct {
 	Frames int64
 	// Flushes counts Flush calls that emitted at least one frame.
 	Flushes int64
+	// SizeFlushes, EntryEndFlushes, and BarrierFlushes split Flushes by
+	// cause; the remainder (Flushes minus the three) were explicit.
+	SizeFlushes, EntryEndFlushes, BarrierFlushes int64
 	// DeltaSubs counts wires that went out field-delta-encoded against
 	// their in-frame predecessor (always 0 with delta disabled).
 	DeltaSubs int64
@@ -230,7 +256,7 @@ func (b *Batcher) append(cast bool, to event.Addr, wire []byte) {
 	}
 	f.subs++
 	if b.immediate || len(f.buf) >= b.maxBytes {
-		b.Flush()
+		b.FlushFor(FlushSize)
 	}
 }
 
@@ -298,7 +324,12 @@ func (b *Batcher) tail(cast bool, to event.Addr, need int) *batchFrame {
 
 // Flush hands every pending frame to the sink, in creation order, and
 // recycles the buffers. Safe to call with nothing pending.
-func (b *Batcher) Flush() {
+func (b *Batcher) Flush() { b.FlushFor(FlushExplicit) }
+
+// FlushFor is Flush with the trigger recorded in the per-cause stats;
+// the member and scheduler flush points call it so the counters say
+// where coalescing windows close.
+func (b *Batcher) FlushFor(cause FlushCause) {
 	if len(b.frames) == 0 {
 		return
 	}
@@ -316,4 +347,12 @@ func (b *Batcher) Flush() {
 	}
 	b.frames = b.frames[:0]
 	b.stats.Flushes++
+	switch cause {
+	case FlushSize:
+		b.stats.SizeFlushes++
+	case FlushEntryEnd:
+		b.stats.EntryEndFlushes++
+	case FlushBarrier:
+		b.stats.BarrierFlushes++
+	}
 }

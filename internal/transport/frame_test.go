@@ -270,3 +270,33 @@ func BenchmarkHeaderCodecLookup(b *testing.B) {
 		}
 	}
 }
+
+// TestBatcherFlushCauseTaxonomy pins the per-cause flush accounting:
+// every flush lands in exactly one cause bucket, and the buckets map to
+// their triggers — buffer size, entry end, drain barrier, with the
+// remainder explicit.
+func TestBatcherFlushCauseTaxonomy(t *testing.T) {
+	sink := &frameSink{}
+	b := NewBatcher(sink, 7, 16) // tiny budget to force size flushes
+
+	b.Send(1, []byte("0123456789abcdef")) // oversize entry: size flush
+	b.Send(1, []byte("x"))
+	b.FlushFor(FlushEntryEnd)
+	b.Send(2, []byte("y"))
+	b.FlushFor(FlushBarrier)
+	b.Send(2, []byte("z"))
+	b.Flush()
+	b.Flush() // empty: must not count
+
+	st := b.Stats()
+	if st.SizeFlushes != 1 || st.EntryEndFlushes != 1 || st.BarrierFlushes != 1 {
+		t.Fatalf("cause buckets = size %d, entry-end %d, barrier %d; want 1 each",
+			st.SizeFlushes, st.EntryEndFlushes, st.BarrierFlushes)
+	}
+	if st.Flushes != 4 {
+		t.Fatalf("total flushes = %d, want 4", st.Flushes)
+	}
+	if explicit := st.Flushes - st.SizeFlushes - st.EntryEndFlushes - st.BarrierFlushes; explicit != 1 {
+		t.Fatalf("explicit remainder = %d, want 1", explicit)
+	}
+}
