@@ -1,6 +1,9 @@
 # Ensemble reproduction — common development targets.
 
 GO ?= go
+# BENCH_OUT is where bench-gate records the parsed benchmark trajectory;
+# override it to keep a run without clobbering the checked-in record.
+BENCH_OUT ?= BENCH_PR6.json
 
 .PHONY: all build test race verify bench bench-throughput bench-gate flight pooldebug clean
 
@@ -38,23 +41,27 @@ bench:
 bench-throughput:
 	$(GO) test -run xxx -bench BenchmarkThroughput -benchtime 5000x .
 
-# The batching + observability regression gate: the 10-layer two-node
-# throughput benchmarks (batched, delta and observed included) must stay
-# at 0 allocs/op, the 8-member batched network runs must coalesce >= 2
-# sub-packets per frame, delta header compression must cut the 8-member
-# MACH workload's bytes/msg by >= 25% against the classic frame format,
-# and turning the metrics registry + flight recorder on must keep >= 97%
-# of the unobserved 8-member throughput. The parsed numbers are recorded
-# in BENCH_PR5.json.
+# The batching + observability + dispatch regression gate: the 10-layer
+# two-node throughput benchmarks (batched, delta and observed included)
+# must stay at 0 allocs/op, the 8-member batched network runs must
+# coalesce >= 2 sub-packets per frame, delta header compression must cut
+# the 8-member MACH workload's bytes/msg by >= 25% against the classic
+# frame format, turning the metrics registry + flight recorder on must
+# keep >= 97% of the unobserved 8-member throughput, and the multi-CCP
+# dispatch family must cut the mixed workload's interpreted share to
+# <= 0.5x the single-CCP baseline. The parsed numbers are recorded in
+# $(BENCH_OUT).
 # The unit side runs 100x, not 1x: at one measured round, a GC landing
 # mid-measurement (emptied sync.Pool victim cache, one refill) counts a
 # stray alloc against the whole op. 100 rounds amortize the blip to 0
 # while any real per-round allocation still reports >= 1 allocs/op.
+# The mixed side runs 1x: the measurement floors itself at 600 rounds.
 bench-gate:
 	$(GO) test -run xxx -bench 'BenchmarkThroughput_' -benchtime 100x . > .bench_gate_unit.out
 	$(GO) test -run xxx -bench 'BenchmarkThroughputNet_' -benchtime 150x . > .bench_gate_net.out
-	$(GO) run ./cmd/bench-gate -unit .bench_gate_unit.out -net .bench_gate_net.out -out BENCH_PR5.json
-	rm -f .bench_gate_unit.out .bench_gate_net.out
+	$(GO) test -run xxx -bench 'BenchmarkMixedTraffic_' -benchtime 1x . > .bench_gate_mixed.out
+	$(GO) run ./cmd/bench-gate -unit .bench_gate_unit.out -net .bench_gate_net.out -mixed .bench_gate_mixed.out -out $(BENCH_OUT)
+	rm -f .bench_gate_unit.out .bench_gate_net.out .bench_gate_mixed.out
 
 # A flight recording of the standard 8-member MACH delta-batched
 # workload, exported as Chrome trace_event JSON — open flight.trace.json

@@ -365,6 +365,35 @@ func BenchmarkThroughputNet_8Members_MACH_Seq_BatchedDelta_Obs(b *testing.B) {
 	b.ReportMetric(on.SubsPerFrame, "subs/frame")
 }
 
+// The multi-CCP dispatch gate pair: the mixed workload (ring sends,
+// periodic casts, loss-forced retransmissions on the FIFO stack) run
+// with the single-CCP baseline engine (data bypasses only) and with the
+// full dispatch family (control acks and retransmissions specialized,
+// profile-guided probe order). Both report interp-share — the fraction
+// of routed events that fell through to the interpreted full stack.
+// Gate 5 requires the multi-CCP share to come in at no more than half
+// the single-CCP share on the identical workload.
+func benchMixedTraffic(b *testing.B, multiCCP bool) {
+	b.Helper()
+	// Floor the round count: the share is a ratio of event populations,
+	// and a handful of rounds would measure startup noise, not the
+	// steady traffic mix.
+	rounds := b.N
+	if rounds < 600 {
+		rounds = 600
+	}
+	res, err := bench.MeasureMixedTraffic(5, rounds, multiCCP, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.InterpShare(), "interp-share")
+	b.ReportMetric(float64(res.TotalRouted())/float64(rounds), "routed/round")
+	b.ReportMetric(float64(res.CtrlCompressed), "ctrl-compressed")
+}
+
+func BenchmarkMixedTraffic_SingleCCP(b *testing.B) { benchMixedTraffic(b, false) }
+func BenchmarkMixedTraffic_MultiCCP(b *testing.B)  { benchMixedTraffic(b, true) }
+
 // The UDP loopback benchmarks exercise the batched real-socket path:
 // wires cross the kernel loopback device in coalesced datagrams rather
 // than the simulator. Not part of the bench gate (kernel scheduling

@@ -15,7 +15,12 @@
 //     held to the same 0 allocs/op bar by the 10-layer scan, and the
 //     8-member _Obs network run's obs-ratio (observed msgs/sec over
 //     unobserved, measured back to back in one process) must be
-//     >= 0.97.
+//     >= 0.97;
+//   - the multi-CCP dispatch family pays on mixed traffic: the mixed
+//     workload's interpreted (full-stack) share under the full dispatch
+//     family must be at most half the single-CCP baseline's on the
+//     identical workload (BenchmarkMixedTraffic_MultiCCP interp-share
+//     <= 0.5x BenchmarkMixedTraffic_SingleCCP).
 //
 // It optionally records the parsed numbers as a JSON trajectory file so
 // the repository keeps a machine-readable history of the batching
@@ -25,7 +30,8 @@
 //
 //	go test -run xxx -bench 'BenchmarkThroughput_' -benchtime 100x . > unit.out
 //	go test -run xxx -bench 'BenchmarkThroughputNet_' -benchtime 150x . > net.out
-//	go run ./cmd/bench-gate -unit unit.out -net net.out -out BENCH_PR4.json
+//	go test -run xxx -bench 'BenchmarkMixedTraffic_' -benchtime 1x . > mixed.out
+//	go run ./cmd/bench-gate -unit unit.out -net net.out -mixed mixed.out -out BENCH_PR6.json
 package main
 
 import (
@@ -85,11 +91,13 @@ func sortedNames(m map[string]result) []string {
 func main() {
 	unitPath := flag.String("unit", "", "two-node throughput bench output (BenchmarkThroughput_*)")
 	netPath := flag.String("net", "", "N-member network bench output (BenchmarkThroughputNet_*)")
+	mixedPath := flag.String("mixed", "", "mixed-traffic dispatch bench output (BenchmarkMixedTraffic_*)")
 	outPath := flag.String("out", "", "optional JSON trajectory file to write")
 	flag.Parse()
 
 	unit := map[string]result{}
 	net := map[string]result{}
+	mixed := map[string]result{}
 	if *unitPath != "" {
 		data, err := os.ReadFile(*unitPath)
 		if err != nil {
@@ -103,6 +111,13 @@ func main() {
 			fatal("read %s: %v", *netPath, err)
 		}
 		net = parseBench(data)
+	}
+	if *mixedPath != "" {
+		data, err := os.ReadFile(*mixedPath)
+		if err != nil {
+			fatal("read %s: %v", *mixedPath, err)
+		}
+		mixed = parseBench(data)
 	}
 
 	failures := 0
@@ -209,13 +224,43 @@ func main() {
 		}
 	}
 
+	// Gate 5: the multi-CCP dispatch family halves the interpreted share
+	// on mixed traffic. Both sides run the identical seeded workload —
+	// only the engine's path family differs — so the ratio isolates what
+	// the control-path specialization and profile-guided probe order buy.
+	const singleName = "BenchmarkMixedTraffic_SingleCCP"
+	const multiName = "BenchmarkMixedTraffic_MultiCCP"
+	interpRatio := 0.0
+	if *mixedPath != "" {
+		single, okS := mixed[singleName]["interp-share"]
+		multi, okM := mixed[multiName]["interp-share"]
+		switch {
+		case !okS:
+			fail("%s reports no interp-share metric", singleName)
+		case !okM:
+			fail("%s reports no interp-share metric", multiName)
+		case single <= 0:
+			fail("%s reports interp-share %.3f — baseline routed nothing to the interpreter?", singleName, single)
+		default:
+			interpRatio = multi / single
+			if interpRatio > 0.5 {
+				fail("multi-CCP dispatch cut the interpreted share only %.1f%% (%.3f vs %.3f), want <= 0.5x",
+					(1-interpRatio)*100, multi, single)
+			}
+			if ctrl, ok := mixed[multiName]["ctrl-compressed"]; !ok || ctrl == 0 {
+				fail("%s compressed no control traffic (ctrl-compressed=%.0f)", multiName, ctrl)
+			}
+		}
+	}
+
 	if *outPath != "" {
 		doc := map[string]any{
-			"pr":    5,
-			"title": "Zero-allocation flight recorder + unified metrics registry, with a Chrome-trace export and an overhead gate",
+			"pr":    6,
+			"title": "Multi-CCP dispatch: specialized control paths with profile-guided probe ranking",
 			"date":  time.Now().Format("2006-01-02"),
-			"method": "make bench-gate: go test -run xxx -bench BenchmarkThroughput_ -benchtime 100x (alloc gate) " +
-				"and -bench BenchmarkThroughputNet_ -benchtime 150x (coalescing + compression + obs-overhead gates); parsed by cmd/bench-gate",
+			"method": "make bench-gate: go test -run xxx -bench BenchmarkThroughput_ -benchtime 100x (alloc gate), " +
+				"-bench BenchmarkThroughputNet_ -benchtime 150x (coalescing + compression + obs-overhead gates), " +
+				"and -bench BenchmarkMixedTraffic_ -benchtime 1x (dispatch-share gate); parsed by cmd/bench-gate",
 			"gates": map[string]any{
 				"ten_layer_allocs_op":          0,
 				"net_8members_subs_per_frame":  ">= 2",
@@ -223,6 +268,8 @@ func main() {
 				"measured_bytes_per_msg_ratio": bytesRatio,
 				"obs_throughput_ratio":         ">= 0.97",
 				"measured_obs_ratio":           obsRatio,
+				"interp_share_ratio":           "<= 0.5",
+				"measured_interp_share_ratio":  interpRatio,
 				"ten_layer_benchmarks":         tenLayer,
 				"batched_unit_benchmarks":      batchedUnit,
 				"observed_unit_benchmarks":     obsUnit,
@@ -230,6 +277,7 @@ func main() {
 			},
 			"throughput":     unit,
 			"net_throughput": net,
+			"mixed_traffic":  mixed,
 		}
 		data, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
@@ -244,8 +292,8 @@ func main() {
 	if failures > 0 {
 		os.Exit(1)
 	}
-	fmt.Printf("bench-gate: OK (%d ten-layer benchmarks at 0 allocs/op incl. %d observed, %d batched 8-member net runs >= 2 subs/frame, delta bytes/msg ratio %.3f, obs-ratio %.3f)\n",
-		tenLayer, obsUnit, netBatched8, bytesRatio, obsRatio)
+	fmt.Printf("bench-gate: OK (%d ten-layer benchmarks at 0 allocs/op incl. %d observed, %d batched 8-member net runs >= 2 subs/frame, delta bytes/msg ratio %.3f, obs-ratio %.3f, interp-share ratio %.3f)\n",
+		tenLayer, obsUnit, netBatched8, bytesRatio, obsRatio, interpRatio)
 }
 
 func fatal(format string, args ...any) {

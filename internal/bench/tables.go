@@ -334,6 +334,21 @@ func CCPTable(rounds int) (string, error) {
 	fmt.Fprintf(&b, "CCP check cost\n")
 	fmt.Fprintf(&b, "10-layer composed CCP: %v per check\n", d10)
 	fmt.Fprintf(&b, " 4-layer composed CCP: %v per check\n", d4)
+	// The dispatch half of the ccp table: per-path hit/miss rates and the
+	// interpreted share for the mixed workload, single-CCP baseline
+	// against the full multi-CCP family (Gate 5's numbers).
+	mixedRounds := rounds
+	if mixedRounds > 2000 {
+		mixedRounds = 2000
+	}
+	if mixedRounds < 600 {
+		mixedRounds = 600
+	}
+	mixed, err := MixedTable(5, mixedRounds, 42)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&b, "\n%s", mixed)
 	return b.String(), nil
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"ensemble/internal/event"
 	"ensemble/internal/obs"
+	"ensemble/internal/opt"
 )
 
 // Observability wiring. A member exports its counters into a metrics
@@ -39,14 +40,35 @@ func (m *Member) EnableObs(sc *obs.Scope, trk *obs.Track) {
 		sc.Func("batch/prefix_subs", func() int64 { return m.batch.Stats().PrefixSubs })
 	}
 	if m.optimized {
-		// MACH bypass accounting: the obs counters accumulate CCP hits
-		// and fall-throughs across the member's whole life, while the
-		// engine funcs read the *current* engine (stacks are rebuilt, and
-		// their engine counters reset, at every view change).
-		var hit, miss *obs.Counter
+		// MACH dispatch accounting. Each routing decision lands on exactly
+		// one per-path windowed counter — one atomic add per event, zero
+		// allocations — whose lifetime total feeds the dashboards and
+		// whose window (reset at every view install) is the per-view mix.
+		// mach/ccp_hit and mach/ccp_miss stay registered under their
+		// historical names as sums over the path family: a hit is a route
+		// to any specialized path, a miss is a fall-through to the
+		// interpreted stack.
+		for p := opt.PathID(0); p < opt.NumPaths; p++ {
+			w := &obs.Window{}
+			m.pathWin[p] = w
+			if sc != nil {
+				sc.AdoptWindow("mach/path/"+p.String(), w)
+			}
+		}
 		if sc != nil {
-			hit = sc.Counter("mach/ccp_hit")
-			miss = sc.Counter("mach/ccp_miss")
+			sumSpecialized := func(read func(*obs.Window) int64) int64 {
+				var sum int64
+				for p := opt.PathID(0); p < opt.NumPaths; p++ {
+					if p != opt.PathFullStack {
+						sum += read(m.pathWin[p])
+					}
+				}
+				return sum
+			}
+			sc.Func("mach/ccp_hit", func() int64 { return sumSpecialized((*obs.Window).Total) })
+			sc.Func("mach/ccp_hit/window", func() int64 { return sumSpecialized((*obs.Window).Window) })
+			sc.Func("mach/ccp_miss", func() int64 { return m.pathWin[opt.PathFullStack].Total() })
+			sc.Func("mach/ccp_miss/window", func() int64 { return m.pathWin[opt.PathFullStack].Window() })
 			sc.Func("mach/dn_bypass", func() int64 { return m.eng.Stats().DnBypass })
 			sc.Func("mach/dn_partial", func() int64 { return m.eng.Stats().DnPartial })
 			sc.Func("mach/dn_full", func() int64 { return m.eng.Stats().DnFull })
@@ -54,19 +76,22 @@ func (m *Member) EnableObs(sc *obs.Scope, trk *obs.Track) {
 			sc.Func("mach/up_full", func() int64 { return m.eng.Stats().UpFull })
 			sc.Func("mach/uncompressed", func() int64 { return m.eng.Stats().Uncompressed })
 			sc.Func("mach/undecodable", func() int64 { return m.eng.Stats().Undecodable })
+			sc.Func("mach/ctrl_compressed", func() int64 { return m.eng.Stats().CtrlCompressed })
+			sc.Func("mach/ctrl_full", func() int64 { return m.eng.Stats().CtrlFull })
 		}
-		m.obsRoute = func(up, bypass bool) {
+		m.obsRoute = func(up bool, pid opt.PathID) {
 			dir := obs.DirDn
 			if up {
 				dir = obs.DirUp
 			}
-			if bypass {
-				hit.Add(1)
-				m.trk.Record(m.sim.Now(), obs.KindCCPHit, dir, 0, hit.Load())
+			m.pathWin[pid].Inc()
+			if pid != opt.PathFullStack {
+				m.ccpHits++
+				m.trk.Record(m.sim.Now(), obs.KindCCPHit, dir, uint8(pid), m.ccpHits)
 				return
 			}
-			miss.Add(1)
-			m.trk.Record(m.sim.Now(), obs.KindCCPMiss, dir, 0, miss.Load())
+			m.ccpMisses++
+			m.trk.Record(m.sim.Now(), obs.KindCCPMiss, dir, uint8(pid), m.ccpMisses)
 		}
 		m.eng.OnRoute = m.obsRoute
 	}

@@ -15,15 +15,20 @@ import (
 	"ensemble/internal/layers"
 	"ensemble/internal/netsim"
 	"ensemble/internal/obs"
+	"ensemble/internal/opt"
 	"ensemble/internal/stack"
 )
 
-// obsRun drives the randomized MACH cast workload with full
-// observability on and returns the flight dump and a metrics snapshot.
-func obsRun(t *testing.T, members, workers int, seed int64) ([]byte, obs.Snapshot) {
+// obsRun drives the randomized MACH mixed workload (casts plus a ring
+// of pt2pt sends, so the lossy link exercises the ack and
+// retransmission dispatch paths too) with full observability on and
+// returns the flight dump and a metrics snapshot. engOpts configure the
+// engines — tests pass a dispatch profile here to run the whole
+// workload on reranked probe orders.
+func obsRun(t *testing.T, members, workers int, seed int64, engOpts ...opt.EngineOpt) ([]byte, obs.Snapshot) {
 	t.Helper()
 	build := func(rank int) Handlers { return Handlers{} }
-	g, err := NewOptimizedClusterGroup(members, netsim.Lossy(0.15), seed, layers.Stack10(), stack.Func, build)
+	g, err := NewOptimizedClusterGroup(members, netsim.Lossy(0.15), seed, layers.Stack10(), stack.Func, build, engOpts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,9 +42,7 @@ func obsRun(t *testing.T, members, workers int, seed int64) ([]byte, obs.Snapsho
 			r, m := r, g.Members[r]
 			g.Do(r, int64(i)*2e6, func() {
 				m.Cast([]byte(fmt.Sprintf("m%d-%d", r, i)))
-				if i%5 == 0 {
-					_ = m.Send((r+1)%members, []byte(fmt.Sprintf("p%d-%d", r, i)))
-				}
+				_ = m.Send((r+1)%members, []byte(fmt.Sprintf("p%d-%d", r, i)))
 			})
 		}
 	}
@@ -83,6 +86,37 @@ func TestFlightDumpSeqConcIdentical(t *testing.T) {
 	}
 }
 
+// TestFlightDumpIdenticalWithDispatchRank: the determinism contract
+// holds with the profile-guided probe reordering active. Every engine
+// is built on a profile that inverts the default probe orders (control
+// retransmissions hotter than acks, the partial cast path hotter than
+// the full one — which the dominance constraint must override), so a
+// reranked dispatch routes the whole run; Run and RunConcurrent must
+// still dump byte-identical recordings, and the reranked engines must
+// still route traffic off the interpreted stack.
+func TestFlightDumpIdenticalWithDispatchRank(t *testing.T) {
+	const members = 5
+	var hits, misses [opt.NumPaths]int64
+	hits[opt.PathDnCtrlRetrans] = 900
+	hits[opt.PathDnCtrlAck] = 10
+	hits[opt.PathDnCastPartial] = 900
+	hits[opt.PathDnCast] = 10
+	rank := opt.WithDispatchRank(hits, misses)
+	seqDump, snap := obsRun(t, members, 1, 71, rank)
+	concDump, _ := obsRun(t, members, members, 71, rank)
+	if !bytes.Equal(seqDump, concDump) {
+		t.Fatalf("reranked flight dumps diverge: seq %d bytes, conc %d bytes", len(seqDump), len(concDump))
+	}
+	if hit, _ := snap.Get("member0/mach/ccp_hit"); hit == 0 {
+		t.Fatal("reranked dispatch routed nothing off the interpreted stack")
+	}
+	// The profile must not have starved the dominant cast path: the
+	// sequencer's casts still ride the full bypass.
+	if v, _ := snap.Get("member0/mach/path/dn_cast"); v == 0 {
+		t.Fatal("dominant dn_cast path starved by the partial-favoring profile")
+	}
+}
+
 // TestObsMetricsVisible: the unified registry exposes the MACH bypass
 // accounting (CCP hit vs fall-through), the per-cause flush counters,
 // the shared network counters, and the pool counters, all in one
@@ -118,7 +152,34 @@ func TestObsMetricsVisible(t *testing.T) {
 		t.Fatalf("obs bypass counters behind the engine's: hit=%d (eng %d) miss=%d (eng %d)", hit, engHit, miss, engMiss)
 	}
 
+	// Per-path dispatch accounting: every path name is registered twice
+	// (lifetime total and the current view's window), and with a single
+	// view the two must agree.
+	for p := opt.PathID(0); p < opt.NumPaths; p++ {
+		name := "member0/mach/path/" + p.String()
+		total, ok := snap.Get(name)
+		if !ok {
+			t.Fatalf("%s missing from snapshot", name)
+		}
+		window, ok := snap.Get(name + "/window")
+		if !ok {
+			t.Fatalf("%s/window missing from snapshot", name)
+		}
+		if total != window {
+			t.Fatalf("%s: total %d != window %d with a single view", name, total, window)
+		}
+	}
+	// The mixed workload's ring sends force explicit acknowledgments and
+	// (over the lossy link) retransmissions through the control paths.
+	if v, _ := snap.Get("member0/mach/path/up_ack"); v == 0 {
+		t.Fatal("no acknowledgments consumed on the compressed ack path")
+	}
+	if v, _ := snap.Get("member0/mach/ctrl_compressed"); v == 0 {
+		t.Fatal("no control sends emitted compressed")
+	}
+
 	for _, name := range []string{
+		"member0/mach/ccp_hit/window", "member0/mach/ccp_miss/window",
 		"member0/batch/flush_size", "member0/batch/flush_entry_end", "member0/batch/flush_barrier",
 		"netsim/sent", "netsim/delivered", "pool/event_gets", "pool/event_puts",
 	} {

@@ -216,6 +216,9 @@ type Outcome struct {
 	Delivered bool
 	// Bounced is set when a self-delivery copy was reflected.
 	Bounced bool
+	// Consumed is set when the layer absorbed the up-going message (pure
+	// control traffic; nothing continues above this layer).
+	Consumed bool
 	// Effects lists the effect invocations, in order, with evaluated
 	// arguments.
 	Effects []EffectCall
@@ -271,6 +274,8 @@ func applyActions(def *LayerDef, actions []Action, f *Frame) (Outcome, error) {
 			out.Delivered = true
 		case Bounce:
 			out.Bounced = true
+		case Consume:
+			out.Consumed = true
 		case CallEffect:
 			args := make([]int64, len(a.Args))
 			for i, e := range a.Args {
@@ -278,7 +283,7 @@ func applyActions(def *LayerDef, actions []Action, f *Frame) (Outcome, error) {
 			}
 			out.Effects = append(out.Effects, EffectCall{Name: a.Name, Args: args})
 		case Fallback:
-			if out.Pushed != nil || out.Delivered || len(out.Effects) > 0 {
+			if out.Pushed != nil || out.Delivered || out.Consumed || len(out.Effects) > 0 {
 				return out, fmt.Errorf("ir: layer %q: fallback after visible actions", def.Name)
 			}
 			return Outcome{Fell: true, Reason: a.Reason}, nil

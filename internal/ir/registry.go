@@ -18,6 +18,11 @@ type LayerDef struct {
 	IR   LayerIR
 	Hdrs []HdrSpec
 	CCP  map[PathKey]Expr
+	// AltCCP lists additional common cases per path beyond the primary
+	// CCP — the multi-CCP extension (§4.1's run-time switch generalized
+	// to several specialized paths). Order is the author's preference;
+	// candidates are tried in order during composition.
+	AltCCP map[PathKey][]Expr
 }
 
 // HdrSpecByVariant finds a header variant by name.

@@ -53,6 +53,13 @@ type CallEffect struct {
 	Args []Expr
 }
 
+// Consume terminates an up-going message at this layer: the header is
+// popped and the message is absorbed rather than passed further up — the
+// shape of pure control traffic (an ack arriving at its sender). Layers
+// above this one never see the event, so a consuming theorem composes
+// into a partial stack theorem.
+type Consume struct{}
+
 // Fallback abandons the bypass: this input is not a common case.
 type Fallback struct{ Reason string }
 
@@ -61,6 +68,7 @@ func (PushHdr) isAction()    {}
 func (PopDeliver) isAction() {}
 func (Bounce) isAction()     {}
 func (CallEffect) isAction() {}
+func (Consume) isAction()    {}
 func (Fallback) isAction()   {}
 
 func (a Assign) String() string { return fmt.Sprintf("%s := %s", a.Target, a.Val) }
@@ -76,6 +84,7 @@ func (c CallEffect) String() string {
 	}
 	return fmt.Sprintf("effect %s(%s)", c.Name, strings.Join(args, ", "))
 }
+func (Consume) String() string    { return "pop; consume" }
 func (f Fallback) String() string { return "fallback: " + f.Reason }
 
 // HdrFieldVal is one field of a constructed header.

@@ -201,6 +201,17 @@ func pt2ptDef() ir.LayerDef {
 		ir.Eq(ir.Index{Name: "ooo_len", Idx: peer}, ir.Const(0)),
 		ir.Lt(ir.Add(pendingAcks, ir.Const(1)), ir.Var("ack_threshold")),
 	)
+	// Alternate common cases for the up send path, beyond in-order data:
+	// a pure acknowledgment (consumed here, nothing continues up), and a
+	// retransmission that fills the expected gap — identical bookkeeping
+	// to in-order data.
+	ackCCP := tagIs(p2pTagAck)
+	retransCCP := ir.And(
+		tagIs(p2pTagRetrans),
+		ir.Eq(ir.HdrField("seqno"), recvNext),
+		ir.Eq(ir.Index{Name: "ooo_len", Idx: peer}, ir.Const(0)),
+		ir.Lt(ir.Add(pendingAcks, ir.Const(1)), ir.Var("ack_threshold")),
+	)
 	return ir.LayerDef{
 		Name: Pt2pt,
 		IR: ir.LayerIR{Layer: Pt2pt, Paths: map[ir.PathKey][]ir.Rule{
@@ -223,7 +234,17 @@ func pt2ptDef() ir.LayerDef {
 					ir.Assign{Target: pendingAcks, Val: ir.Add(pendingAcks, ir.Const(1))},
 					ir.PopDeliver{},
 				}},
-				{Guard: ir.True, Actions: []ir.Action{ir.Fallback{Reason: "gap, duplicate, retransmission, or ack due"}}},
+				{Guard: ackCCP, Actions: []ir.Action{
+					ir.CallEffect{Name: "apply_ack", Args: []ir.Expr{peer, ir.HdrField("ack")}},
+					ir.Consume{},
+				}},
+				{Guard: retransCCP, Actions: []ir.Action{
+					ir.CallEffect{Name: "apply_ack", Args: []ir.Expr{peer, ir.HdrField("ack")}},
+					ir.Assign{Target: recvNext, Val: ir.Add(recvNext, ir.Const(1))},
+					ir.Assign{Target: pendingAcks, Val: ir.Add(pendingAcks, ir.Const(1))},
+					ir.PopDeliver{},
+				}},
+				{Guard: ir.True, Actions: []ir.Action{ir.Fallback{Reason: "gap, duplicate, out-of-order retransmission, or ack due"}}},
 			},
 			ir.UpCast: {
 				{Guard: tagIs(p2pTagPass), Actions: []ir.Action{ir.PopDeliver{}}},
@@ -278,6 +299,9 @@ func pt2ptDef() ir.LayerDef {
 			ir.DnCast: ir.True,
 			ir.UpSend: upCCP,
 			ir.UpCast: tagIs(p2pTagPass),
+		},
+		AltCCP: map[ir.PathKey][]ir.Expr{
+			ir.UpSend: {ackCCP, retransCCP},
 		},
 	}
 }

@@ -193,6 +193,14 @@ func (h *diffHarness) checkFastPath(path ir.PathKey, out ir.Outcome) {
 		}
 		return
 	}
+	if out.Consumed {
+		// Absorbed control traffic: nothing may continue in either direction.
+		if len(h.sinkA.ups) != 0 || len(h.sinkA.dns) != 0 {
+			h.t.Fatalf("%s %s: consuming fast path emitted ups=%d dns=%d, want 0/0",
+				name, path, len(h.sinkA.ups), len(h.sinkA.dns))
+		}
+		return
+	}
 	if !out.Delivered {
 		h.t.Fatalf("%s %s: IR fast path without delivery", name, path)
 	}
@@ -356,6 +364,49 @@ func TestIRDiffUpPt2pt(t *testing.T) {
 	}
 	if h.hits < 100 || h.misses == 0 {
 		t.Fatalf("pt2pt up: hits=%d misses=%d; want both paths exercised", h.hits, h.misses)
+	}
+}
+
+// TestIRDiffUpPt2ptAck puts the harness on the sending side so the
+// receiver's explicit acknowledgments flow back through feed: the
+// consuming ack rule must match the real handler (absorb, no emission,
+// retransmission buffers drained identically).
+func TestIRDiffUpPt2ptAck(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	senderCfg := layer.DefaultConfig(testView(2, 0))
+	recvCfg := layer.DefaultConfig(testView(2, 1))
+	rb, _ := layer.Lookup(Pt2pt)
+	recv := rb(recvCfg)
+	h := newDiffHarness(t, Pt2pt, senderCfg)
+
+	acks := 0
+	for i := 0; i < 200; i++ {
+		// One-directional traffic: the receiver never piggybacks, so every
+		// ack_threshold deliveries it emits an explicit ack.
+		ups, dns := h.feed(event.SendEv(1, []byte{byte(i)}))
+		freeAll(ups)
+		for _, d := range dns {
+			d.Dir = event.Up
+			d.Peer = 0
+			var recvSink collectorSink
+			recv.HandleUp(d, &recvSink)
+			freeAll(recvSink.ups)
+			for _, ack := range recvSink.dns {
+				ack.Dir = event.Up
+				ack.Peer = 1
+				acks++
+				ups2, dns2 := h.feed(ack)
+				freeAll(ups2)
+				freeAll(dns2)
+			}
+		}
+		_ = rng
+	}
+	if acks == 0 {
+		t.Fatal("pt2pt ack: receiver never emitted an explicit ack")
+	}
+	if h.misses > 0 {
+		t.Fatalf("pt2pt ack: %d misses; sends and acks should all be fast paths", h.misses)
 	}
 }
 

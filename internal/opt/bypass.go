@@ -33,6 +33,18 @@ type Engine struct {
 	dnCastPartial *compiledDnPath
 	upByID        map[uint16]*compiledUpPath
 
+	// castOrder is the profile-ranked probe order for down-going casts
+	// (see dispatch.go); ctrl are the sender-side control recognizers
+	// probed at the stack's net exit, hottest first.
+	castOrder []*compiledDnPath
+	ctrl      []*ctrlMatcher
+	// ctrlVary and ctrlWire are the recognizer's reusable buffers. The
+	// net exit is never re-entered while a recognizer runs (emission is
+	// asynchronous), so one set per engine suffices — same discipline as
+	// wbuf.
+	ctrlVary []int64
+	ctrlWire []byte
+
 	// miniUp carries bounce-fallback self-delivery copies through the
 	// layers above the bouncing layer (sharing their states with the
 	// full stack).
@@ -59,12 +71,14 @@ type Engine struct {
 	MarkUpStack     func()
 
 	// OnRoute, when set, observes every routing decision the engine
-	// makes: bypass is true when a compiled common-case predicate held
-	// (full or partial bypass) and false when the operation fell through
-	// to the full stack. core.Member installs its CCP hit/miss metrics
-	// and flight-record hook here. Undecodable packets route nowhere and
-	// are not reported.
-	OnRoute func(up, bypass bool)
+	// makes: the winning path's identity (PathFullStack when the event
+	// fell through to the interpreted stack). core.Member installs its
+	// per-path metrics and flight-record hook here — one counter add per
+	// event. Sender-side control recognition is not a routing decision
+	// (the event already traversed the stack) and reports only through
+	// EngineStats. Undecodable packets route nowhere and are not
+	// reported.
+	OnRoute func(up bool, pid PathID)
 
 	// InlineEffects disables the deferral of non-critical work (§4,
 	// optimization 3): buffering runs before the send instead of after.
@@ -145,6 +159,16 @@ type EngineStats struct {
 	UpBypass, UpFull int64
 	Uncompressed     int64 // compressed packets that failed the CCP and were expanded
 	Undecodable      int64
+	// CtrlCompressed counts control messages recognized at the stack's
+	// net exit and emitted compressed; CtrlFull counts stack-exit sends
+	// no recognizer matched (full marshal).
+	CtrlCompressed, CtrlFull int64
+	// PathHits and PathMisses are the per-path dispatch counters:
+	// Hits[p] counts events routed to path p (PathFullStack hits are
+	// interpreter fallbacks), Misses[p] counts events that probed p's
+	// discriminator and failed. The engine lives for one view, so these
+	// are also the per-view window the reranker reads.
+	PathHits, PathMisses [NumPaths]int64
 }
 
 // compiledDnPath is one compiled down-going bypass.
@@ -157,6 +181,7 @@ type compiledDnPath struct {
 	varying []cexpr // values of the varying wire fields, in wire order
 	effects []compiledEffect
 	self    bool
+	pid     PathID
 
 	// bounceHdrs materializes the headers above the bouncing layer when
 	// the self-delivery copy falls back to the shared stack's upper
@@ -171,9 +196,13 @@ type compiledUpPath struct {
 	sig     WireSig
 	nvary   int
 	cast    bool
-	ccp     []cexpr
-	writes  []compiledWrite
-	effects []compiledEffect
+	pid     PathID
+	// consumed marks a partial-stack control path: the event is absorbed
+	// (no application delivery).
+	consumed bool
+	ccp      []cexpr
+	writes   []compiledWrite
+	effects  []compiledEffect
 	// full rebuilds the complete header stack for CCP misses: the
 	// generated uncompression function that wraps the stack (§4.1.3).
 	full []compiledHdr
@@ -182,8 +211,14 @@ type compiledUpPath struct {
 // NewEngine builds the optimized configuration for one member: the
 // fallback stack (in the given execution model) and every bypass the
 // optimizer can derive for this stack. Derivation failures are not
-// errors: paths without a bypass simply always use the stack.
-func NewEngine(names []string, cfg layer.Config, mode stack.Mode) (*Engine, error) {
+// errors: paths without a bypass simply always use the stack. Options
+// select the path family (WithoutControlPaths) and feed back an
+// observed hit mix for profile-guided dispatch (WithDispatchRank).
+func NewEngine(names []string, cfg layer.Config, mode stack.Mode, opts ...EngineOpt) (*Engine, error) {
+	var ec engineConfig
+	for _, o := range opts {
+		o(&ec)
+	}
 	e := &Engine{
 		Names: names,
 		Rank:  cfg.View.Rank,
@@ -213,6 +248,15 @@ func NewEngine(names []string, cfg layer.Config, mode stack.Mode) (*Engine, erro
 		if th, err := ComposeDnNoBounce(names, ir.DnCast, e.Rank, e.N); err == nil {
 			e.dnCastPartial = e.compileTheorem(comp, th)
 		}
+	}
+	if e.dnCast != nil {
+		e.dnCast.pid = PathDnCast
+	}
+	if e.dnSend != nil {
+		e.dnSend.pid = PathDnSend
+	}
+	if e.dnCastPartial != nil {
+		e.dnCastPartial.pid = PathDnCastPartial
 	}
 	bounceLayer := ""
 	if e.dnCast != nil && e.dnCast.th.BounceFallback {
@@ -266,9 +310,47 @@ func NewEngine(names []string, cfg layer.Config, mode stack.Mode) (*Engine, erro
 			if err != nil {
 				return nil, fmt.Errorf("opt: compiling up bypass: %w", err)
 			}
+			cp.pid = PathUpSend
+			if cp.cast {
+				cp.pid = PathUpCast
+			}
 			e.upByID[id] = cp
 		}
 	}
+
+	// Control paths: acknowledgment and retransmission signatures, one
+	// per emitting rank (deduplicated by identifier like the data set).
+	// The receive side is an ordinary compiled up path; the send side is
+	// a structural recognizer at the stack's net exit for this member's
+	// own signatures.
+	if !ec.noControl {
+		for r := 0; r < e.N; r++ {
+			for _, cs := range controlSigs(names, r, e.N) {
+				id := cs.sig.ID()
+				if _, done := e.upByID[id]; !done {
+					upTh, err := ComposeUp(names, ir.UpSend, e.Rank, e.N, cs.sig)
+					if err != nil {
+						continue
+					}
+					cp, err := e.compileUp(comp, upTh, cs.sig)
+					if err != nil {
+						return nil, fmt.Errorf("opt: compiling control up bypass: %w", err)
+					}
+					cp.pid = cs.upPid
+					cp.consumed = upTh.Consumed
+					e.upByID[id] = cp
+				}
+				if r == e.Rank {
+					m, err := newCtrlMatcher(cs)
+					if err != nil {
+						return nil, fmt.Errorf("opt: control recognizer: %w", err)
+					}
+					e.ctrl = append(e.ctrl, m)
+				}
+			}
+		}
+	}
+	e.applyDispatchRank(&ec)
 	return e, nil
 }
 
@@ -377,9 +459,9 @@ func (e *Engine) compileUp(comp *compiler, th *StackTheorem, sig WireSig) (*comp
 func (e *Engine) Stats() EngineStats { return e.stats }
 
 // route reports one routing decision to the OnRoute hook.
-func (e *Engine) route(up, bypass bool) {
+func (e *Engine) route(up bool, pid PathID) {
 	if e.OnRoute != nil {
-		e.OnRoute(up, bypass)
+		e.OnRoute(up, pid)
 	}
 }
 
@@ -412,6 +494,34 @@ func (e *Engine) netEvent(ev *event.Event) {
 	case event.ECast, event.ESend:
 	default:
 		return
+	}
+	if ev.Type == event.ESend && len(e.ctrl) > 0 {
+		// Control recognition: match the exiting header stack against this
+		// member's control signatures (hottest first) and emit compressed
+		// on a hit. The probe entry's type assertion rejects data sends
+		// without allocating, so the data hot path pays one pointer
+		// comparison per recognizer. The stack still owns ev.
+		for _, m := range e.ctrl {
+			vary, ok := m.match(ev.Msg.Headers, e.ctrlVary[:0])
+			e.ctrlVary = vary
+			if ok {
+				e.stats.CtrlCompressed++
+				e.stats.PathHits[m.pid]++
+				wire := append(e.ctrlWire[:0], transport.WireCompressed, byte(m.id), byte(m.id>>8))
+				wire = binary.AppendUvarint(wire, uint64(e.Rank))
+				for _, v := range vary {
+					wire = binary.AppendVarint(wire, v)
+				}
+				wire = append(wire, ev.Msg.Payload...)
+				e.ctrlWire = wire
+				if e.SendWire != nil {
+					e.SendWire(false, ev.Peer, wire)
+				}
+				return
+			}
+			e.stats.PathMisses[m.pid]++
+		}
+		e.stats.CtrlFull++
 	}
 	if err := transport.Marshal(ev, e.Rank, &e.wbuf); err != nil {
 		panic(fmt.Sprintf("opt: marshal: %v", err))
@@ -449,9 +559,9 @@ func evalCCP(ccp []cexpr, ctx *rtCtx) bool {
 	return true
 }
 
-// Cast multicasts an application payload: the full bypass when its CCP
-// holds, the partial bypass (wire specialized, self-delivery through the
-// stack) when only that one's CCP holds, the full stack otherwise.
+// Cast multicasts an application payload: the compiled cast paths are
+// probed in profile rank order (full bypass and partial bypass by
+// default), the full stack takes whatever misses every discriminator.
 func (e *Engine) Cast(payload []byte) {
 	// The context lives in the pooled scratch frame: compiled expressions
 	// receive it through indirect calls, so a stack-local would escape
@@ -460,20 +570,23 @@ func (e *Engine) Cast(payload []byte) {
 	defer e.putScratch(s)
 	ctx := &s.ctx
 	ctx.peer, ctx.length = int64(e.Rank), int64(len(payload))
-	if e.dnCast != nil && evalCCP(e.dnCast.ccp, ctx) {
-		e.stats.DnBypass++
-		e.route(false, true)
-		e.runDn(e.dnCast, ctx, true, 0, payload, s)
-		return
-	}
-	if e.dnCastPartial != nil && evalCCP(e.dnCastPartial.ccp, ctx) {
-		e.stats.DnPartial++
-		e.route(false, true)
-		e.runDn(e.dnCastPartial, ctx, true, 0, payload, s)
-		return
+	for _, cp := range e.castOrder {
+		if evalCCP(cp.ccp, ctx) {
+			if cp.pid == PathDnCastPartial {
+				e.stats.DnPartial++
+			} else {
+				e.stats.DnBypass++
+			}
+			e.stats.PathHits[cp.pid]++
+			e.route(false, cp.pid)
+			e.runDn(cp, ctx, true, 0, payload, s)
+			return
+		}
+		e.stats.PathMisses[cp.pid]++
 	}
 	e.stats.DnFull++
-	e.route(false, false)
+	e.stats.PathHits[PathFullStack]++
+	e.route(false, PathFullStack)
 	e.stk.SubmitDn(event.CastEv(payload))
 }
 
@@ -486,13 +599,16 @@ func (e *Engine) Send(dst int, payload []byte) {
 		ctx.peer, ctx.length = int64(dst), int64(len(payload))
 		if evalCCP(e.dnSend.ccp, ctx) {
 			e.stats.DnBypass++
-			e.route(false, true)
+			e.stats.PathHits[PathDnSend]++
+			e.route(false, PathDnSend)
 			e.runDn(e.dnSend, ctx, false, dst, payload, s)
 			return
 		}
+		e.stats.PathMisses[PathDnSend]++
 	}
 	e.stats.DnFull++
-	e.route(false, false)
+	e.stats.PathHits[PathFullStack]++
+	e.route(false, PathFullStack)
 	e.stk.SubmitDn(event.SendEv(dst, payload))
 }
 
@@ -630,7 +746,8 @@ func (e *Engine) Packet(data []byte) {
 			return
 		}
 		e.stats.UpFull++
-		e.route(true, false)
+		e.stats.PathHits[PathFullStack]++
+		e.route(true, PathFullStack)
 		e.stk.DeliverUp(ev)
 		return
 	}
@@ -678,15 +795,18 @@ func (e *Engine) Packet(data []byte) {
 
 	if evalCCP(cp.ccp, ctx) {
 		e.stats.UpBypass++
-		e.route(true, true)
+		e.stats.PathHits[cp.pid]++
+		e.route(true, cp.pid)
 		e.runUp(cp, ctx, int(sender), payload, s)
 		return
 	}
 	// CCP miss: uncompress into a full event and hand it to the
 	// original stack (the uncompression wrap of §4.1.3).
+	e.stats.PathMisses[cp.pid]++
 	e.stats.Uncompressed++
 	e.stats.UpFull++
-	e.route(true, false)
+	e.stats.PathHits[PathFullStack]++
+	e.route(true, PathFullStack)
 	ev := event.Alloc()
 	ev.Dir = event.Up
 	ev.Type = event.ESend
@@ -730,7 +850,7 @@ func (e *Engine) runUp(cp *compiledUpPath, ctx *rtCtx, sender int, payload []byt
 	for i, w := range cp.writes {
 		w.apply(vals[i], ctx)
 	}
-	if e.Deliver != nil {
+	if !cp.consumed && e.Deliver != nil {
 		e.Deliver(sender, payload, cp.cast)
 	}
 	for _, p := range pend {

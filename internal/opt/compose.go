@@ -56,6 +56,12 @@ type StackTheorem struct {
 
 	// Delivered marks an up path that delivers to the application.
 	Delivered bool
+
+	// Consumed marks an up path absorbed below the application — pure
+	// control traffic (a pt2pt acknowledgment arriving back at its
+	// sender). The theorem covers only the layers from the bottom up to
+	// and including the consuming one; the signature is a partial stack.
+	Consumed bool
 }
 
 // QAssign is a composed-namespace assignment.
@@ -107,6 +113,9 @@ func (t *StackTheorem) String() string {
 	}
 	if t.Delivered {
 		evs = append(evs, "UpM(ev)")
+	}
+	if t.Consumed {
+		evs = append(evs, "consume ev")
 	}
 	fmt.Fprintf(&b, "YIELDS EVENTS [:%s:]\n", strings.Join(evs, "; "))
 	if len(t.Updates) == 0 {
@@ -419,7 +428,11 @@ func ComposeUp(names []string, path ir.PathKey, rank, n int, sig WireSig) (*Stac
 		store: symStore{},
 		base:  base,
 	}
-	// Up events traverse bottom first: iterate the stack bottom-up.
+	// Up events traverse bottom first: iterate the stack bottom-up. A
+	// consuming layer theorem (pure control traffic) ends the traversal:
+	// the signature is then a partial stack and layers above it never see
+	// the event.
+	processed := 0
 	for i := len(names) - 1; i >= 0; i-- {
 		name := names[i]
 		def, err := ir.LookupDef(name)
@@ -447,11 +460,7 @@ func ComposeUp(names []string, path ir.PathKey, rank, n int, sig WireSig) (*Stac
 				capture[f.Name] = ir.QHdr{Layer: name, Field: f.Name}
 			}
 		}
-		ccp, ok := def.CCP[path]
-		if !ok {
-			return nil, fmt.Errorf("opt: layer %q has no CCP for %s", name, path)
-		}
-		lt, err := DeriveLayerTheorem(def, path, ccp, derBase)
+		lt, err := deriveUpEntry(def, path, derBase)
 		if err != nil {
 			return nil, err
 		}
@@ -465,15 +474,59 @@ func ComposeUp(names []string, path ir.PathKey, rank, n int, sig WireSig) (*Stac
 			qh.Fields = append(qh.Fields, ir.HdrFieldVal{Name: f.Name, Val: capture[f.Name]})
 		}
 		c.th.Headers = append(c.th.Headers, qh)
+		processed++
+		if lt.Consumed {
+			c.th.Consumed = true
+			break
+		}
 		if i == 0 && lt.Delivered {
 			c.th.Delivered = true
 		}
+	}
+	if processed != len(sig.Entries) {
+		return nil, fmt.Errorf("opt: signature has %d entries but the up path composed %d (consumed=%v)",
+			len(sig.Entries), processed, c.th.Consumed)
 	}
 	// Restore push order (top first) for the header list.
 	for l, r := 0, len(c.th.Headers)-1; l < r; l, r = l+1, r-1 {
 		c.th.Headers[l], c.th.Headers[r] = c.th.Headers[r], c.th.Headers[l]
 	}
 	return c.th, nil
+}
+
+// deriveUpEntry derives the up-path theorem for one layer of a
+// signature, trying the layer's primary CCP first and then each
+// alternate common case in registration order. A candidate that
+// contradicts the signature's header facts is rejected *before*
+// derivation: assuming a contradictory tag equality would overwrite the
+// pinned fact and silently select the wrong rule.
+func deriveUpEntry(def *ir.LayerDef, path ir.PathKey, derBase *Facts) (*LayerTheorem, error) {
+	var candidates []ir.Expr
+	if ccp, ok := def.CCP[path]; ok {
+		candidates = append(candidates, ccp)
+	}
+	candidates = append(candidates, def.AltCCP[path]...)
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("opt: layer %q has no CCP for %s", def.Name, path)
+	}
+	var firstErr error
+	for _, ccp := range candidates {
+		if Simplify(ccp, derBase) == ir.False {
+			continue
+		}
+		lt, err := DeriveLayerTheorem(def, path, ccp, derBase)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		return lt, nil
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return nil, fmt.Errorf("opt: layer %q %s: no common-case candidate is consistent with the signature", def.Name, path)
 }
 
 // WireSig is the wire-level shape of one composed down path: which

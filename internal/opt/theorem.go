@@ -36,6 +36,9 @@ type LayerTheorem struct {
 	Delivered bool
 	// Bounced marks a reflected self-delivery (the local layer).
 	Bounced bool
+	// Consumed marks an up path absorbed at this layer (pure control
+	// traffic; no continuation above).
+	Consumed bool
 	// Effects are the deferred opaque operations.
 	Effects []ir.CallEffect
 }
@@ -61,6 +64,9 @@ func (t *LayerTheorem) String() string {
 	}
 	if t.Bounced {
 		evs = append(evs, "UpM(copy ev)")
+	}
+	if t.Consumed {
+		evs = append(evs, "consume ev")
 	}
 	fmt.Fprintf(&b, "%s:]\n", strings.Join(evs, "; "))
 	if len(t.Updates) == 0 {
@@ -128,6 +134,8 @@ func DeriveLayerTheorem(def *ir.LayerDef, path ir.PathKey, assumed ir.Expr, base
 			th.Delivered = true
 		case ir.Bounce:
 			th.Bounced = true
+		case ir.Consume:
+			th.Consumed = true
 		case ir.CallEffect:
 			ce := ir.CallEffect{Name: a.Name}
 			for _, arg := range a.Args {

@@ -62,6 +62,11 @@ func newShadow(def *ir.LayerDef, n int, rng *rand.Rand) *shadowState {
 	for _, ccp := range def.CCP {
 		collect(ccp)
 	}
+	for _, alts := range def.AltCCP {
+		for _, ccp := range alts {
+			collect(ccp)
+		}
+	}
 	for v := range vars {
 		s.scalars[v] = rng.Int63n(64)
 	}
@@ -210,7 +215,7 @@ func VerifyLayerTheorem(def *ir.LayerDef, th *LayerTheorem, n, rank, trials int,
 					def.Name, th.Path, out.Pushed, want)
 			}
 		}
-		if th.Delivered != out.Delivered || th.Bounced != out.Bounced {
+		if th.Delivered != out.Delivered || th.Bounced != out.Bounced || th.Consumed != out.Consumed {
 			return exercised, fmt.Errorf("opt: verify %s %s: continuation mismatch", def.Name, th.Path)
 		}
 
@@ -344,6 +349,21 @@ func VerifyAll(names []string, n int, trials int, seed int64) error {
 			for _, th := range ths {
 				if _, err := VerifyLayerTheorem(def, th, n, rank, trials, seed); err != nil {
 					return err
+				}
+			}
+			// Alternate common cases are explicit author claims: unlike a
+			// primary CCP too weak to isolate a path, a non-deriving
+			// alternate is an error, and each derived alternate theorem is
+			// re-checked like the primary ones.
+			for _, path := range ir.AllPaths() {
+				for _, alt := range def.AltCCP[path] {
+					th, err := DeriveLayerTheorem(def, path, alt, rb)
+					if err != nil {
+						return fmt.Errorf("opt: alt CCP of %s %s: %w", def.Name, path, err)
+					}
+					if _, err := VerifyLayerTheorem(def, th, n, rank, trials, seed); err != nil {
+						return err
+					}
 				}
 			}
 		}
