@@ -3,9 +3,9 @@
 GO ?= go
 # BENCH_OUT is where bench-gate records the parsed benchmark trajectory;
 # override it to keep a run without clobbering the checked-in record.
-BENCH_OUT ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR7.json
 
-.PHONY: all build test race verify bench bench-throughput bench-gate flight pooldebug clean
+.PHONY: all build test race verify bench bench-throughput bench-gate multiproc flight pooldebug clean
 
 all: build test
 
@@ -31,6 +31,7 @@ verify:
 	$(GO) test ./...
 	$(GO) test -race ./internal/...
 	$(MAKE) bench-gate
+	$(MAKE) multiproc
 
 # The paper-table benchmarks (Tables 1, 2 and Figure 6).
 bench:
@@ -63,6 +64,17 @@ bench-gate:
 	$(GO) run ./cmd/bench-gate -unit .bench_gate_unit.out -net .bench_gate_net.out -mixed .bench_gate_mixed.out -out $(BENCH_OUT)
 	rm -f .bench_gate_unit.out .bench_gate_net.out .bench_gate_mixed.out
 
+# The multi-process equivalence gate: 4 ensemble-node processes on
+# loopback run the seeded 10-layer MACH workload over real UDP and must
+# deliver the exact per-member sequence of the in-process netsim run of
+# the same seed (see DESIGN.md "Deployment"). Bounded wall time; skips
+# itself (exit 0) when loopback UDP is unavailable; flight dumps from
+# failed runs stay in .multiproc-artifacts/ for flight-diff.
+multiproc:
+	$(GO) build -o .ensemble-node.bin ./cmd/ensemble-node
+	./.ensemble-node.bin -launch 4 -rounds 16 -size 128 -seed 42 -timeout 60s -artifacts .multiproc-artifacts
+	rm -f .ensemble-node.bin
+
 # A flight recording of the standard 8-member MACH delta-batched
 # workload, exported as Chrome trace_event JSON — open flight.trace.json
 # in Perfetto (ui.perfetto.dev) or chrome://tracing; one track per
@@ -76,4 +88,5 @@ pooldebug:
 
 clean:
 	$(GO) clean
-	rm -f ensemble.test *.prof *.pprof flight.trace.json .bench_gate_*.out
+	rm -f ensemble.test *.prof *.pprof flight.trace.json .bench_gate_*.out .ensemble-node.bin
+	rm -rf .multiproc-artifacts

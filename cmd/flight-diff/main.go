@@ -1,0 +1,82 @@
+// Command flight-diff aligns two flight dumps by sequence number and
+// reports where they diverge, so a multi-process failure localizes to a
+// layer and a virtual time instead of a wall of logs.
+//
+//	flight-diff a.flight b.flight            first divergence per series
+//	flight-diff -all a.flight b.flight       every divergence
+//	flight-diff -kinds deliver a.flight b.flight
+//	flight-diff -time a.flight b.flight      also compare timestamps
+//
+// Exit status: 0 when the dumps agree, 1 when they diverge, 2 on usage
+// or parse errors. Dumps from different ring sizes align on the
+// overlapping seqno window (ring wraparound trims the longer history).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ensemble/internal/obs"
+)
+
+func main() {
+	var (
+		kinds = flag.String("kinds", "", "comma-separated record kinds to compare (default: all)")
+		all   = flag.Bool("all", false, "report every divergence, not only the first")
+		wtime = flag.Bool("time", false, "compare timestamps too (off: only order/layer/direction)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: flight-diff [flags] a.flight b.flight\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opt := obs.DiffOptions{CompareTime: *wtime}
+	if *kinds != "" {
+		for _, name := range strings.Split(*kinds, ",") {
+			k, ok := obs.ParseKind(strings.TrimSpace(name))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "flight-diff: unknown kind %q\n", name)
+				os.Exit(2)
+			}
+			opt.Kinds = append(opt.Kinds, k)
+		}
+	}
+
+	read := func(path string) []byte {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flight-diff:", err)
+			os.Exit(2)
+		}
+		return data
+	}
+	a, b := read(flag.Arg(0)), read(flag.Arg(1))
+
+	divs, err := obs.DiffDumps(a, b, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flight-diff:", err)
+		os.Exit(2)
+	}
+	if len(divs) == 0 {
+		fmt.Printf("identical: %s %s\n", flag.Arg(0), flag.Arg(1))
+		return
+	}
+	n := len(divs)
+	if !*all {
+		n = 1
+	}
+	for _, d := range divs[:n] {
+		fmt.Println(d.String())
+	}
+	if !*all && len(divs) > 1 {
+		fmt.Printf("... and %d more divergent series (-all to list)\n", len(divs)-1)
+	}
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"ensemble/internal/obs"
+)
+
+// The deployment-tooling harness: the launcher's post-run analysis
+// (merge N per-process flight dumps, diff the result against a
+// reference) runs after every multi-process run, including in CI, so
+// its cost must stay linear in the recorded history. This measures it
+// the same way the other harnesses measure the hot path: records/sec
+// through the full merge+diff pipeline.
+
+// FlightDiffResult is one merge+diff measurement.
+type FlightDiffResult struct {
+	Members int
+	// Records is the per-member record count in each input dump.
+	Records int
+	Wall    time.Duration
+	// RecsPerSec counts records pushed through merge + parse + diff per
+	// wall-clock second (all members' records, both sides).
+	RecsPerSec float64
+	// Divergences must be 0 — the inputs are identical by construction;
+	// anything else is a correctness bug surfacing in the bench.
+	Divergences int
+}
+
+// MeasureFlightMergeDiff builds per-process dumps (members dumps, one
+// populated rank each, recs delivery records per rank), merges them,
+// and diffs the merged dump against an identically-built reference.
+func MeasureFlightMergeDiff(members, recs int) (FlightDiffResult, error) {
+	if members < 2 || recs < 1 {
+		return FlightDiffResult{}, fmt.Errorf("bench: flight merge/diff needs >= 2 members and >= 1 record")
+	}
+	ring := 1
+	for ring < recs {
+		ring <<= 1
+	}
+	nodeDump := func(rank int) []byte {
+		rec := obs.NewRecorder(members, ring)
+		trk := rec.Track(rank)
+		for s := 1; s <= recs; s++ {
+			trk.Record(int64(s)*1000, obs.KindDeliver, obs.DirUp, uint8(rank%4), int64(s))
+		}
+		return rec.DumpBytes()
+	}
+	dumps := make([][]byte, members)
+	for r := range dumps {
+		dumps[r] = nodeDump(r)
+	}
+	refRec := obs.NewRecorder(members, ring)
+	for r := 0; r < members; r++ {
+		trk := refRec.Track(r)
+		for s := 1; s <= recs; s++ {
+			trk.Record(int64(s)*1000, obs.KindDeliver, obs.DirUp, uint8(r%4), int64(s))
+		}
+	}
+	ref := refRec.DumpBytes()
+
+	start := time.Now()
+	merged, err := obs.MergeDumps(dumps...)
+	if err != nil {
+		return FlightDiffResult{}, err
+	}
+	divs, err := obs.DiffDumps(merged, ref, obs.DiffOptions{})
+	if err != nil {
+		return FlightDiffResult{}, err
+	}
+	wall := time.Since(start)
+	total := 2 * members * recs
+	return FlightDiffResult{
+		Members:     members,
+		Records:     recs,
+		Wall:        wall,
+		RecsPerSec:  float64(total) / wall.Seconds(),
+		Divergences: len(divs),
+	}, nil
+}

@@ -1,0 +1,33 @@
+package bench
+
+import "testing"
+
+// TestFlightMergeDiffSmoke: identical inputs must merge and diff clean,
+// at any size the launcher will realistically produce.
+func TestFlightMergeDiffSmoke(t *testing.T) {
+	res, err := MeasureFlightMergeDiff(4, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Divergences != 0 {
+		t.Fatalf("identical dumps reported %d divergences", res.Divergences)
+	}
+	if res.RecsPerSec <= 0 {
+		t.Fatalf("no throughput measured: %+v", res)
+	}
+}
+
+// BenchmarkFlightMergeDiff tracks the launcher's post-run analysis
+// cost: merge 4 per-process dumps and diff against a reference.
+func BenchmarkFlightMergeDiff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := MeasureFlightMergeDiff(4, 4096)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Divergences != 0 {
+			b.Fatalf("identical dumps reported %d divergences", res.Divergences)
+		}
+		b.ReportMetric(res.RecsPerSec, "recs/s")
+	}
+}

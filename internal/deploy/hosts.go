@@ -1,0 +1,137 @@
+// Package deploy turns the single-process reproduction into a
+// deployable system: it bootstraps one ClusterGroup member per OS
+// process over real UDP sockets from a hosts file (the EPFL CS-451
+// perfect-links layout: one "id host port" line per member), launches
+// and coordinates N such processes on loopback, and checks that the
+// physically distributed composition delivers exactly what the
+// in-process netsim composition of the same workload delivers — the
+// composition-correctness discipline: the same layer stack must satisfy
+// the same delivery properties regardless of how its components are
+// physically composed.
+package deploy
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ensemble/internal/event"
+)
+
+// Host is one hosts-file entry: a member id (1-based, doubling as the
+// member's event.Addr; rank in the static deployment view is id-1) and
+// the UDP socket address it listens on.
+type Host struct {
+	ID   int
+	Addr string // host:port
+}
+
+// ParseHosts reads the hosts-file format: one "id host port" line per
+// member, '#' comments and blank lines ignored. Every malformation a
+// deployment actually produces is rejected with the offending line
+// number: duplicate ids, non-positive ids, bad ports, trailing fields,
+// and a member set that is not contiguous 1..N (ranks index arrays
+// everywhere downstream). The result is sorted by id.
+func ParseHosts(r io.Reader) ([]Host, error) {
+	var hosts []Host
+	seen := map[int]int{}
+	sc := bufio.NewScanner(r)
+	for ln := 1; sc.Scan(); ln++ {
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("hosts line %d: want \"id host port\", got %d fields", ln, len(fields))
+		}
+		id, err := strconv.Atoi(fields[0])
+		if err != nil || id < 1 {
+			return nil, fmt.Errorf("hosts line %d: bad member id %q (ids are integers >= 1)", ln, fields[0])
+		}
+		if prev, dup := seen[id]; dup {
+			return nil, fmt.Errorf("hosts line %d: duplicate id %d (first on line %d)", ln, id, prev)
+		}
+		seen[id] = ln
+		host := fields[1]
+		if host == "" {
+			return nil, fmt.Errorf("hosts line %d: empty host", ln)
+		}
+		port, err := strconv.Atoi(fields[2])
+		if err != nil || port < 1 || port > 65535 {
+			return nil, fmt.Errorf("hosts line %d: bad port %q", ln, fields[2])
+		}
+		hosts = append(hosts, Host{ID: id, Addr: net.JoinHostPort(host, fields[2])})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("hosts: %w", err)
+	}
+	if len(hosts) == 0 {
+		return nil, fmt.Errorf("hosts: no members")
+	}
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i].ID < hosts[j].ID })
+	for i, h := range hosts {
+		if h.ID != i+1 {
+			return nil, fmt.Errorf("hosts: member ids must be contiguous 1..%d, missing id %d", len(hosts), i+1)
+		}
+	}
+	return hosts, nil
+}
+
+// LoadHosts reads and parses a hosts file.
+func LoadHosts(path string) ([]Host, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	hosts, err := ParseHosts(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return hosts, nil
+}
+
+// FormatHosts renders hosts back into the file format (one "id host
+// port" line, sorted by id) — what the launcher writes for its spawned
+// nodes.
+func FormatHosts(hosts []Host) (string, error) {
+	var b strings.Builder
+	for _, h := range hosts {
+		host, port, err := net.SplitHostPort(h.Addr)
+		if err != nil {
+			return "", fmt.Errorf("hosts: member %d address %q: %w", h.ID, h.Addr, err)
+		}
+		fmt.Fprintf(&b, "%d %s %s\n", h.ID, host, port)
+	}
+	return b.String(), nil
+}
+
+// PeerMap converts a host list into UDPNet's peer table.
+func PeerMap(hosts []Host) map[event.Addr]string {
+	m := make(map[event.Addr]string, len(hosts))
+	for _, h := range hosts {
+		m[event.Addr(h.ID)] = h.Addr
+	}
+	return m
+}
+
+// SelfAddr returns the listen address of member id, or an error naming
+// the id when the hosts file does not contain it — a node launched with
+// an -id outside its own hosts file is misconfigured, not a member.
+func SelfAddr(hosts []Host, id int) (string, error) {
+	for _, h := range hosts {
+		if h.ID == id {
+			return h.Addr, nil
+		}
+	}
+	return "", fmt.Errorf("hosts: member id %d not in hosts file (%d members)", id, len(hosts))
+}

@@ -1,0 +1,318 @@
+package deploy
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"ensemble/internal/netsim"
+	"ensemble/internal/obs"
+)
+
+// The loopback launcher: spawn one ensemble-node process per member,
+// hold them at the READY barrier until every socket is bound, run the
+// chained workload across real datagrams, and assert that the
+// physically distributed run delivered exactly what the in-process
+// netsim reference delivers. Artifacts — per-node delivery logs, flight
+// dumps, the merged flight, the reference flight — land in a directory
+// that survives failed runs, so a divergence comes with the evidence
+// needed to localize it (flight-diff on any pair of dumps).
+
+// LaunchConfig configures a multi-process run.
+type LaunchConfig struct {
+	W Workload
+	// NodeCmd is the command (argv) that runs one node; the launcher
+	// appends the node flags. Empty defaults to the running executable
+	// with "-node" — ensemble-node re-execs itself.
+	NodeCmd []string
+	// Artifacts is the directory node outputs land in (default
+	// ".multiproc-artifacts"). Removed after a clean run unless Keep.
+	Artifacts string
+	Keep      bool
+	// Timeout bounds each protocol phase and the whole run.
+	Timeout time.Duration
+	// Log receives progress lines (nil = quiet).
+	Log io.Writer
+}
+
+// LaunchResult is a completed (not necessarily equivalent) run.
+type LaunchResult struct {
+	W Workload
+	// Logs are the per-member delivery sequences of the UDP run.
+	Logs [][]MsgID
+	// Ref is the in-process netsim reference of the same workload.
+	Ref *ReferenceResult
+	// Merged is the cross-process merged flight dump.
+	Merged []byte
+	// FlightDivs are delivery-series divergences between the merged
+	// UDP flight and the reference flight (empty on a clean run).
+	FlightDivs []obs.Divergence
+	// UDP is each node's socket accounting.
+	UDP []netsim.UDPStats
+	// Artifacts is where the run's files are (empty if removed).
+	Artifacts string
+}
+
+// ErrNoLoopback reports that the environment cannot bind loopback UDP
+// sockets; callers (make multiproc) skip rather than fail.
+var ErrNoLoopback = fmt.Errorf("deploy: loopback UDP unavailable")
+
+// LoopbackAvailable probes for a bindable loopback UDP socket.
+func LoopbackAvailable() error {
+	c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrNoLoopback, err)
+	}
+	return c.Close()
+}
+
+// Launch runs the full multi-process equivalence check. A non-nil
+// error means the run failed or diverged; the result (when non-nil)
+// and the kept artifacts directory carry the evidence either way.
+func Launch(cfg LaunchConfig) (*LaunchResult, error) {
+	w := cfg.W
+	if w.Members < 2 || w.Rounds < 1 {
+		return nil, fmt.Errorf("deploy: launch needs >= 2 members and >= 1 round, got %d/%d", w.Members, w.Rounds)
+	}
+	if err := LoopbackAvailable(); err != nil {
+		return nil, err
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 60 * time.Second
+	}
+	dir := cfg.Artifacts
+	if dir == "" {
+		dir = ".multiproc-artifacts"
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	logf := func(format string, args ...any) {
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, format+"\n", args...)
+		}
+	}
+
+	// Reserve one loopback port per member, then release them for the
+	// nodes to bind. (The usual bind-then-close reservation; on a quiet
+	// loopback the window is harmless, and a collision fails loudly at
+	// node startup.)
+	hosts := make([]Host, w.Members)
+	socks := make([]*net.UDPConn, w.Members)
+	for i := range hosts {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			return nil, fmt.Errorf("deploy: reserving port %d: %w", i, err)
+		}
+		socks[i] = c
+		hosts[i] = Host{ID: i + 1, Addr: c.LocalAddr().String()}
+	}
+	for _, c := range socks {
+		c.Close()
+	}
+	hostsText, err := FormatHosts(hosts)
+	if err != nil {
+		return nil, err
+	}
+	hostsPath := filepath.Join(dir, "hosts.txt")
+	if err := os.WriteFile(hostsPath, []byte(hostsText), 0o644); err != nil {
+		return nil, err
+	}
+
+	nodeCmd := cfg.NodeCmd
+	if len(nodeCmd) == 0 {
+		self, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("deploy: resolving node binary: %w", err)
+		}
+		nodeCmd = []string{self}
+	}
+
+	// Spawn the fleet.
+	type proc struct {
+		cmd    *exec.Cmd
+		handle *nodeHandle
+		stderr *bytes.Buffer
+		out    string
+	}
+	procs := make([]*proc, w.Members)
+	res := &LaunchResult{W: w, Artifacts: dir}
+	defer func() {
+		for _, p := range procs {
+			if p != nil && p.cmd.Process != nil {
+				p.cmd.Process.Kill()
+				p.cmd.Wait()
+			}
+		}
+	}()
+	for i := range procs {
+		id := i + 1
+		outPath := filepath.Join(dir, fmt.Sprintf("node%d.json", id))
+		args := append(append([]string(nil), nodeCmd[1:]...),
+			"-id", strconv.Itoa(id),
+			"-hosts", hostsPath,
+			"-rounds", strconv.Itoa(w.Rounds),
+			"-size", strconv.Itoa(w.Size),
+			"-seed", strconv.FormatInt(w.Seed, 10),
+			"-timeout", timeout.String(),
+			"-out", outPath,
+		)
+		cmd := exec.Command(nodeCmd[0], args...)
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			return res, err
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return res, err
+		}
+		stderr := &bytes.Buffer{}
+		cmd.Stderr = stderr
+		if err := cmd.Start(); err != nil {
+			return res, fmt.Errorf("deploy: spawning node %d: %w", id, err)
+		}
+		procs[i] = &proc{
+			cmd:    cmd,
+			handle: &nodeHandle{name: fmt.Sprintf("node%d", id), in: stdin, lines: protoLines(stdout)},
+			stderr: stderr,
+			out:    outPath,
+		}
+	}
+	logf("multiproc: %d nodes spawned on loopback (hosts %s)", w.Members, hostsPath)
+
+	handles := make([]*nodeHandle, len(procs))
+	for i, p := range procs {
+		handles[i] = p.handle
+	}
+	if err := coordinate(handles, timeout); err != nil {
+		for _, p := range procs {
+			if p.stderr.Len() > 0 {
+				logf("%s stderr: %s", p.handle.name, p.stderr.String())
+			}
+		}
+		return res, fmt.Errorf("deploy: %w (artifacts kept in %s)", err, dir)
+	}
+	// Reap: every node got EXIT; give them the phase timeout to flush
+	// their outputs and go.
+	for _, p := range procs {
+		werr := make(chan error, 1)
+		go func() { werr <- p.cmd.Wait() }()
+		select {
+		case err := <-werr:
+			if err != nil {
+				return res, fmt.Errorf("deploy: %s exited with %v (stderr: %s; artifacts kept in %s)",
+					p.handle.name, err, p.stderr.String(), dir)
+			}
+		case <-time.After(timeout):
+			p.cmd.Process.Kill()
+			return res, fmt.Errorf("deploy: %s did not exit after EXIT (artifacts kept in %s)", p.handle.name, dir)
+		}
+	}
+	logf("multiproc: workload complete on all %d nodes", w.Members)
+
+	// Collect node outputs.
+	res.Logs = make([][]MsgID, w.Members)
+	res.UDP = make([]netsim.UDPStats, w.Members)
+	flights := make([][]byte, w.Members)
+	for i, p := range procs {
+		data, err := os.ReadFile(p.out)
+		if err != nil {
+			return res, fmt.Errorf("deploy: node output: %w (artifacts kept in %s)", err, dir)
+		}
+		var nr NodeResult
+		if err := json.Unmarshal(data, &nr); err != nil {
+			return res, fmt.Errorf("deploy: node output %s: %w", p.out, err)
+		}
+		res.Logs[i] = nr.Log
+		res.UDP[i] = nr.UDP
+		flights[i] = nr.Flight
+		// Per-node raw dumps stay alongside the merged one: flight-diff
+		// works on any pair.
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("node%d.flight", i+1)), nr.Flight, 0o644); err != nil {
+			return res, err
+		}
+	}
+	res.Merged, err = obs.MergeDumps(flights...)
+	if err != nil {
+		return res, fmt.Errorf("deploy: merging node flights: %w (artifacts kept in %s)", err, dir)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "merged.flight"), res.Merged, 0o644); err != nil {
+		return res, err
+	}
+
+	// The in-process reference of the same workload.
+	res.Ref, err = Reference(w)
+	if err != nil {
+		return res, fmt.Errorf("deploy: reference run: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "reference.flight"), res.Ref.Flight, 0o644); err != nil {
+		return res, err
+	}
+
+	// The equivalence assertion: per-member delivery sequences must be
+	// identical, and the flights' delivery series must agree.
+	if rank, pos, a, b, ok := CompareLogs(res.Logs, res.Ref.Logs); !ok {
+		return res, fmt.Errorf(
+			"deploy: delivery divergence at member %d position %d: udp=%+v netsim=%+v (artifacts kept in %s; flight-diff %s/merged.flight %s/reference.flight)",
+			rank, pos, a, b, dir, dir, dir)
+	}
+	res.FlightDivs, err = obs.DiffDumps(res.Merged, res.Ref.Flight, obs.DiffOptions{Kinds: []obs.Kind{obs.KindDeliver}})
+	if err != nil {
+		return res, err
+	}
+	if len(res.FlightDivs) > 0 {
+		return res, fmt.Errorf("deploy: flight delivery series diverge: %s (artifacts kept in %s)",
+			res.FlightDivs[0], dir)
+	}
+	logf("multiproc: %d members x %d rounds equivalent to netsim seed %d (%d deliveries per member)",
+		w.Members, w.Rounds, w.Seed, w.Total())
+	if !cfg.Keep {
+		os.RemoveAll(dir)
+		res.Artifacts = ""
+	}
+	return res, nil
+}
+
+// nodeHandle is one node's control channel: the launcher's view of a
+// spawned process — or, in the in-process harness the tests use, of a
+// goroutine running RunNode behind a pipe pair.
+type nodeHandle struct {
+	name  string
+	in    io.Writer
+	lines <-chan string
+}
+
+// coordinate drives the barrier protocol over a set of nodes: gather
+// READY from all, broadcast GO, gather DONE from all, broadcast EXIT.
+// Any node missing a phase fails the run with its name attached.
+func coordinate(nodes []*nodeHandle, timeout time.Duration) error {
+	for _, n := range nodes {
+		if _, err := protoExpect(n.lines, timeout, protoReady); err != nil {
+			return fmt.Errorf("%s never became %s: %w", n.name, protoReady, err)
+		}
+	}
+	for _, n := range nodes {
+		if _, err := fmt.Fprintln(n.in, protoGo); err != nil {
+			return fmt.Errorf("sending %s to %s: %w", protoGo, n.name, err)
+		}
+	}
+	for _, n := range nodes {
+		if _, err := protoExpect(n.lines, timeout, protoDone); err != nil {
+			return fmt.Errorf("%s never reported %s: %w", n.name, protoDone, err)
+		}
+	}
+	for _, n := range nodes {
+		if _, err := fmt.Fprintln(n.in, protoExit); err != nil {
+			return fmt.Errorf("sending %s to %s: %w", protoExit, n.name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package deploy
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"ensemble/internal/obs"
+)
+
+// inprocCluster runs N RunNode instances as goroutines behind pipe
+// pairs and coordinates them with the same coordinate() the process
+// launcher uses. It is the multi-process topology minus fork/exec: real
+// loopback datagrams between real UDPNet sockets, one member per
+// "node", exercised under -race.
+func inprocCluster(t *testing.T, w Workload, timeout time.Duration) ([]NodeResult, []error) {
+	t.Helper()
+	if err := LoopbackAvailable(); err != nil {
+		t.Skipf("skipping: %v", err)
+	}
+	hosts := make([]Host, w.Members)
+	socks := make([]*net.UDPConn, w.Members)
+	for i := range hosts {
+		c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			t.Fatalf("reserving port: %v", err)
+		}
+		socks[i] = c
+		hosts[i] = Host{ID: i + 1, Addr: c.LocalAddr().String()}
+	}
+	for _, c := range socks {
+		c.Close()
+	}
+
+	results := make([]NodeResult, w.Members)
+	errs := make([]error, w.Members)
+	handles := make([]*nodeHandle, w.Members)
+	var wg sync.WaitGroup
+	for i := 0; i < w.Members; i++ {
+		ctrlR, ctrlW := io.Pipe()
+		statR, statW := io.Pipe()
+		handles[i] = &nodeHandle{name: fmt.Sprintf("node%d", i+1), in: ctrlW, lines: protoLines(statR)}
+		wg.Add(1)
+		go func(id int, ctrl io.Reader, status io.Writer) {
+			defer wg.Done()
+			results[id-1], errs[id-1] = RunNode(NodeConfig{
+				ID: id, Hosts: hosts, W: w, Timeout: timeout,
+			}, ctrl, status)
+		}(i+1, ctrlR, statW)
+	}
+	if err := coordinate(handles, timeout); err != nil {
+		t.Errorf("coordinate: %v", err)
+	}
+	wg.Wait()
+	return results, errs
+}
+
+// TestInProcessClusterMatchesReference is the equivalence assertion in
+// miniature: a 4-member cluster over real loopback UDP must deliver
+// exactly what the netsim reference of the same workload delivers, and
+// the merged flight's delivery series must agree with the reference's.
+func TestInProcessClusterMatchesReference(t *testing.T) {
+	w := Workload{Members: 4, Rounds: 6, Size: 128, Seed: 11}
+	results, errs := inprocCluster(t, w, 30*time.Second)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i+1, err)
+		}
+	}
+
+	logs := make([][]MsgID, w.Members)
+	flights := make([][]byte, w.Members)
+	for i, r := range results {
+		logs[i] = r.Log
+		flights[i] = r.Flight
+		if r.UDP.UnknownSource != 0 {
+			t.Errorf("node %d counted %d unknown-source datagrams on a closed cluster", i+1, r.UDP.UnknownSource)
+		}
+		if len(r.Metrics) == 0 {
+			t.Errorf("node %d has an empty metrics snapshot", i+1)
+		}
+	}
+
+	ref, err := Reference(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank, pos, a, b, ok := CompareLogs(logs, ref.Logs); !ok {
+		t.Fatalf("delivery divergence at member %d position %d: udp=%+v netsim=%+v", rank, pos, a, b)
+	}
+
+	merged, err := obs.MergeDumps(flights...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	divs, err := obs.DiffDumps(merged, ref.Flight, obs.DiffOptions{Kinds: []obs.Kind{obs.KindDeliver}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(divs) > 0 {
+		t.Fatalf("flight delivery series diverge: %s", divs[0])
+	}
+}
+
+// TestNodeExitBeforeGo: a launcher that aborts at the barrier (EXIT
+// instead of GO) must get a clean, error-free shutdown from every node.
+func TestNodeExitBeforeGo(t *testing.T) {
+	if err := LoopbackAvailable(); err != nil {
+		t.Skipf("skipping: %v", err)
+	}
+	c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hosts := []Host{{1, c.LocalAddr().String()}, {2, c2.LocalAddr().String()}}
+	c.Close()
+	c2.Close()
+
+	ctrlR, ctrlW := io.Pipe()
+	statR, statW := io.Pipe()
+	lines := protoLines(statR)
+	resCh := make(chan error, 1)
+	go func() {
+		_, err := RunNode(NodeConfig{
+			ID: 1, Hosts: hosts, W: Workload{Rounds: 1, Size: 16}, Timeout: 10 * time.Second,
+		}, ctrlR, statW)
+		resCh <- err
+	}()
+	if _, err := protoExpect(lines, 10*time.Second, protoReady); err != nil {
+		t.Fatalf("node never READY: %v", err)
+	}
+	fmt.Fprintln(ctrlW, protoExit)
+	if err := <-resCh; err != nil {
+		t.Fatalf("EXIT-before-GO shutdown returned %v", err)
+	}
+}

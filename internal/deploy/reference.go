@@ -1,0 +1,105 @@
+package deploy
+
+import (
+	"fmt"
+
+	"ensemble/internal/core"
+	"ensemble/internal/layers"
+	"ensemble/internal/netsim"
+	"ensemble/internal/obs"
+	"ensemble/internal/stack"
+)
+
+// The in-process reference: the same chained workload, the same
+// 10-layer MACH stack, composed over the deterministic simulated
+// network instead of one UDP socket per process. Its delivery logs and
+// flight dump are what the multi-process run is checked against.
+
+// ReferenceResult is one netsim reference run.
+type ReferenceResult struct {
+	// Logs is each member's delivery sequence, indexed by rank.
+	Logs [][]MsgID
+	// Flight is the run's flight-dump image (obs.DumpBytes format),
+	// comparable with a merged multi-process dump via obs.DiffDumps.
+	Flight []byte
+	// Metrics is the run's unified registry snapshot.
+	Metrics obs.Snapshot
+}
+
+// referenceRing sizes the reference recorder's per-member rings; the
+// multi-process node uses the same so ring wraparound points align.
+const referenceRing = 1 << 12
+
+// Reference runs the chained workload on the in-process netsim cluster
+// (one goroutine per member under the deterministic barrier scheduler)
+// and returns its delivery logs, flight, and metrics. The run is a
+// deterministic function of w — same parameters, same logs and same
+// flight bytes, which is what makes it a reference.
+func Reference(w Workload) (*ReferenceResult, error) {
+	if w.Members < 2 || w.Rounds < 1 {
+		return nil, fmt.Errorf("deploy: reference needs >= 2 members and >= 1 round, got %d/%d", w.Members, w.Rounds)
+	}
+	drivers := make([]*chainDriver, w.Members)
+	var g *core.ClusterGroup
+	build := func(rank int) core.Handlers {
+		d := &chainDriver{w: w, rank: rank}
+		drivers[rank] = d
+		return core.Handlers{
+			OnCast: func(origin int, payload []byte) {
+				id, err := DecodePayload(payload)
+				if err != nil {
+					id = MsgID{Origin: -1, Index: -1} // logged, caught by the comparison
+				}
+				d.deliver(id)
+				if next, due := d.next(); due {
+					g.Members[rank].Cast(w.Payload(next))
+				}
+			},
+		}
+	}
+	g, err := core.NewOptimizedClusterGroup(w.Members, netsim.Ethernet100(), w.Seed, layers.Stack10(), stack.Func, build)
+	if err != nil {
+		return nil, err
+	}
+	reg := obs.NewRegistry()
+	rec := obs.NewRecorder(w.Members, referenceRing)
+	g.EnableObs(reg, rec)
+
+	// Kick the chain: position 0 is member 0's turn.
+	g.Do(0, 0, func() {
+		if next, due := drivers[0].next(); due {
+			g.Members[0].Cast(w.Payload(next))
+		}
+	})
+	// Advance in slices until every member has delivered the whole
+	// workload; the chain makes progress a protocol property, so a
+	// stall inside the virtual-time bound is a real bug, not jitter.
+	const slice = int64(50e6) // 50ms of virtual time
+	deadline := int64(w.Total())*int64(1e9) + int64(10e9)
+	for g.Cluster.Sim().Now() < deadline {
+		done := true
+		for _, d := range drivers {
+			if !d.done() {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		g.Run(slice)
+	}
+	res := &ReferenceResult{
+		Logs:    make([][]MsgID, w.Members),
+		Flight:  rec.DumpBytes(),
+		Metrics: reg.Snapshot(),
+	}
+	for r, d := range drivers {
+		if !d.done() {
+			return res, fmt.Errorf("deploy: reference stalled — member %d delivered %d of %d within the virtual-time bound",
+				r, len(d.log), w.Total())
+		}
+		res.Logs[r] = d.log
+	}
+	return res, nil
+}

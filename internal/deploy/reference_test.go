@@ -1,0 +1,55 @@
+package deploy
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestReferenceDeliversCanonical pins the central protocol property the
+// equivalence check rests on: with chained admission, the 10-layer
+// stack's sequencer is forced to the canonical global order, so every
+// member's delivery log IS the canonical log.
+func TestReferenceDeliversCanonical(t *testing.T) {
+	w := Workload{Members: 4, Rounds: 5, Size: 96, Seed: 7}
+	res, err := Reference(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := w.CanonicalLog()
+	for r, log := range res.Logs {
+		if len(log) != len(want) {
+			t.Fatalf("member %d delivered %d, want %d", r, len(log), len(want))
+		}
+		for i := range want {
+			if log[i] != want[i] {
+				t.Fatalf("member %d log[%d] = %+v, want %+v", r, i, log[i], want[i])
+			}
+		}
+	}
+	if len(res.Flight) == 0 {
+		t.Fatal("reference run recorded no flight")
+	}
+	if len(res.Metrics) == 0 {
+		t.Fatal("reference run snapshot is empty")
+	}
+}
+
+// TestReferenceDeterministic: same workload, same flight bytes — the
+// property that lets a reference dump be archived and compared later.
+func TestReferenceDeterministic(t *testing.T) {
+	w := Workload{Members: 3, Rounds: 4, Size: 48, Seed: 21}
+	a, err := Reference(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Reference(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Flight, b.Flight) {
+		t.Fatal("reference flight dumps differ across identical runs")
+	}
+	if _, _, _, _, ok := CompareLogs(a.Logs, b.Logs); !ok {
+		t.Fatal("reference logs differ across identical runs")
+	}
+}

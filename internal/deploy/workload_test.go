@@ -1,0 +1,121 @@
+package deploy
+
+import (
+	"testing"
+)
+
+func TestPayloadRoundTrip(t *testing.T) {
+	w := Workload{Members: 4, Rounds: 8, Size: 64}
+	for _, id := range []MsgID{{0, 0}, {3, 7}, {2, 200}, {15, 0}} {
+		p := w.Payload(id)
+		if len(p) != 64 {
+			t.Fatalf("payload size %d, want 64", len(p))
+		}
+		got, err := DecodePayload(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != id {
+			t.Fatalf("roundtrip %+v -> %+v", id, got)
+		}
+	}
+	// Tiny size still fits the header.
+	p := Workload{Members: 2, Rounds: 1, Size: 0}.Payload(MsgID{1, 0})
+	if got, err := DecodePayload(p); err != nil || got != (MsgID{1, 0}) {
+		t.Fatalf("tiny payload roundtrip: %+v, %v", got, err)
+	}
+	if _, err := DecodePayload(nil); err == nil {
+		t.Fatal("empty payload must not decode")
+	}
+}
+
+func TestCanonicalOrder(t *testing.T) {
+	w := Workload{Members: 3, Rounds: 2}
+	want := []MsgID{{0, 0}, {1, 0}, {2, 0}, {0, 1}, {1, 1}, {2, 1}}
+	log := w.CanonicalLog()
+	if len(log) != w.Total() {
+		t.Fatalf("canonical log has %d entries, want %d", len(log), w.Total())
+	}
+	for i, id := range want {
+		if log[i] != id {
+			t.Fatalf("canonical[%d] = %+v, want %+v", i, log[i], id)
+		}
+	}
+}
+
+// TestChainDriversSelfConsistent simulates the chain in-process without
+// any stack: whenever a driver owes a cast, broadcast it to all drivers
+// in canonical order. Every driver must emit exactly its own rounds and
+// finish with the canonical log.
+func TestChainDriversSelfConsistent(t *testing.T) {
+	w := Workload{Members: 4, Rounds: 5}
+	drivers := make([]*chainDriver, w.Members)
+	for r := range drivers {
+		drivers[r] = &chainDriver{w: w, rank: r}
+	}
+	pending := []MsgID{}
+	if id, due := drivers[0].next(); !due {
+		t.Fatal("member 0 must own position 0")
+	} else {
+		pending = append(pending, id)
+	}
+	for len(pending) > 0 {
+		id := pending[0]
+		pending = pending[1:]
+		for _, d := range drivers {
+			d.deliver(id)
+			if next, due := d.next(); due {
+				pending = append(pending, next)
+			}
+		}
+	}
+	want := w.CanonicalLog()
+	for r, d := range drivers {
+		if !d.done() {
+			t.Fatalf("driver %d not done: %d of %d", r, len(d.log), w.Total())
+		}
+		if d.casts != w.Rounds {
+			t.Fatalf("driver %d cast %d times, want %d", r, d.casts, w.Rounds)
+		}
+		for i := range want {
+			if d.log[i] != want[i] {
+				t.Fatalf("driver %d log[%d] = %+v, want %+v", r, i, d.log[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCompareLogs(t *testing.T) {
+	w := Workload{Members: 2, Rounds: 3}
+	canon := w.CanonicalLog()
+	same := [][]MsgID{canon, canon}
+	if _, _, _, _, ok := CompareLogs(same, same); !ok {
+		t.Fatal("identical logs must compare equal")
+	}
+
+	// A flipped entry: divergence at the exact (rank, pos).
+	mut := append([]MsgID(nil), canon...)
+	mut[3] = MsgID{Origin: 9, Index: 9}
+	rank, pos, a, b, ok := CompareLogs([][]MsgID{canon, mut}, same)
+	if ok || rank != 1 || pos != 3 {
+		t.Fatalf("divergence at rank=%d pos=%d ok=%v, want rank=1 pos=3", rank, pos, ok)
+	}
+	if a != (MsgID{9, 9}) || b != canon[3] {
+		t.Fatalf("divergence entries a=%+v b=%+v", a, b)
+	}
+
+	// A truncated log: missing side reports {-1,-1}.
+	short := [][]MsgID{canon[:4], canon}
+	_, pos, a, _, ok = CompareLogs(short, same)
+	if ok || pos != 4 || a != (MsgID{-1, -1}) {
+		t.Fatalf("truncation: pos=%d a=%+v ok=%v", pos, a, ok)
+	}
+
+	// Earliest position wins across members.
+	mutEarly := append([]MsgID(nil), canon...)
+	mutEarly[1] = MsgID{8, 8}
+	rank, pos, _, _, ok = CompareLogs([][]MsgID{canon, mut}, [][]MsgID{mutEarly, canon})
+	if ok || rank != 0 || pos != 1 {
+		t.Fatalf("earliest divergence rank=%d pos=%d, want rank=0 pos=1", rank, pos)
+	}
+}

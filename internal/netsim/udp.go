@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -29,7 +31,20 @@ import (
 type UDPNet struct {
 	self  event.Addr
 	conn  *net.UDPConn
-	peers map[event.Addr]*net.UDPAddr
+	peers map[event.Addr]*udpPeer
+
+	// hdr is the datagram envelope every outgoing datagram carries:
+	// the magic byte and this endpoint's member address. Immutable
+	// after construction, so write may share it across goroutines.
+	hdr []byte
+
+	// t0 is the monotonic epoch: Now() reports nanoseconds elapsed
+	// since the endpoint opened, measured on the runtime's monotonic
+	// clock, so retransmission deadlines computed as Now()+timeout are
+	// immune to NTP steps and skew of the wall clock (a wall-based
+	// clock made timers fire early when the wall clock stepped
+	// forward, and stall when it stepped back).
+	t0 time.Time
 
 	mu     sync.Mutex
 	recv   func(Packet)
@@ -45,20 +60,37 @@ type UDPNet struct {
 	drainFlush func()
 	draining   atomic.Bool
 
+	// syncs holds the waiters Sync parked until the current burst —
+	// including its end-of-burst flush — completes. Appended to and
+	// drained on the Run goroutine only.
+	syncs []chan struct{}
+
 	stats  udpCounters
 	walker *transport.FrameWalker
+}
+
+// udpPeer is one peer's last known socket address. The peer *set* is
+// fixed at construction (identity is the member address in the datagram
+// envelope), but the socket address behind an identity may move: an
+// ensemble-node that restarts rebinds, possibly to an ephemeral port.
+// The pointer is atomic because the send path (any goroutine) reads it
+// while the reader goroutine updates it.
+type udpPeer struct {
+	addr atomic.Pointer[net.UDPAddr]
 }
 
 // udpCounters is the live, atomic form of UDPStats: write() runs on
 // whatever goroutine flushed, and benches read Stats mid-run.
 type udpCounters struct {
 	datagrams, bytesOnWire, sendErrors, droppedOnClose obs.Counter
+	unknownSource, peerMoves                           obs.Counter
 }
 
 // UDPStats counts the socket-side traffic. Every datagram handed to
 // Send/Cast lands in exactly one counter — Datagrams (written), or
 // DroppedOnClose (the socket closed under it), or SendErrors — so
-// nothing leaves the books silently.
+// nothing leaves the books silently; the receive side counts what it
+// could not attribute.
 type UDPStats struct {
 	// Datagrams and BytesOnWire count successful socket writes; a
 	// multicast counts one write per peer (UDP has no broadcast here).
@@ -72,12 +104,35 @@ type UDPStats struct {
 	// leaked: Close is allowed to cut a burst's tail off, but the count
 	// makes it visible.
 	DroppedOnClose int64
+	// UnknownSource counts received datagrams whose sender could not be
+	// identified: an envelope naming a member outside the peer table, a
+	// malformed envelope, or an unenveloped datagram from a socket
+	// address no peer is known at. They are dropped — but counted, so a
+	// misconfigured hosts file or a stray talker shows up in the stats
+	// instead of vanishing.
+	UnknownSource int64
+	// PeerMoves counts observed sender address changes: a known peer's
+	// datagram arriving from a socket address different from the one on
+	// record (a restarted process rebinding, typically ephemerally).
+	// The new address replaces the old for subsequent sends.
+	PeerMoves int64
 }
 
 // maxBurst bounds how many mailbox items one burst may absorb before a
 // forced flush, so a sustained packet storm cannot defer the batched
 // wires (and the peers' acknowledgments) indefinitely.
 const maxBurst = 64
+
+// udpMagic heads every UDPNet datagram; a uvarint with the sender's
+// member address follows, then the payload (a batched frame or a raw
+// packet). Identity rides the wire, not the datagram's source socket
+// address: a peer that rebinds — an ensemble-node restart lands on an
+// ephemeral port — keeps its identity, where source-address matching
+// misattributed it or dropped it silently. 0xD5 collides with neither
+// frame magic (0xB7/0xB8) nor a leading epoch uvarint's first byte in
+// practice, but nothing depends on that: the envelope is stripped
+// before the payload is looked at.
+const udpMagic = 0xD5
 
 // NewUDPNet opens a UDP endpoint at listen (host:port) for member self,
 // with the addresses of every member (including self) in peers.
@@ -93,7 +148,9 @@ func NewUDPNet(self event.Addr, listen string, peers map[event.Addr]string) (*UD
 	u := &UDPNet{
 		self:   self,
 		conn:   conn,
-		peers:  map[event.Addr]*net.UDPAddr{},
+		peers:  map[event.Addr]*udpPeer{},
+		hdr:    binary.AppendUvarint([]byte{udpMagic}, uint64(self)),
+		t0:     time.Now(),
 		funcs:  make(chan func(), 256),
 		closed: make(chan struct{}),
 		timers: map[*time.Timer]struct{}{},
@@ -105,7 +162,9 @@ func NewUDPNet(self event.Addr, listen string, peers map[event.Addr]string) (*UD
 			conn.Close()
 			return nil, fmt.Errorf("netsim: resolve peer %d at %q: %w", a, hostport, err)
 		}
-		u.peers[a] = ua
+		p := &udpPeer{}
+		p.addr.Store(ua)
+		u.peers[a] = p
 	}
 	return u, nil
 }
@@ -125,6 +184,8 @@ func (u *UDPNet) Snapshot() UDPStats {
 		BytesOnWire:    u.stats.bytesOnWire.Load(),
 		SendErrors:     u.stats.sendErrors.Load(),
 		DroppedOnClose: u.stats.droppedOnClose.Load(),
+		UnknownSource:  u.stats.unknownSource.Load(),
+		PeerMoves:      u.stats.peerMoves.Load(),
 	}
 }
 
@@ -136,6 +197,8 @@ func (u *UDPNet) RegisterMetrics(reg *obs.Registry) {
 	sc.Adopt("bytes_on_wire", &u.stats.bytesOnWire)
 	sc.Adopt("send_errors", &u.stats.sendErrors)
 	sc.Adopt("dropped_on_close", &u.stats.droppedOnClose)
+	sc.Adopt("unknown_source", &u.stats.unknownSource)
+	sc.Adopt("peer_moves", &u.stats.peerMoves)
 }
 
 // Attach implements the member network contract.
@@ -171,42 +234,65 @@ func (u *UDPNet) InDrain() bool { return u.draining.Load() }
 
 // Send transmits point-to-point.
 func (u *UDPNet) Send(from, to event.Addr, data []byte) {
-	if ua, ok := u.peers[to]; ok {
-		u.write(data, ua)
+	if p, ok := u.peers[to]; ok {
+		u.write(data, p.addr.Load())
 	}
 }
 
 // Cast transmits to every peer except self.
 func (u *UDPNet) Cast(from event.Addr, data []byte) {
-	for a, ua := range u.peers {
+	for a, p := range u.peers {
 		if a == from {
 			continue
 		}
-		u.write(data, ua)
+		u.write(data, p.addr.Load())
 	}
 }
 
-// write pushes one datagram at the socket and accounts for the outcome;
-// see UDPStats for the taxonomy. WriteToUDP is goroutine-safe, so both
-// the Run goroutine (burst-end flushes) and application goroutines
-// (sends outside a burst) may land here.
+// write pushes one datagram at the socket — envelope, then payload —
+// and accounts for the outcome; see UDPStats for the taxonomy.
+// WriteToUDP is goroutine-safe, so both the Run goroutine (burst-end
+// flushes) and application goroutines (sends outside a burst) may land
+// here.
 func (u *UDPNet) write(data []byte, ua *net.UDPAddr) {
-	_, err := u.conn.WriteToUDP(data, ua)
+	buf := make([]byte, 0, len(u.hdr)+len(data))
+	buf = append(append(buf, u.hdr...), data...)
+	_, err := u.conn.WriteToUDP(buf, ua)
 	if err != nil {
-		select {
-		case <-u.closed:
+		// An error our own Close produced is never a SendError, however
+		// the close interleaved with this write: a burst-end flush can
+		// race Close's conn.Close and observe the dead socket a beat
+		// before (or after) the closed channel reads as closed, and
+		// net.ErrClosed identifies it either way. Keeping those out of
+		// SendErrors preserves its meaning — the network refused a live
+		// socket's datagram.
+		if errors.Is(err, net.ErrClosed) || u.isClosed() {
 			u.stats.droppedOnClose.Inc()
-		default:
+		} else {
 			u.stats.sendErrors.Inc()
 		}
 		return
 	}
 	u.stats.datagrams.Inc()
-	u.stats.bytesOnWire.Add(int64(len(data)))
+	u.stats.bytesOnWire.Add(int64(len(buf)))
 }
 
-// Now implements the member clock in real nanoseconds.
-func (u *UDPNet) Now() int64 { return time.Now().UnixNano() }
+func (u *UDPNet) isClosed() bool {
+	select {
+	case <-u.closed:
+		return true
+	default:
+		return false
+	}
+}
+
+// Now implements the member clock: monotonic nanoseconds since the
+// endpoint opened. time.Since reads the runtime's monotonic clock, so
+// an NTP step or slew of the wall clock between two reads never shows
+// up in their difference — retransmission deadlines (Now()+timeout in
+// the layers above) neither fire early on a forward step nor stall on
+// a backward one.
+func (u *UDPNet) Now() int64 { return time.Since(u.t0).Nanoseconds() }
 
 // After schedules fn on the Run goroutine. Timers registered after
 // Close never fire; timers outstanding at Close are stopped.
@@ -246,6 +332,28 @@ func (u *UDPNet) Do(fn func()) {
 // burst — need no help.
 func (u *UDPNet) Flush() { u.Do(func() {}) }
 
+// Sync schedules an empty entry on the Run goroutine and blocks until
+// the burst that absorbed it — including its end-of-burst flush — has
+// completed: when Sync returns true, every wire the attached member had
+// batched before the call is on the socket. This is the launcher's
+// clean-shutdown step (Sync, then Close), which guarantees the final
+// flush can never land on a closed conn. Returns false if the endpoint
+// closed first, in which case nothing more will flush.
+func (u *UDPNet) Sync() bool {
+	done := make(chan struct{})
+	select {
+	case u.funcs <- func() { u.syncs = append(u.syncs, done) }:
+	case <-u.closed:
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	case <-u.closed:
+		return false
+	}
+}
+
 // Run reads packets and executes scheduled functions until Close,
 // serializing everything onto this goroutine. Work is absorbed in
 // bursts: one blocking receive, then everything else immediately
@@ -260,8 +368,10 @@ func (u *UDPNet) Run() error {
 				close(pkts)
 				return
 			}
-			data := append([]byte(nil), buf[:n]...)
-			from := u.addrOf(raddr)
+			data, from, ok := u.identify(append([]byte(nil), buf[:n]...), raddr)
+			if !ok {
+				continue
+			}
 			select {
 			case pkts <- Packet{From: from, To: u.self, Data: data}:
 			case <-u.closed:
@@ -273,6 +383,9 @@ func (u *UDPNet) Run() error {
 		select {
 		case p, ok := <-pkts:
 			if !ok {
+				// The socket died under us without (or racing) Close; mark
+				// the endpoint closed so Do and Sync callers do not hang.
+				u.Close()
 				return nil
 			}
 			u.draining.Store(true)
@@ -299,7 +412,8 @@ func (u *UDPNet) Run() error {
 		}
 		// End of burst: run the member's deferred batch flush (with
 		// draining still true, exactly like a cluster drain barrier),
-		// then hand the "not in a burst" state back.
+		// then hand the "not in a burst" state back and release any
+		// Sync waiters this burst absorbed.
 		u.mu.Lock()
 		flush := u.drainFlush
 		u.mu.Unlock()
@@ -307,7 +421,43 @@ func (u *UDPNet) Run() error {
 			flush()
 		}
 		u.draining.Store(false)
+		for _, done := range u.syncs {
+			close(done)
+		}
+		u.syncs = u.syncs[:0]
 	}
+}
+
+// identify strips the datagram envelope and resolves the sender. The
+// envelope's member address is authoritative (and updates the peer's
+// socket address on a rebind); a datagram without an envelope — from a
+// harness poking the socket directly — falls back to matching the
+// source socket address against the peer table. Whatever cannot be
+// attributed is dropped and counted (UDPStats.UnknownSource).
+func (u *UDPNet) identify(data []byte, raddr *net.UDPAddr) ([]byte, event.Addr, bool) {
+	if len(data) >= 2 && data[0] == udpMagic {
+		id, n := binary.Uvarint(data[1:])
+		if n > 0 {
+			from := event.Addr(id)
+			if p, ok := u.peers[from]; ok {
+				if cur := p.addr.Load(); cur == nil || cur.Port != raddr.Port || !cur.IP.Equal(raddr.IP) {
+					// Known peer, new socket address: the process behind
+					// the identity rebound. Track it so replies reach the
+					// new binding instead of the stale hosts-file one.
+					p.addr.Store(raddr)
+					u.stats.peerMoves.Inc()
+				}
+				return data[1+n:], from, true
+			}
+		}
+		u.stats.unknownSource.Inc()
+		return nil, -1, false
+	}
+	if from := u.addrOf(raddr); from >= 0 {
+		return data, from, true
+	}
+	u.stats.unknownSource.Inc()
+	return nil, -1, false
 }
 
 // deliver fans a received datagram out to the endpoint: batched frames
@@ -333,10 +483,12 @@ func (u *UDPNet) deliver(p Packet) {
 	})
 }
 
-// addrOf maps a socket address back to a member address.
+// addrOf maps a socket address back to a member address — the legacy
+// identity path for unenveloped datagrams only; enveloped traffic is
+// keyed on the sender rank it carries (see identify).
 func (u *UDPNet) addrOf(ra *net.UDPAddr) event.Addr {
-	for a, ua := range u.peers {
-		if ua.Port == ra.Port && ua.IP.Equal(ra.IP) {
+	for a, p := range u.peers {
+		if ua := p.addr.Load(); ua != nil && ua.Port == ra.Port && ua.IP.Equal(ra.IP) {
 			return a
 		}
 	}
@@ -347,7 +499,8 @@ func (u *UDPNet) addrOf(ra *net.UDPAddr) event.Addr {
 // Wires still batched in the attached member when Close lands mid-burst
 // are deterministically dropped and counted (UDPStats.DroppedOnClose)
 // when the burst-end flush hits the closed socket — Close never leaves
-// sub-packets silently pending.
+// sub-packets silently pending. For a shutdown that loses nothing, call
+// Sync first: it blocks until the batched wires are on the socket.
 func (u *UDPNet) Close() error {
 	u.mu.Lock()
 	select {

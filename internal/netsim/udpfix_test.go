@@ -1,0 +1,272 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ensemble/internal/event"
+	"ensemble/internal/transport"
+)
+
+// TestUDPNowMonotonicRebased pins the clock fix: Now() is rebased on a
+// monotonic start instant instead of returning time.Now().UnixNano().
+// The wall-clock version reported epoch nanoseconds (~1.7e18) and moved
+// with NTP steps; the monotonic version starts near zero and two reads
+// differ by elapsed monotonic time only — which is what keeps
+// retransmission deadlines (Now()+timeout in the layers) from firing
+// early after a forward step or stalling after a backward one.
+func TestUDPNowMonotonicRebased(t *testing.T) {
+	u, err := NewUDPNet(1, "127.0.0.1:0", map[event.Addr]string{})
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	defer u.Close()
+
+	n1 := u.Now()
+	// Rebased means "nanoseconds since open", not the wall epoch: a
+	// fresh endpoint must read far below one hour. The wall-clock
+	// implementation fails this by nine orders of magnitude.
+	if n1 < 0 || n1 > int64(time.Hour) {
+		t.Fatalf("Now() = %d; want monotonic nanoseconds since open, not a wall-epoch reading", n1)
+	}
+	time.Sleep(30 * time.Millisecond)
+	n2 := u.Now()
+	if d := n2 - n1; d < int64(25*time.Millisecond) || d > int64(5*time.Second) {
+		t.Fatalf("Now() advanced %v across a 30ms sleep", time.Duration(d))
+	}
+	if n2 < n1 {
+		t.Fatalf("Now() went backwards: %d then %d", n1, n2)
+	}
+}
+
+// TestUDPTimerNeverFiresEarly: a timer scheduled for delay d observes
+// Now() advance by at least d between scheduling and firing. Both After
+// and Now ride the same monotonic base, so no wall-clock step between
+// the two points can contract the interval — the failure mode that made
+// retransmission sweeps fire early under NTP skew.
+func TestUDPTimerNeverFiresEarly(t *testing.T) {
+	u, err := NewUDPNet(1, "127.0.0.1:0", map[event.Addr]string{})
+	if err != nil {
+		t.Skipf("loopback UDP unavailable: %v", err)
+	}
+	defer u.Close()
+	go u.Run()
+
+	const delay = 40 * time.Millisecond
+	fired := make(chan int64, 1)
+	sched := u.Now()
+	u.After(int64(delay), func() { fired <- u.Now() })
+	select {
+	case at := <-fired:
+		// 2ms of grace for timer granularity; an early fire under a
+		// stepped wall clock would be off by the whole step.
+		if at-sched < int64(delay)-int64(2*time.Millisecond) {
+			t.Fatalf("timer fired after %v of monotonic time, scheduled for %v",
+				time.Duration(at-sched), delay)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("timer never fired")
+	}
+}
+
+// TestUDPSenderIdentityFollowsRank pins the identity fix: a peer that
+// rebinds to a different (ephemeral) socket address keeps its member
+// identity, because the datagram envelope carries the sender rank and
+// the receiver keys on that — source-address matching misattributed the
+// rebound peer (From=-1) or dropped it. The observed move is counted
+// and the new address is used for replies.
+func TestUDPSenderIdentityFollowsRank(t *testing.T) {
+	a, b := udpPair(t)
+	defer a.Close()
+	defer b.Close()
+
+	var mu sync.Mutex
+	var from []event.Addr
+	b.Attach(2, func(p Packet) {
+		mu.Lock()
+		from = append(from, p.From)
+		mu.Unlock()
+	})
+	go a.Run()
+	go b.Run()
+
+	a.Send(1, 2, []byte("from the registered address"))
+	waitCond(t, 3*time.Second, "first datagram", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(from) >= 1
+	})
+
+	// Member 1 "restarts": same identity, fresh socket on an ephemeral
+	// port, exactly what an ensemble-node restart does.
+	a.Close()
+	a2, err := NewUDPNet(1, "127.0.0.1:0", map[event.Addr]string{2: b.LocalAddr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a2.Close()
+	var replies int
+	a2.Attach(1, func(p Packet) {
+		mu.Lock()
+		replies++
+		mu.Unlock()
+	})
+	go a2.Run()
+	a2.Send(1, 2, []byte("from the rebound address"))
+	waitCond(t, 3*time.Second, "rebound datagram", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(from) >= 2
+	})
+
+	mu.Lock()
+	got := append([]event.Addr(nil), from...)
+	mu.Unlock()
+	for i, f := range got {
+		if f != 1 {
+			t.Fatalf("datagram %d attributed to %d, want member 1 (wire-header identity)", i, f)
+		}
+	}
+	st := b.Stats()
+	if st.PeerMoves != 1 {
+		t.Fatalf("PeerMoves = %d, want 1 (one rebind observed)", st.PeerMoves)
+	}
+	if st.UnknownSource != 0 {
+		t.Fatalf("UnknownSource = %d for datagrams from a known member", st.UnknownSource)
+	}
+
+	// Replies now reach the rebound address, not the stale registration.
+	b.Send(2, 1, []byte("reply to the new binding"))
+	waitCond(t, 3*time.Second, "reply to rebound peer", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return replies >= 1
+	})
+}
+
+// TestUDPUnknownSourceCounted: datagrams that cannot be attributed — an
+// envelope naming a member outside the peer table, or an unenveloped
+// datagram from an unknown socket — are dropped and counted instead of
+// delivered with From=-1 or silently vanishing.
+func TestUDPUnknownSourceCounted(t *testing.T) {
+	a, b := udpPair(t)
+	defer a.Close()
+	defer b.Close()
+
+	var mu sync.Mutex
+	delivered := 0
+	b.Attach(2, func(p Packet) {
+		mu.Lock()
+		delivered++
+		mu.Unlock()
+	})
+	go b.Run()
+
+	// A stranger: valid envelope, member id 9 — not in b's peer table.
+	stranger, err := NewUDPNet(9, "127.0.0.1:0", map[event.Addr]string{2: b.LocalAddr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stranger.Close()
+	stranger.Send(9, 2, []byte("who am I"))
+
+	waitCond(t, 3*time.Second, "unknown source counted", func() bool {
+		return b.Stats().UnknownSource >= 1
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if delivered != 0 {
+		t.Fatalf("%d unattributable datagrams delivered, want 0", delivered)
+	}
+}
+
+// TestUDPCloseFlushRace pins the shutdown race under -race: batched
+// wires flushed while Close lands — from the Run goroutine's burst-end
+// hook or from an application goroutine's entry-end flush — must never
+// surface as SendErrors. Whatever reached the socket before it closed
+// is a Datagram; whatever hit the closed socket is DroppedOnClose; the
+// SendErrors counter stays at zero through every interleaving.
+func TestUDPCloseFlushRace(t *testing.T) {
+	for iter := 0; iter < 25; iter++ {
+		a, b := udpPair(t)
+		batch := transport.NewBatcher(a, 1, 0)
+		a.SetDrainFlush(batch.Flush)
+		runDone := make(chan error, 1)
+		go func() { runDone <- a.Run() }()
+		go b.Run()
+
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				a.Do(func() { batch.Send(2, []byte("racing wire")) })
+				if a.isClosed() {
+					return
+				}
+			}
+		}()
+		if iter%2 == 0 {
+			time.Sleep(time.Duration(iter%5) * 100 * time.Microsecond)
+		}
+		a.Close()
+		wg.Wait()
+		select {
+		case <-runDone:
+		case <-time.After(3 * time.Second):
+			t.Fatal("Run did not exit after Close")
+		}
+		st := a.Stats()
+		if st.SendErrors != 0 {
+			t.Fatalf("iter %d: %d spurious SendErrors from flushes racing Close (stats %+v)",
+				iter, st.SendErrors, st)
+		}
+		b.Close()
+	}
+}
+
+// TestUDPSyncFlushesBeforeClose: the clean-shutdown path. Sync blocks
+// until the burst that absorbed it has flushed, so Sync-then-Close
+// loses nothing: every wire batched before Sync is a Datagram on the
+// socket, and DroppedOnClose stays zero.
+func TestUDPSyncFlushesBeforeClose(t *testing.T) {
+	a, b := udpPair(t)
+	defer b.Close()
+	batch := transport.NewBatcher(a, 1, 0)
+	a.SetDrainFlush(batch.Flush)
+	go a.Run()
+	go b.Run()
+
+	const wires = 7
+	for i := 0; i < wires; i++ {
+		a.Do(func() { batch.Send(2, []byte("wire before sync")) })
+	}
+	if !a.Sync() {
+		t.Fatal("Sync returned false on a live endpoint")
+	}
+	a.Close()
+	st := a.Stats()
+	if st.DroppedOnClose != 0 || st.SendErrors != 0 {
+		t.Fatalf("Sync-then-Close dropped wires: %+v", st)
+	}
+	if st.Datagrams == 0 {
+		t.Fatalf("no datagrams on the socket after Sync: %+v", st)
+	}
+	// Sync on a closed endpoint reports the truth: nothing will flush.
+	if a.Sync() {
+		t.Fatal("Sync returned true on a closed endpoint")
+	}
+}
+
+func waitCond(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // Chrome trace_event export: a flight becomes a JSON Trace Event file
@@ -26,19 +27,46 @@ type chromeEvent struct {
 // JSON. Metadata events name each member's track; every record becomes
 // a thread-scoped instant event carrying its seq/dir/layer as args.
 func WriteChromeTrace(w io.Writer, r *Recorder) error {
-	events := make([]chromeEvent, 0, 1+2*len(r.tracks))
+	tracks := make(map[int][]Rec, len(r.tracks))
+	for rank, t := range r.tracks {
+		tracks[rank] = t.Ordered()
+	}
+	return WriteChromeTraceTracks(w, tracks)
+}
+
+// WriteChromeTraceDump writes a flight-dump image — single-process or
+// merged (MergeDumps) — as Chrome trace_event JSON, one track per rank
+// present in the dump.
+func WriteChromeTraceDump(w io.Writer, dump []byte) error {
+	tracks, err := ParseDump(dump)
+	if err != nil {
+		return err
+	}
+	return WriteChromeTraceTracks(w, tracks)
+}
+
+// WriteChromeTraceTracks writes per-rank record slices as Chrome
+// trace_event JSON; ranks are emitted in ascending order so the output
+// is deterministic.
+func WriteChromeTraceTracks(w io.Writer, tracks map[int][]Rec) error {
+	ranks := make([]int, 0, len(tracks))
+	for r := range tracks {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	events := make([]chromeEvent, 0, 1+2*len(ranks))
 	events = append(events, chromeEvent{
 		Name: "process_name", Phase: "M", PID: 0,
 		Args: map[string]any{"name": "ensemble cluster"},
 	})
-	for rank := range r.tracks {
+	for _, rank := range ranks {
 		events = append(events, chromeEvent{
 			Name: "thread_name", Phase: "M", PID: 0, TID: rank,
 			Args: map[string]any{"name": fmt.Sprintf("member %d", rank)},
 		})
 	}
-	for rank, t := range r.tracks {
-		for _, rec := range t.Ordered() {
+	for _, rank := range ranks {
+		for _, rec := range tracks[rank] {
 			dir := "up"
 			if rec.Dir == DirDn {
 				dir = "dn"

@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ensemble/internal/event"
+)
+
+// Flight-dump diffing. Two flights of the same workload — an in-process
+// netsim run and a multi-process UDP run, or two runs of the same seed —
+// should record the same per-member event series. When they do not, the
+// interesting question is not *that* they diverged but *where first*:
+// which member, which event series, which sequence number, at which
+// layer and virtual time. DiffDumps answers that by aligning each
+// member's records per kind on their sequence numbers (the monotone
+// counter every recording site maintains), so a failure localizes to
+// one record instead of a wall of logs.
+
+// Divergence is one point of disagreement between two flights: the
+// first differing record of one member's per-kind series. Exactly one
+// of A and B is nil when the record exists on only one side.
+type Divergence struct {
+	Rank int
+	Kind Kind
+	// Seq is the sequence number at which the series first disagrees.
+	Seq int64
+	// A and B are the records at Seq on each side (nil = missing).
+	A, B *Rec
+	// Reason says what disagreed: "missing in A"/"missing in B" for a
+	// one-sided record, "dir", "layer", or "time" for a field mismatch.
+	Reason string
+}
+
+// String renders a divergence the way the flight-diff tool prints it.
+func (d Divergence) String() string {
+	side := func(r *Rec) string {
+		if r == nil {
+			return "(missing)"
+		}
+		dir := "up"
+		if r.Dir == DirDn {
+			dir = "dn"
+		}
+		return fmt.Sprintf("{t=%dns %s layer=%d seq=%d}", r.T, dir, r.Layer, r.Seq)
+	}
+	return fmt.Sprintf("rank %d %s seq %d (%s): a=%s b=%s",
+		d.Rank, d.Kind, d.Seq, d.Reason, side(d.A), side(d.B))
+}
+
+// DiffOptions narrows and sharpens the comparison.
+type DiffOptions struct {
+	// Kinds limits the diff to these record kinds; nil compares all.
+	// Cross-substrate comparisons (netsim vs UDP) want KindDeliver — the
+	// delivery series is the substrate-independent contract, while timer
+	// sweeps and packet counts legitimately differ with real timing.
+	Kinds []Kind
+	// Ranks limits the diff to these members; nil compares all common.
+	Ranks []int
+	// CompareTime also compares virtual timestamps. Only meaningful
+	// between runs on the same virtual clock (netsim vs netsim).
+	CompareTime bool
+}
+
+// DiffDumps compares two flight-dump images and returns each member
+// series' first divergence, ordered by (Seq, Rank, Kind) — so the first
+// element is the earliest point the flights disagree. An empty result
+// means the compared series are identical. Alignment is by sequence
+// number within each (rank, kind) series: a ring that wrapped earlier
+// on one side only trims both sides to their common suffix before
+// comparing, so a shorter retention window is not itself a divergence.
+func DiffDumps(a, b []byte, opt DiffOptions) ([]Divergence, error) {
+	ta, err := ParseDump(a)
+	if err != nil {
+		return nil, fmt.Errorf("obs: diff input a: %w", err)
+	}
+	tb, err := ParseDump(b)
+	if err != nil {
+		return nil, fmt.Errorf("obs: diff input b: %w", err)
+	}
+	var kindSet map[Kind]bool
+	if opt.Kinds != nil {
+		kindSet = make(map[Kind]bool, len(opt.Kinds))
+		for _, k := range opt.Kinds {
+			kindSet[k] = true
+		}
+	}
+	var rankSet map[int]bool
+	if opt.Ranks != nil {
+		rankSet = make(map[int]bool, len(opt.Ranks))
+		for _, r := range opt.Ranks {
+			rankSet[r] = true
+		}
+	}
+	var out []Divergence
+	for rank, ra := range ta {
+		if rankSet != nil && !rankSet[rank] {
+			continue
+		}
+		rb, ok := tb[rank]
+		if !ok {
+			continue // diff what both flights carry; membership is the caller's check
+		}
+		sa := splitSeries(ra, kindSet)
+		sb := splitSeries(rb, kindSet)
+		for kind, recs := range sa {
+			if d, diverged := diffSeries(rank, kind, recs, sb[kind], opt.CompareTime); diverged {
+				out = append(out, d)
+			}
+		}
+		for kind, recs := range sb {
+			if _, ok := sa[kind]; ok {
+				continue
+			}
+			// A series recorded only on side b: its first record is the
+			// divergence.
+			r := recs[0]
+			out = append(out, Divergence{Rank: rank, Kind: kind, Seq: r.Seq, B: &r, Reason: "missing in A"})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seq != out[j].Seq {
+			return out[i].Seq < out[j].Seq
+		}
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out, nil
+}
+
+// splitSeries groups a track's records by kind, preserving order.
+func splitSeries(recs []Rec, kinds map[Kind]bool) map[Kind][]Rec {
+	out := map[Kind][]Rec{}
+	for _, r := range recs {
+		if kinds != nil && !kinds[r.Kind] {
+			continue
+		}
+		out[r.Kind] = append(out[r.Kind], r)
+	}
+	return out
+}
+
+// diffSeries aligns two same-kind record series on their sequence
+// numbers and reports the first disagreement. Each series is monotone
+// in Seq (the recording site counts), so alignment is: trim whichever
+// side retained further back (ring wraparound), then walk in lockstep.
+func diffSeries(rank int, kind Kind, sa, sb []Rec, compareTime bool) (Divergence, bool) {
+	if len(sb) == 0 {
+		r := sa[0]
+		return Divergence{Rank: rank, Kind: kind, Seq: r.Seq, A: &r, Reason: "missing in B"}, true
+	}
+	// Align to the later starting point: records below it fell off the
+	// other side's ring (or predate its recording) and are incomparable.
+	start := sa[0].Seq
+	if sb[0].Seq > start {
+		start = sb[0].Seq
+	}
+	for len(sa) > 0 && sa[0].Seq < start {
+		sa = sa[1:]
+	}
+	for len(sb) > 0 && sb[0].Seq < start {
+		sb = sb[1:]
+	}
+	for i := 0; i < len(sa) && i < len(sb); i++ {
+		x, y := sa[i], sb[i]
+		switch {
+		case x.Seq != y.Seq:
+			// A gap: one side skipped (or repeated) a sequence number.
+			if x.Seq < y.Seq {
+				return Divergence{Rank: rank, Kind: kind, Seq: x.Seq, A: &x, Reason: "missing in B"}, true
+			}
+			return Divergence{Rank: rank, Kind: kind, Seq: y.Seq, B: &y, Reason: "missing in A"}, true
+		case x.Dir != y.Dir:
+			return Divergence{Rank: rank, Kind: kind, Seq: x.Seq, A: &x, B: &y, Reason: "dir"}, true
+		case x.Layer != y.Layer:
+			return Divergence{Rank: rank, Kind: kind, Seq: x.Seq, A: &x, B: &y, Reason: "layer"}, true
+		case compareTime && x.T != y.T:
+			return Divergence{Rank: rank, Kind: kind, Seq: x.Seq, A: &x, B: &y, Reason: "time"}, true
+		}
+	}
+	if len(sa) > len(sb) {
+		r := sa[len(sb)]
+		return Divergence{Rank: rank, Kind: kind, Seq: r.Seq, A: &r, Reason: "missing in B"}, true
+	}
+	if len(sb) > len(sa) {
+		r := sb[len(sa)]
+		return Divergence{Rank: rank, Kind: kind, Seq: r.Seq, B: &r, Reason: "missing in A"}, true
+	}
+	return Divergence{}, false
+}
+
+// ParseKind resolves a kind name ("Deliver", "PktOut", a stack event
+// type name, …) back to its Kind value, for the flight-diff CLI. Names
+// match case-insensitively.
+func ParseKind(name string) (Kind, bool) {
+	for k := Kind(0); k < 32; k++ {
+		if strings.EqualFold(event.Type(k).String(), name) {
+			return k, true
+		}
+	}
+	for k := KindPktOut; k <= KindCCPMiss; k++ {
+		if strings.EqualFold(k.String(), name) {
+			return k, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Cross-process flight-dump merging. A multi-process deployment records
+// one flight per process: each ensemble-node's recorder carries tracks
+// for every rank, but only its own member's track has records. Merging
+// the per-process dump images yields one image with every member's
+// track populated — the same dump format, so everything that consumes a
+// dump (ParseDump, DiffDumps, the Chrome-trace exporter) works on a
+// merged flight exactly as on a single-process one.
+
+// EncodeDump serializes per-rank record slices into a flight-dump image
+// (the DumpBytes format). Tracks are emitted in ascending rank order,
+// so identical inputs encode identical bytes regardless of map order.
+// The records' own Rank fields are not consulted; the map key is
+// authoritative.
+func EncodeDump(tracks map[int][]Rec) []byte {
+	ranks := make([]int, 0, len(tracks))
+	for r := range tracks {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	out := append([]byte(nil), dumpMagic...)
+	out = binary.AppendUvarint(out, uint64(len(ranks)))
+	for _, r := range ranks {
+		out = appendTrack(out, uint64(r), tracks[r])
+	}
+	return out
+}
+
+// appendTrack emits one track — rank, count, records oldest-first — in
+// the dump wire layout.
+func appendTrack(out []byte, rank uint64, recs []Rec) []byte {
+	out = binary.AppendUvarint(out, rank)
+	out = binary.AppendUvarint(out, uint64(len(recs)))
+	for i := range recs {
+		rec := &recs[i]
+		out = binary.LittleEndian.AppendUint64(out, uint64(rec.T))
+		out = binary.LittleEndian.AppendUint64(out, uint64(rec.Seq))
+		out = append(out, byte(rec.Kind), rec.Dir, rec.Layer)
+	}
+	return out
+}
+
+// MergeDumps interleaves the tracks of several flight-dump images into
+// one: for every rank, the records come from whichever input dump has
+// them. Empty tracks never conflict (every process dumps empty tracks
+// for the ranks it does not host); two inputs both carrying records for
+// the same rank is an error — it means two processes claimed the same
+// member, and silently picking one would hide exactly the deployment
+// bug a merged flight exists to expose.
+func MergeDumps(dumps ...[]byte) ([]byte, error) {
+	merged := map[int][]Rec{}
+	owner := map[int]int{}
+	for i, d := range dumps {
+		tracks, err := ParseDump(d)
+		if err != nil {
+			return nil, fmt.Errorf("obs: merge input %d: %w", i, err)
+		}
+		for rank, recs := range tracks {
+			if len(recs) == 0 {
+				if _, ok := merged[rank]; !ok {
+					merged[rank] = nil // keep the track, even if nobody fills it
+				}
+				continue
+			}
+			if prev, ok := owner[rank]; ok {
+				return nil, fmt.Errorf("obs: merge inputs %d and %d both carry records for rank %d", prev, i, rank)
+			}
+			owner[rank] = i
+			merged[rank] = recs
+		}
+	}
+	return EncodeDump(merged), nil
+}
