@@ -3,7 +3,7 @@
 GO ?= go
 # BENCH_OUT is where bench-gate records the parsed benchmark trajectory;
 # override it to keep a run without clobbering the checked-in record.
-BENCH_OUT ?= BENCH_PR7.json
+BENCH_OUT ?= BENCH_PR8.json
 
 .PHONY: all build test race verify bench bench-throughput bench-gate multiproc flight pooldebug clean
 
@@ -57,9 +57,16 @@ bench-throughput:
 # stray alloc against the whole op. 100 rounds amortize the blip to 0
 # while any real per-round allocation still reports >= 1 allocs/op.
 # The mixed side runs 1x: the measurement floors itself at 600 rounds.
+# The net pass carries the member-count scaling sweep (_Scale_ points at
+# 16/64/256; fixed internal round counts, Gate 6) and a hard -timeout so
+# a scheduling regression at 256 members fails the gate instead of
+# hanging verify; on machines under 4 cores the 256-member point skips
+# itself (the gate accepts the skip marker; the net pass runs -v because
+# plain -bench output omits SKIP lines entirely) — run with
+# ENSEMBLE_SCALE_FORCE=1 to measure it anyway.
 bench-gate:
 	$(GO) test -run xxx -bench 'BenchmarkThroughput_' -benchtime 100x . > .bench_gate_unit.out
-	$(GO) test -run xxx -bench 'BenchmarkThroughputNet_' -benchtime 150x . > .bench_gate_net.out
+	$(GO) test -v -run xxx -bench 'BenchmarkThroughputNet_' -benchtime 150x -timeout 15m . > .bench_gate_net.out
 	$(GO) test -run xxx -bench 'BenchmarkMixedTraffic_' -benchtime 1x . > .bench_gate_mixed.out
 	$(GO) run ./cmd/bench-gate -unit .bench_gate_unit.out -net .bench_gate_net.out -mixed .bench_gate_mixed.out -out $(BENCH_OUT)
 	rm -f .bench_gate_unit.out .bench_gate_net.out .bench_gate_mixed.out

@@ -20,7 +20,13 @@
 //     workload's interpreted (full-stack) share under the full dispatch
 //     family must be at most half the single-CCP baseline's on the
 //     identical workload (BenchmarkMixedTraffic_MultiCCP interp-share
-//     <= 0.5x BenchmarkMixedTraffic_SingleCCP).
+//     <= 0.5x BenchmarkMixedTraffic_SingleCCP);
+//   - the member-count scaling sweep (_Scale_ points at 16/64/256, the
+//     last a 16x16 hierarchy over the sharded scheduler) stays
+//     deterministic — every point's identical metric must be 1 — and
+//     holds a per-member throughput floor relative to the 16-member
+//     point; the 256-member point may skip on machines under 4 cores
+//     (the skip marker must then appear in the raw output).
 //
 // It optionally records the parsed numbers as a JSON trajectory file so
 // the repository keeps a machine-readable history of the batching
@@ -31,7 +37,7 @@
 //	go test -run xxx -bench 'BenchmarkThroughput_' -benchtime 100x . > unit.out
 //	go test -run xxx -bench 'BenchmarkThroughputNet_' -benchtime 150x . > net.out
 //	go test -run xxx -bench 'BenchmarkMixedTraffic_' -benchtime 1x . > mixed.out
-//	go run ./cmd/bench-gate -unit unit.out -net net.out -mixed mixed.out -out BENCH_PR6.json
+//	go run ./cmd/bench-gate -unit unit.out -net net.out -mixed mixed.out -out BENCH_PR8.json
 package main
 
 import (
@@ -98,6 +104,7 @@ func main() {
 	unit := map[string]result{}
 	net := map[string]result{}
 	mixed := map[string]result{}
+	netRaw := "" // raw text kept for SKIP-marker detection (Gate 6)
 	if *unitPath != "" {
 		data, err := os.ReadFile(*unitPath)
 		if err != nil {
@@ -111,6 +118,7 @@ func main() {
 			fatal("read %s: %v", *netPath, err)
 		}
 		net = parseBench(data)
+		netRaw = string(data)
 	}
 	if *mixedPath != "" {
 		data, err := os.ReadFile(*mixedPath)
@@ -253,14 +261,79 @@ func main() {
 		}
 	}
 
+	// Gate 6: the member-count scaling sweep (16/64/256, the last as a
+	// 16x16 hierarchy) stays byte-identical between Run and RunConcurrent
+	// and keeps a per-member throughput floor relative to the 16-member
+	// point of the same execution mode — the sweep's own small-member
+	// baseline; the 8-member benchmarks above run a different stack and
+	// harness (total order, per-round b.N scaling), so their msgs/sec is
+	// not per-member comparable. All-cast rounds are O(N²)
+	// deliveries, so per-member throughput falls superlinearly with N by
+	// design; the floors are regression bars ~3-4x under the single-core
+	// reference measurement (64: ratio ~0.012, 256: ratio ~1.3e-4), not
+	// scalability targets. The 256-member point may legitimately skip on
+	// machines under 4 cores (the benchmark bounds `make verify`'s wall
+	// time there); the gate then requires the SKIP marker in the raw
+	// output so a silently deleted benchmark still fails.
+	const scale256Skip = "--- SKIP: BenchmarkThroughputNet_256Members"
+	scalePoints := 0
+	scale256Skipped := *netPath != "" && strings.Contains(netRaw, scale256Skip)
+	scaleRatios := map[string]float64{}
+	for _, name := range sortedNames(net) {
+		if !strings.Contains(name, "_Scale_") {
+			continue
+		}
+		scalePoints++
+		if ident, ok := net[name]["identical"]; !ok {
+			fail("%s reports no identical metric", name)
+		} else if ident != 1 {
+			fail("%s determinism probe failed (identical=%.0f): Run and RunConcurrent traces diverge", name, ident)
+		}
+	}
+	if *netPath != "" {
+		if scalePoints == 0 {
+			fail("no _Scale_ network benchmarks found in %s", *netPath)
+		}
+		scaleFloors := []struct {
+			members string
+			floor   float64
+		}{{"64Members", 0.003}, {"256Members", 0.00003}}
+		for _, mode := range []string{"Seq", "Conc"} {
+			base, ok := net["BenchmarkThroughputNet_16Members_Scale_"+mode]["msgs/sec-member"]
+			if !ok || base <= 0 {
+				fail("16-member scale point (%s) missing msgs/sec-member in %s", mode, *netPath)
+				continue
+			}
+			for _, f := range scaleFloors {
+				name := "BenchmarkThroughputNet_" + f.members + "_Scale_" + mode
+				pm, ok := net[name]["msgs/sec-member"]
+				if !ok {
+					if f.members == "256Members" && scale256Skipped {
+						continue // bounded-wall-time skip on a small machine
+					}
+					fail("%s missing from %s (and no skip marker)", name, *netPath)
+					continue
+				}
+				ratio := pm / base
+				scaleRatios[f.members+"_"+mode] = ratio
+				if ratio < f.floor {
+					fail("%s per-member throughput collapsed: %.3f msgs/sec-member vs %.1f at 16 members (ratio %.6f, floor %.6f)",
+						name, pm, base, ratio, f.floor)
+				}
+			}
+		}
+	}
+
 	if *outPath != "" {
 		doc := map[string]any{
-			"pr":    6,
-			"title": "Multi-CCP dispatch: specialized control paths with profile-guided probe ranking",
+			"pr":    8,
+			"title": "Sharded cluster scheduler: 256-member netsim with hierarchical groups and tree-shaped view dissemination",
 			"date":  time.Now().Format("2006-01-02"),
 			"method": "make bench-gate: go test -run xxx -bench BenchmarkThroughput_ -benchtime 100x (alloc gate), " +
-				"-bench BenchmarkThroughputNet_ -benchtime 150x (coalescing + compression + obs-overhead gates), " +
-				"and -bench BenchmarkMixedTraffic_ -benchtime 1x (dispatch-share gate); parsed by cmd/bench-gate",
+				"-bench BenchmarkThroughputNet_ -benchtime 150x (coalescing + compression + obs-overhead + scaling gates; " +
+				"the _Scale_ points run fixed round counts and the 256-member point skips under 4 cores unless " +
+				"ENSEMBLE_SCALE_FORCE=1), and -bench BenchmarkMixedTraffic_ -benchtime 1x (dispatch-share gate); " +
+				"parsed by cmd/bench-gate",
 			"gates": map[string]any{
 				"ten_layer_allocs_op":          0,
 				"net_8members_subs_per_frame":  ">= 2",
@@ -274,6 +347,12 @@ func main() {
 				"batched_unit_benchmarks":      batchedUnit,
 				"observed_unit_benchmarks":     obsUnit,
 				"batched_8member_net_variants": netBatched8,
+				"scale_identical":              1,
+				"scale_per_member_floor_64":    0.003,
+				"scale_per_member_floor_256":   0.00003,
+				"measured_scale_ratios":        scaleRatios,
+				"scale_points":                 scalePoints,
+				"scale_256_skipped":            scale256Skipped,
 			},
 			"throughput":     unit,
 			"net_throughput": net,
@@ -292,8 +371,12 @@ func main() {
 	if failures > 0 {
 		os.Exit(1)
 	}
-	fmt.Printf("bench-gate: OK (%d ten-layer benchmarks at 0 allocs/op incl. %d observed, %d batched 8-member net runs >= 2 subs/frame, delta bytes/msg ratio %.3f, obs-ratio %.3f, interp-share ratio %.3f)\n",
-		tenLayer, obsUnit, netBatched8, bytesRatio, obsRatio, interpRatio)
+	scale256 := "measured"
+	if scale256Skipped {
+		scale256 = "skipped (<4 cores)"
+	}
+	fmt.Printf("bench-gate: OK (%d ten-layer benchmarks at 0 allocs/op incl. %d observed, %d batched 8-member net runs >= 2 subs/frame, delta bytes/msg ratio %.3f, obs-ratio %.3f, interp-share ratio %.3f, %d scale points identical, 256-member point %s)\n",
+		tenLayer, obsUnit, netBatched8, bytesRatio, obsRatio, interpRatio, scalePoints, scale256)
 }
 
 func fatal(format string, args ...any) {

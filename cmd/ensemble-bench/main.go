@@ -10,7 +10,7 @@
 //	ensemble-bench -flight flight.trace.json -metrics
 //	ensemble-bench -table 1a -cpuprofile cpu.pprof -memprofile mem.pprof
 //
-// Tables: 1a, 1b, fig6, 2a, 2b, e2e, ccp, theorems, wire, obs, all.
+// Tables: 1a, 1b, fig6, 2a, 2b, e2e, ccp, theorems, wire, obs, scale, all.
 //
 // -flight runs the standard 8-member MACH delta-batched workload with
 // the flight recorder on and writes the Chrome trace_event JSON (load
@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"runtime/pprof"
 
 	"ensemble/internal/bench"
@@ -40,7 +41,7 @@ const (
 )
 
 func main() {
-	table := flag.String("table", "", "which table to regenerate: 1a, 1b, fig6, 2a, 2b, e2e, ccp, theorems, wire, obs, all")
+	table := flag.String("table", "", "which table to regenerate: 1a, 1b, fig6, 2a, 2b, e2e, ccp, theorems, wire, obs, scale, all")
 	rounds := flag.Int("rounds", 10000, "measurement rounds per configuration (the paper uses 10,000)")
 	flight := flag.String("flight", "", "write a Chrome trace of the 8-member MACH workload to this file")
 	metrics := flag.Bool("metrics", false, "print the unified metrics snapshot of the observed workload")
@@ -144,6 +145,10 @@ func runTables(table string, rounds int) {
 		// The obs table measures the observability overhead (recorder
 		// on/off across the wire modes); like wire, it caps the rounds.
 		{"obs", func() (string, error) { return bench.ObsOverheadTable(min(rounds, 20000)) }},
+		// The scale table sweeps member counts 16/64/256 (flat, flat,
+		// hierarchical 16x16) and compares flat vs tree membership
+		// dissemination; its workload sizes are fixed internally.
+		{"scale", func() (string, error) { return bench.ScaleTable(scaleWorkers()) }},
 	}
 	ran := false
 	for _, g := range gens {
@@ -162,6 +167,19 @@ func runTables(table string, rounds int) {
 		fmt.Fprintf(os.Stderr, "ensemble-bench: unknown table %q\n", table)
 		os.Exit(2)
 	}
+}
+
+// scaleWorkers sizes the scale table's concurrent runs: the machine's
+// cores, capped at 8 (the sweep's largest useful pool).
+func scaleWorkers() int {
+	w := runtime.NumCPU()
+	if w > 8 {
+		w = 8
+	}
+	if w < 2 {
+		w = 2
+	}
+	return w
 }
 
 func fatal(err error) {

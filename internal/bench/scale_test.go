@@ -1,0 +1,54 @@
+package bench
+
+import "testing"
+
+func TestMeasureScaleSmall(t *testing.T) {
+	res, err := MeasureScale(16, 4, 31, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Fatal("16-member determinism probe failed: Run and RunConcurrent traces diverge")
+	}
+	if res.Delivered < 16*16*4 {
+		t.Fatalf("delivered %d, want >= %d", res.Delivered, 16*16*4)
+	}
+	if res.PerMember <= 0 {
+		t.Fatal("per-member throughput not computed")
+	}
+}
+
+func TestMeasureHierScaleSmall(t *testing.T) {
+	res, err := MeasureHierScale(4, 4, 2, 31, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Fatal("hier determinism probe failed: Run and RunConcurrent traces diverge")
+	}
+	if res.Groups != 4 || res.Members != 16 {
+		t.Fatalf("wrong shape: %d members in %d groups", res.Members, res.Groups)
+	}
+	if res.Delivered < 16*16*2 {
+		t.Fatalf("delivered %d, want >= %d", res.Delivered, 16*16*2)
+	}
+}
+
+func TestMeasureViewChangeFlatVsTree(t *testing.T) {
+	flat, err := MeasureViewChange(16, -1, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := MeasureViewChange(16, 0, 37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vc := range []ViewChange{flat, tree} {
+		if vc.LatencyVirtual <= 0 {
+			t.Fatalf("view change latency not measured: %+v", vc)
+		}
+		if vc.Packets <= 0 {
+			t.Fatalf("view change wire cost not measured: %+v", vc)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package core
+
+import (
+	"testing"
+
+	"ensemble/internal/event"
+	"ensemble/internal/layer"
+	"ensemble/internal/layers"
+	"ensemble/internal/netsim"
+	"ensemble/internal/stack"
+)
+
+// treeGroup builds an n-member cluster group with the membership
+// dissemination topology pinned by fanout (-1 flat, 0 auto, k>0 k-ary
+// tree) and per-member view recording.
+func treeGroup(t *testing.T, n int, seed int64, fanout int) (*ClusterGroup, [][]*event.View) {
+	t.Helper()
+	views := make([][]*event.View, n)
+	g, err := NewTunedClusterGroup(n, netsim.Profile{Latency: 50_000}, seed, layers.StackVsync(), stack.Func,
+		func(rank int) Handlers {
+			return Handlers{OnView: func(v *event.View) { views[rank] = append(views[rank], v) }}
+		},
+		func(c *layer.Config) { c.MembFanout = fanout })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, views
+}
+
+// assertAgreedView checks every survivor installed a final view of want
+// members not containing gone, and that all survivors agree on it.
+func assertAgreedView(t *testing.T, g *ClusterGroup, views [][]*event.View, gone int, want int) {
+	t.Helper()
+	var ref *event.View
+	for r := range g.Members {
+		if r == gone {
+			continue
+		}
+		if len(views[r]) == 0 {
+			t.Fatalf("member %d never installed a new view", r)
+		}
+		last := views[r][len(views[r])-1]
+		if last.N() != want {
+			t.Fatalf("member %d last view has %d members, want %d", r, last.N(), want)
+		}
+		if last.RankOf(g.Members[gone].addr) != -1 {
+			t.Fatalf("member %d last view still contains the departed member", r)
+		}
+		if ref == nil {
+			ref = last
+		} else if last.ID != ref.ID {
+			t.Fatalf("member %d installed view %v, others %v", r, last.ID, ref.ID)
+		}
+	}
+}
+
+// TestTreeViewChangeOnLeave16: at 16 members the auto topology is a
+// 4-ary tree; a graceful leave must still install one agreed 15-member
+// view at every survivor, with the flush and the view announcement
+// travelling tree edges instead of the coordinator's O(N) direct load.
+func TestTreeViewChangeOnLeave16(t *testing.T) {
+	const n, leaver = 16, 3
+	g, views := treeGroup(t, n, 41, 0)
+	exited := false
+	g.Members[leaver].h.OnExit = func() { exited = true }
+	g.Run(int64(1e9))
+	g.Do(leaver, 0, func() { g.Members[leaver].Leave() })
+	g.Run(int64(30e9))
+
+	if !exited {
+		t.Fatal("leaving member never got OnExit")
+	}
+	assertAgreedView(t, g, views, leaver, n-1)
+}
+
+// TestTreeViewChangeOnCrash16: a crash mid-tree (rank 5 is an interior
+// position's child) is detected by the suspect layer and flushed out
+// over the tree; all 15 survivors agree on the new view.
+func TestTreeViewChangeOnCrash16(t *testing.T) {
+	const n, crashed = 16, 5
+	g, views := treeGroup(t, n, 43, 0)
+	g.Run(int64(1e9))
+	g.Do(crashed, 0, func() { g.Members[crashed].Shutdown() })
+	g.Run(int64(40e9))
+	assertAgreedView(t, g, views, crashed, n-1)
+}
+
+// TestTreeForcedSmall: MembFanout=2 at 6 members forces a binary tree
+// with two interior levels even below the auto threshold — the deepest
+// relay path the larger configurations exercise, at a size where the
+// test runs in milliseconds.
+func TestTreeForcedSmall(t *testing.T) {
+	const n, leaver = 6, 5
+	g, views := treeGroup(t, n, 47, 2)
+	g.Run(int64(1e9))
+	g.Do(leaver, 0, func() { g.Members[leaver].Leave() })
+	g.Run(int64(30e9))
+	assertAgreedView(t, g, views, leaver, n-1)
+}
+
+// TestTreeForcedFlat16: MembFanout=-1 keeps the flat protocol at 16
+// members — the baseline the view-change benchmarks compare the tree
+// against must itself stay correct at that size.
+func TestTreeForcedFlat16(t *testing.T) {
+	const n, leaver = 16, 3
+	g, views := treeGroup(t, n, 53, -1)
+	g.Run(int64(1e9))
+	g.Do(leaver, 0, func() { g.Members[leaver].Leave() })
+	g.Run(int64(30e9))
+	assertAgreedView(t, g, views, leaver, n-1)
+}
+
+// TestTreeTrafficContinuesAfterViewChange: casts keep flowing in the
+// post-change view under the tree topology, and casts submitted during
+// the flush are not lost (virtual synchrony is topology-independent).
+func TestTreeTrafficContinuesAfterViewChange(t *testing.T) {
+	const n, crashed = 16, 7
+	got := map[string]int{}
+	g, err := NewClusterGroup(n, netsim.Profile{Latency: 50_000}, 59, layers.StackVsync(), stack.Func,
+		func(rank int) Handlers {
+			if rank != 0 {
+				return Handlers{}
+			}
+			return Handlers{OnCast: func(origin int, payload []byte) { got[string(payload)]++ }}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run(int64(1e9))
+	g.Do(crashed, 0, func() { g.Members[crashed].Shutdown() })
+	// Cast from rank 1 while the failure is detected and flushed.
+	g.Do(1, int64(500e6), func() { g.Members[1].Cast([]byte("during")) })
+	g.Run(int64(40e9))
+	if g.Members[1].View().N() != n-1 {
+		t.Fatalf("member 1 still in view of %d", g.Members[1].View().N())
+	}
+	g.Do(1, 0, func() { g.Members[1].Cast([]byte("after")) })
+	g.Run(int64(10e9))
+	if got["during"] != 1 {
+		t.Fatalf("cast during the flush delivered %d times at member 0, want 1", got["during"])
+	}
+	if got["after"] != 1 {
+		t.Fatalf("post-view-change cast delivered %d times at member 0, want 1", got["after"])
+	}
+}

@@ -42,8 +42,20 @@ type membershipState struct {
 	// changes the vectors, so the coordinator re-runs rounds until a
 	// consistent sample appears, ignoring stale replies.
 	round int64
-	// vectors[m] is the receive vector member m reported this round.
+	// vectors[m] is the receive vector member m reported this round
+	// (flat mode only; tree mode folds vectors in agg instead).
 	vectors [][]int64
+
+	// fanout selects the dissemination topology: 0 is the flat
+	// coordinator-direct protocol, k > 0 a k-ary tree over the survivor
+	// ranks (see membership_tree.go).
+	fanout int
+	// agg is the current flush round's tree fold.
+	agg aggRound
+	// treeSeenSeq/treeSeenRound dedup down-tree flush rounds.
+	treeSeenSeq, treeSeenRound int64
+	// viewSent dedups tree view announcements (sent or installed).
+	viewSent int64
 }
 
 // PendingApp is an application message buffered during a view change,
@@ -114,6 +126,8 @@ const (
 	membTagFlushOk
 	membTagView
 	membTagLeave
+	membTagFlushAgg
+	membTagFlushTree
 )
 
 func init() {
@@ -124,6 +138,7 @@ func init() {
 			suspects: make([]bool, n),
 			leaving:  make([]bool, n),
 			vectors:  make([][]int64, n),
+			fanout:   resolveMembFanout(cfg),
 		}
 	})
 	transport.RegisterCodec(transport.HeaderCodec{
@@ -159,6 +174,36 @@ func init() {
 			case membLeave:
 				w.Byte(membTagLeave)
 				w.Varint(int64(h.Rank))
+			case membFlushAgg:
+				w.Byte(membTagFlushAgg)
+				w.Varint(h.ViewSeq)
+				w.Varint(h.Round)
+				w.Varint(int64(h.Count))
+				if h.Mismatch {
+					w.Byte(1)
+				} else {
+					w.Byte(0)
+				}
+				w.Uvarint(uint64(len(h.Vector)))
+				for _, v := range h.Vector {
+					w.Varint(v)
+				}
+				w.Uvarint(uint64(len(h.Max)))
+				for _, v := range h.Max {
+					w.Varint(v)
+				}
+			case membFlushTree:
+				w.Byte(membTagFlushTree)
+				w.Varint(h.ViewSeq)
+				w.Varint(h.Round)
+				w.Uvarint(uint64(len(h.Frontier)))
+				for _, v := range h.Frontier {
+					w.Varint(v)
+				}
+				w.Uvarint(uint64(len(h.Excluded)))
+				for _, r := range h.Excluded {
+					w.Varint(int64(r))
+				}
 			default:
 				panic(fmt.Sprintf("membership: unknown header %T", h))
 			}
@@ -202,6 +247,46 @@ func init() {
 				return membView{ViewSeq: seq, Members: ms}, nil
 			case membTagLeave:
 				return membLeave{Rank: int32(r.Varint())}, nil
+			case membTagFlushAgg:
+				seq, round, count := r.Varint(), r.Varint(), r.Varint()
+				mismatch := r.Byte() != 0
+				n := r.Uvarint()
+				if n > 1<<16 {
+					return nil, transport.ErrBadWire("membership agg vector length %d", n)
+				}
+				vec := make([]int64, n)
+				for i := range vec {
+					vec[i] = r.Varint()
+				}
+				m := r.Uvarint()
+				if m > 1<<16 {
+					return nil, transport.ErrBadWire("membership agg max length %d", m)
+				}
+				max := make([]int64, m)
+				for i := range max {
+					max[i] = r.Varint()
+				}
+				return membFlushAgg{ViewSeq: seq, Round: round, Count: int32(count),
+					Mismatch: mismatch, Vector: vec, Max: max}, nil
+			case membTagFlushTree:
+				seq, round := r.Varint(), r.Varint()
+				n := r.Uvarint()
+				if n > 1<<16 {
+					return nil, transport.ErrBadWire("membership tree frontier length %d", n)
+				}
+				fr := make([]int64, n)
+				for i := range fr {
+					fr[i] = r.Varint()
+				}
+				m := r.Uvarint()
+				if m > 1<<16 {
+					return nil, transport.ErrBadWire("membership tree excluded length %d", m)
+				}
+				exc := make([]int32, m)
+				for i := range exc {
+					exc[i] = int32(r.Varint())
+				}
+				return membFlushTree{ViewSeq: seq, Round: round, Frontier: fr, Excluded: exc}, nil
 			default:
 				return nil, transport.ErrBadWire("membership tag %d", tag)
 			}
@@ -320,6 +405,21 @@ func (s *membershipState) HandleUp(ev *event.Event, snk layer.Sink) {
 		case membFlushOk:
 			s.handleFlushOk(ev.Peer, h, snk)
 			event.Free(ev)
+		case membFlushTree:
+			if s.fanout > 0 {
+				s.handleFlushTree(ev.Peer, h, snk)
+			}
+			event.Free(ev)
+		case membFlushAgg:
+			if s.fanout > 0 {
+				s.handleFlushAgg(ev.Peer, h, snk)
+			}
+			event.Free(ev)
+		case membView:
+			if s.fanout > 0 {
+				s.handleViewSend(ev.Peer, h, snk)
+			}
+			event.Free(ev)
 		default:
 			panic(fmt.Sprintf("membership: unexpected up send header %T", h))
 		}
@@ -370,6 +470,10 @@ func (s *membershipState) handleExclusion(ranks []int, leave bool, snk layer.Sin
 // castFlush starts a fresh flush round: stale replies are recognized by
 // their round number.
 func (s *membershipState) castFlush(snk layer.Sink) {
+	if s.fanout > 0 {
+		s.castFlushTree(snk)
+		return
+	}
 	// The frontier is the element-wise max over last round's reports.
 	var frontier []int64
 	for _, vec := range s.vectors {
@@ -398,16 +502,24 @@ func (s *membershipState) castFlush(snk layer.Sink) {
 // EBlockOk reply arrives synchronously within the same scheduling run,
 // so the round recorded here is the round the reply belongs to.
 func (s *membershipState) handleFlush(h membFlush, snk layer.Sink) {
-	s.blocked = true
 	s.flushing = true
 	s.proposedSeq = h.ViewSeq
 	s.round = h.Round
-	if len(h.Frontier) == s.view.N() {
+	s.applyFlush(h.Frontier, snk)
+}
+
+// applyFlush is the local half of a flush announcement, shared by the
+// flat cast path and the tree path: block the application, hand the
+// repair frontier to the reliability layer, and harvest our receive
+// vector through the EBlock/EBlockOk round trip.
+func (s *membershipState) applyFlush(frontier []int64, snk layer.Sink) {
+	s.blocked = true
+	if len(frontier) == s.view.N() {
 		// Let the reliability layer repair any gap the group has already
 		// seen past.
 		ack := event.Alloc()
 		ack.Dir, ack.Type = event.Dn, event.EAck
-		ack.Stability = append([]int64(nil), h.Frontier...)
+		ack.Stability = append([]int64(nil), frontier...)
 		snk.PassDn(ack)
 	}
 	if !s.appNotified {
@@ -426,6 +538,12 @@ func (s *membershipState) handleBlockOk(ev *event.Event, snk layer.Sink) {
 	vec := append([]int64(nil), ev.Stability...)
 	event.Free(ev)
 	if !s.flushing {
+		return
+	}
+	if s.fanout > 0 {
+		// Tree mode: our vector enters the local fold instead of going
+		// straight to the coordinator.
+		s.aggRecordOwn(vec, snk)
 		return
 	}
 	if s.iAmCoord() {
@@ -473,15 +591,27 @@ func (s *membershipState) recordVector(from int, vec []int64, snk layer.Sink) {
 			}
 		}
 	}
+	s.announceView(snk)
+}
+
+// announceView builds the agreed next view from the current exclusion
+// books and disseminates it: a single cast in flat mode, tree sends
+// plus direct sends to the excluded in tree mode.
+func (s *membershipState) announceView(snk layer.Sink) {
 	var members []event.Addr
 	for r := 0; r < s.view.N(); r++ {
 		if !s.excluded(r) {
 			members = append(members, s.view.Members[r])
 		}
 	}
+	h := membView{ViewSeq: s.proposedSeq, Members: members}
+	if s.fanout > 0 {
+		s.sendTreeView(h, snk)
+		return
+	}
 	v := event.Alloc()
 	v.Dir, v.Type = event.Dn, event.ECast
-	v.Msg.Push(membView{ViewSeq: s.proposedSeq, Members: members})
+	v.Msg.Push(h)
 	snk.PassDn(v)
 }
 

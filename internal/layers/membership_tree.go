@@ -1,0 +1,433 @@
+package layers
+
+import (
+	"fmt"
+
+	"ensemble/internal/event"
+	"ensemble/internal/layer"
+)
+
+// Tree-shaped dissemination for the membership layer.
+//
+// The flat protocol concentrates a view change on the coordinator: it
+// casts the flush, then receives one receive-vector report per survivor
+// — O(N) messages of O(N) size into one member, O(N^2) coordinator
+// state. At 16 members that is noise; at 256 it is the protocol's
+// scaling wall. In tree mode the same flush travels a k-ary tree laid
+// over the survivor ranks: the coordinator is the root, flush rounds
+// fan out along tree edges, and receive vectors come back *aggregated*
+// — each interior node folds its children's reports into one, so every
+// member sends and receives O(k) membership messages per round and the
+// root decides from k aggregates instead of N-1 vectors. View
+// announcements travel the same tree. The agreement condition is
+// unchanged: vector equality on surviving origins is transitive, so
+// pairwise parent/child comparison up the tree is exactly the flat
+// protocol's all-pairs check.
+//
+// The tree's shape is derived from the *coordinator's* exclusion list,
+// carried in every down-message — never from a node's own suspicion
+// books, which may transiently differ. Local books still gate
+// authority: the implied root (lowest rank the message does not
+// exclude) must be an authorized coordinator by the receiver's own
+// books, the same defense the flat protocol applies to flush casts,
+// and the direct sender must be the receiver's computed tree parent.
+//
+// Partition merges still announce the adopted view with a cast
+// (HandleDn, EMergeRequest): a heal is a discontinuity between two
+// trees, and no single tree spans both sides.
+
+// treeThreshold is the view size at which MembFanout == 0 switches
+// from the flat coordinator-direct protocol to a tree of
+// treeDefaultFanout.
+const (
+	treeThreshold     = 16
+	treeDefaultFanout = 4
+)
+
+// resolveMembFanout turns the config knob into the state's topology:
+// 0 means flat, k > 0 means a k-ary tree.
+func resolveMembFanout(cfg layer.Config) int {
+	switch {
+	case cfg.MembFanout < 0:
+		return 0
+	case cfg.MembFanout > 0:
+		return cfg.MembFanout
+	case cfg.View.N() >= treeThreshold:
+		return treeDefaultFanout
+	default:
+		return 0
+	}
+}
+
+// aggRound is one flush round's tree state: the round's survivor set
+// (as dictated by the coordinator), this node's position in it, and
+// the partially folded subtree report.
+type aggRound struct {
+	surv     []int  // survivor ranks, ascending; position i's children are k*i+1..k*i+k
+	children []int  // this node's direct-child ranks
+	parent   int    // this node's parent rank; -1 at the root
+	from     []bool // which children already reported, indexed by rank
+	ownIn    bool
+	own      []int64 // this node's receive vector
+	max      []int64 // element-wise max over the subtree so far
+	count    int     // members folded into the subtree so far (incl. self)
+	mismatch bool
+}
+
+// survivorRanks lists the ranks not excluded by this node's own books,
+// ascending — what the coordinator uses to lay out its tree.
+func (s *membershipState) survivorRanks() []int {
+	var out []int
+	for r := 0; r < s.view.N(); r++ {
+		if !s.excluded(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// excludedRanks is the complement, in wire form.
+func (s *membershipState) excludedRanks() []int32 {
+	var out []int32
+	for r := 0; r < s.view.N(); r++ {
+		if s.excluded(r) {
+			out = append(out, int32(r))
+		}
+	}
+	return out
+}
+
+func treePos(surv []int, rank int) int {
+	for p, r := range surv {
+		if r == rank {
+			return p
+		}
+	}
+	return -1
+}
+
+func (s *membershipState) treeChildrenIn(surv []int, rank int) []int {
+	p := treePos(surv, rank)
+	if p < 0 {
+		return nil
+	}
+	var out []int
+	for c := s.fanout*p + 1; c <= s.fanout*p+s.fanout && c < len(surv); c++ {
+		out = append(out, surv[c])
+	}
+	return out
+}
+
+func (s *membershipState) treeParentIn(surv []int, rank int) int {
+	p := treePos(surv, rank)
+	if p <= 0 {
+		return -1
+	}
+	return surv[(p-1)/s.fanout]
+}
+
+func (s *membershipState) rankOfAddr(a event.Addr) int {
+	for r, m := range s.view.Members {
+		if m == a {
+			return r
+		}
+	}
+	return -1
+}
+
+// startAggRound resets the fold for a fresh round over the given
+// survivor set. It must run before the EBlock goes down: the EBlockOk
+// reply arrives synchronously and lands in this round's fold.
+func (s *membershipState) startAggRound(surv []int) {
+	s.agg = aggRound{
+		surv:     surv,
+		children: s.treeChildrenIn(surv, s.view.Rank),
+		parent:   s.treeParentIn(surv, s.view.Rank),
+		from:     make([]bool, s.view.N()),
+	}
+}
+
+// castFlushTree is castFlush in tree mode: the root opens a new round,
+// hands it to its direct children, and blocks itself. The frontier is
+// the element-wise max the previous round's aggregates reported — the
+// same repair hint the flat protocol distills from its vector table.
+func (s *membershipState) castFlushTree(snk layer.Sink) {
+	frontier := append([]int64(nil), s.agg.max...)
+	s.round++
+	excluded := s.excludedRanks()
+	s.startAggRound(s.survivorRanks())
+	for _, c := range s.agg.children {
+		f := event.Alloc()
+		f.Dir, f.Type, f.Peer = event.Dn, event.ESend, c
+		f.Msg.Push(membFlushTree{ViewSeq: s.proposedSeq, Round: s.round, Frontier: frontier, Excluded: excluded})
+		snk.PassDn(f)
+	}
+	s.applyFlush(frontier, snk)
+}
+
+// handleFlushTree is a relay (or leaf) receiving a flush round from its
+// tree parent: validate, forward to the subtree, then run the local
+// flush exactly as the flat protocol would.
+func (s *membershipState) handleFlushTree(from int, h membFlushTree, snk layer.Sink) {
+	// Drop stale or duplicate rounds: each re-drive bumps the round.
+	if h.ViewSeq < s.treeSeenSeq || (h.ViewSeq == s.treeSeenSeq && h.Round <= s.treeSeenRound) {
+		return
+	}
+	exc := make([]bool, s.view.N())
+	for _, r := range h.Excluded {
+		if int(r) < 0 || int(r) >= s.view.N() {
+			return
+		}
+		exc[r] = true
+	}
+	if exc[s.view.Rank] {
+		return // not part of this tree
+	}
+	// The implied root must be an authorized coordinator by our own
+	// books, and the direct sender must be our parent in the tree the
+	// message defines.
+	root := -1
+	var surv []int
+	for r := 0; r < s.view.N(); r++ {
+		if !exc[r] {
+			if root < 0 {
+				root = r
+			}
+			surv = append(surv, r)
+		}
+	}
+	if root < 0 || !s.authorized(root) {
+		return
+	}
+	if from != s.treeParentIn(surv, s.view.Rank) {
+		return
+	}
+	s.treeSeenSeq, s.treeSeenRound = h.ViewSeq, h.Round
+	s.flushing = true
+	s.proposedSeq, s.round = h.ViewSeq, h.Round
+	s.startAggRound(surv)
+	for _, c := range s.agg.children {
+		f := event.Alloc()
+		f.Dir, f.Type, f.Peer = event.Dn, event.ESend, c
+		f.Msg.Push(membFlushTree{ViewSeq: h.ViewSeq, Round: h.Round,
+			Frontier: append([]int64(nil), h.Frontier...),
+			Excluded: append([]int32(nil), h.Excluded...)})
+		snk.PassDn(f)
+	}
+	s.applyFlush(h.Frontier, snk)
+}
+
+// aggRecordOwn folds this node's own receive vector (from the
+// synchronous EBlockOk) into the round.
+func (s *membershipState) aggRecordOwn(vec []int64, snk layer.Sink) {
+	if !s.flushing || s.agg.from == nil || s.agg.ownIn {
+		return
+	}
+	s.agg.ownIn = true
+	s.agg.own = vec
+	s.agg.count++
+	s.aggMergeMax(vec)
+	s.tryCompleteAgg(snk)
+}
+
+// handleFlushAgg folds a direct child's subtree report into the round.
+func (s *membershipState) handleFlushAgg(from int, h membFlushAgg, snk layer.Sink) {
+	if !s.flushing || h.ViewSeq != s.proposedSeq || h.Round != s.round || s.agg.from == nil {
+		return
+	}
+	child := false
+	for _, c := range s.agg.children {
+		if c == from {
+			child = true
+		}
+	}
+	if !child || from >= len(s.agg.from) || s.agg.from[from] {
+		return
+	}
+	s.agg.from[from] = true
+	s.agg.count += int(h.Count)
+	s.agg.mismatch = s.agg.mismatch || h.Mismatch || !s.vectorsAgree(s.agg.own, h.Vector)
+	s.aggMergeMax(h.Max)
+	s.tryCompleteAgg(snk)
+}
+
+func (s *membershipState) aggMergeMax(vec []int64) {
+	if s.agg.max == nil {
+		s.agg.max = make([]int64, len(vec))
+	}
+	for i, v := range vec {
+		if i < len(s.agg.max) && v > s.agg.max[i] {
+			s.agg.max[i] = v
+		}
+	}
+}
+
+// vectorsAgree compares two receive vectors on this round's surviving
+// origins only — the flat protocol's stability condition, applied
+// pairwise up the tree. Equality is transitive, so the root's verdict
+// covers every pair of survivors.
+func (s *membershipState) vectorsAgree(a, b []int64) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	for _, o := range s.agg.surv {
+		if o >= len(a) || o >= len(b) || a[o] != b[o] {
+			return false
+		}
+	}
+	return true
+}
+
+// tryCompleteAgg fires once this node's own vector and all its direct
+// children's reports are in: interior nodes pass the fold to their
+// parent; the root installs the view if the whole survivor set agreed,
+// and otherwise waits for its timer to re-drive a fresh round.
+func (s *membershipState) tryCompleteAgg(snk layer.Sink) {
+	if !s.agg.ownIn {
+		return
+	}
+	for _, c := range s.agg.children {
+		if !s.agg.from[c] {
+			return
+		}
+	}
+	if s.agg.parent >= 0 {
+		ok := event.Alloc()
+		ok.Dir, ok.Type, ok.Peer = event.Dn, event.ESend, s.agg.parent
+		ok.Msg.Push(membFlushAgg{ViewSeq: s.proposedSeq, Round: s.round,
+			Count: int32(s.agg.count), Mismatch: s.agg.mismatch,
+			Vector: append([]int64(nil), s.agg.own...),
+			Max:    append([]int64(nil), s.agg.max...)})
+		snk.PassDn(ok)
+		return
+	}
+	if s.agg.mismatch || s.agg.count != len(s.agg.surv) {
+		return
+	}
+	s.announceView(snk)
+}
+
+// sendTreeView disseminates an agreed view from the root: down the
+// tree laid over the NEW member list (the new view's rank order is the
+// survivor order, so flush tree and view tree coincide), directly to
+// each excluded member (expelled members and graceful leavers must
+// still learn the outcome), and finally installs it locally. The
+// relayed sends leave under the old epoch — the stack rebuild that
+// EView triggers is deferred to the end of the scheduling run.
+func (s *membershipState) sendTreeView(h membView, snk layer.Sink) {
+	s.viewSent = h.ViewSeq
+	for _, peer := range s.viewTreeChildren(h.Members) {
+		s.sendView(peer, h, snk)
+	}
+	for r := 0; r < s.view.N(); r++ {
+		if s.excluded(r) && r != s.view.Rank {
+			s.sendView(r, h, snk)
+		}
+	}
+	s.handleView(h, snk)
+}
+
+func (s *membershipState) sendView(peer int, h membView, snk layer.Sink) {
+	v := event.Alloc()
+	v.Dir, v.Type, v.Peer = event.Dn, event.ESend, peer
+	v.Msg.Push(membView{ViewSeq: h.ViewSeq, Members: append([]event.Addr(nil), h.Members...)})
+	snk.PassDn(v)
+}
+
+// viewTreeChildren maps this node's direct children in the tree over
+// the new member list back to current-view ranks.
+func (s *membershipState) viewTreeChildren(members []event.Addr) []int {
+	my := s.view.Members[s.view.Rank]
+	pos := -1
+	for i, m := range members {
+		if m == my {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return nil
+	}
+	var out []int
+	for c := s.fanout*pos + 1; c <= s.fanout*pos+s.fanout && c < len(members); c++ {
+		if r := s.rankOfAddr(members[c]); r >= 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// handleViewSend is a member receiving a view announcement over a tree
+// edge (or, for excluded members, directly from the root): validate
+// the sender against the tree the member list defines, relay to the
+// subtree, then install.
+func (s *membershipState) handleViewSend(from int, h membView, snk layer.Sink) {
+	if h.ViewSeq <= s.viewSent || len(h.Members) == 0 {
+		return
+	}
+	rootRank := s.rankOfAddr(h.Members[0])
+	if rootRank < 0 || !s.authorized(rootRank) {
+		return
+	}
+	my := s.view.Members[s.view.Rank]
+	pos := -1
+	for i, m := range h.Members {
+		if m == my {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		// We are excluded from the new view; only the root says so.
+		if from != rootRank {
+			return
+		}
+		s.viewSent = h.ViewSeq
+		s.handleView(h, snk)
+		return
+	}
+	if pos == 0 || from != s.rankOfAddr(h.Members[(pos-1)/s.fanout]) {
+		return
+	}
+	s.viewSent = h.ViewSeq
+	for _, peer := range s.viewTreeChildren(h.Members) {
+		s.sendView(peer, h, snk)
+	}
+	s.handleView(h, snk)
+}
+
+// membership header variants for tree mode.
+type (
+	// membFlushTree carries a flush round down the dissemination tree.
+	// Excluded is the coordinator's exclusion list; every receiver
+	// derives the identical tree from it.
+	membFlushTree struct {
+		ViewSeq  int64
+		Round    int64
+		Frontier []int64
+		Excluded []int32
+	}
+	// membFlushAgg reports a whole subtree's flush replies up one tree
+	// edge: how many members it folds (Count), a representative receive
+	// vector (the sender's own), the element-wise max over the subtree
+	// (the next round's repair frontier), and whether any pair within
+	// the subtree disagreed on surviving origins.
+	membFlushAgg struct {
+		ViewSeq  int64
+		Round    int64
+		Count    int32
+		Mismatch bool
+		Vector   []int64
+		Max      []int64
+	}
+)
+
+func (membFlushTree) Layer() string { return Membership }
+func (membFlushAgg) Layer() string  { return Membership }
+
+func (h membFlushTree) HdrString() string {
+	return fmt.Sprintf("membership:FlushTree(%d.%d)", h.ViewSeq, h.Round)
+}
+func (h membFlushAgg) HdrString() string {
+	return fmt.Sprintf("membership:FlushAgg(%d.%d,n=%d)", h.ViewSeq, h.Round, h.Count)
+}

@@ -2,50 +2,65 @@ package netsim
 
 // The N-member concurrent harness. A Cluster wraps one Sim and one Net
 // and grows the single-goroutine lockstep simulation into per-member
-// execution with a deterministic central scheduler:
+// execution with a deterministic sharded scheduler:
 //
-//   - The virtual-time heap stays authoritative: the scheduler (and only
-//     the scheduler) pops events, in (time, insertion) order.
+//   - Endpoints are partitioned into shards (contiguous blocks, so
+//     hierarchical groups land shard-local); each shard owns an event
+//     heap, a time floor, a seeded RNG, and a trace buffer (see
+//     shard.go). The per-shard heaps are authoritative: only the
+//     scheduler phases pop events, in (time, insertion) order.
 //   - Each member owns an Endpoint: a Network+Clock facade whose
 //     callbacks run on that member's goroutine only.
-//   - Execution alternates three phases per batch. Route: the scheduler
-//     pops every event in the batch window and appends packets and timer
-//     callbacks to the owning member's mailbox, in pop order. Drain:
-//     each member drains its mailbox — sequentially in Run, on one
-//     goroutine per member in RunConcurrent — recording the sends,
-//     casts, timer registrations, and detaches it produces into a
-//     member-local effect log instead of touching the Net. Commit: the
-//     scheduler replays the effect logs in member order, drawing from
-//     the shared RNG and pushing onto the shared heap.
+//   - Execution alternates three phases per round, each parallel over
+//     a work-stealing pool in RunConcurrent and inline in Run. Commit:
+//     every shard replays its members' effect logs in canonical member
+//     order, drawing from the shard RNG and pushing deliveries onto
+//     shard heaps — cross-shard deliveries queue in per-(source,
+//     target) outboxes, ingested at the barrier in canonical order.
+//     Route: every shard pops its batch window, appending packets and
+//     timer callbacks to owning members' mailboxes in pop order.
+//     Drain: members with pending mail drain it — the only phase where
+//     member code runs — recording sends, casts, timers, and detaches
+//     into member-local effect logs instead of touching the Net.
 //
-// Because the RNG is only consulted during route/commit (never during
-// drain) and effects are committed in canonical member order regardless
-// of which goroutine produced them first, a given seed yields one
-// canonical delivery order: Run and RunConcurrent produce byte-identical
-// delivery traces. The concurrent mode buys no *reordering* — it buys
-// real parallel execution of the member stacks between barriers, which
-// is what puts the event/buffer pool ownership rules in front of the
-// race detector.
+// Because RNGs are only consulted during commit/route (never during
+// drain), every draw comes from the destination-independent shard of
+// the *emitting* member, and all cross-shard hand-off happens at
+// barriers in canonical order, a given (seed, shard count) yields one
+// canonical delivery order: Run and RunConcurrent produce
+// byte-identical delivery traces. The concurrent mode buys no
+// *reordering* — it buys real parallel execution of member stacks and
+// shard scheduling between barriers, which is what makes routing and
+// drains scale with cores instead of serializing on one global heap.
 
 import (
 	"container/heap"
 	"fmt"
-	"hash/crc32"
-	"sync"
 
 	"ensemble/internal/event"
-	"ensemble/internal/transport"
+	"ensemble/internal/obs"
 )
 
 // Cluster is an N-member deterministic network simulation with
 // per-member mailboxes. Build one with NewCluster, create one Endpoint
-// per member, then drive it with Run or RunConcurrent.
+// per member, optionally SetShards, then drive it with Run or
+// RunConcurrent.
 type Cluster struct {
-	sim *Sim
-	net *Net
+	sim  *Sim
+	net  *Net
+	seed int64
 
 	eps    []*Endpoint
 	byAddr map[event.Addr]int
+
+	// nshards is the requested shard count; shards is the frozen
+	// partition, built at the first run (or the first scheduling call).
+	nshards int
+	shards  []*shard
+	frozen  bool
+	// pending buffers Enqueue work submitted before the shard partition
+	// froze (workload setup typically precedes SetShards).
+	pending []shardEvent
 
 	// quantum widens the batch window: all events within quantum of the
 	// earliest pending time are routed before the members run. Zero
@@ -53,25 +68,18 @@ type Cluster struct {
 	quantum int64
 
 	// adaptive scales quantum between qMin and qMax from observed
-	// per-batch routed-event counts (see EnableAdaptiveQuantum).
+	// per-shard routed-event densities (see EnableAdaptiveQuantum).
 	adaptive   bool
 	qMin, qMax int64
 
-	// base is the virtual time effects are committed against: the
-	// emitting event's time, so a member's send leaves at the time the
-	// member handled the packet, not at the batch boundary.
-	base int64
-
 	tracing bool
-	trace   []byte
-
 	running bool
 }
 
 // NewCluster builds a cluster simulation with a seeded RNG and the
 // given link profile.
 func NewCluster(seed int64, profile Profile) *Cluster {
-	c := &Cluster{sim: NewSim(seed), byAddr: map[event.Addr]int{}}
+	c := &Cluster{sim: NewSim(seed), seed: seed, byAddr: map[event.Addr]int{}, nshards: 1}
 	c.net = NewNet(c.sim, profile)
 	c.net.route = c.route
 	return c
@@ -84,6 +92,77 @@ func (c *Cluster) Sim() *Sim { return c.sim }
 // Net exposes the underlying network (for Stats, Partition, SetFilter).
 func (c *Cluster) Net() *Net { return c.net }
 
+// SetShards sets how many scheduler shards the endpoints are split
+// into (contiguous blocks in endpoint-creation order). One shard — the
+// default — reproduces the unsharded global-barrier schedule exactly.
+// More shards change the canonical schedule (each shard draws from its
+// own RNG stream) but keep it a pure function of (seed, shard count):
+// Run and RunConcurrent remain byte-identical to each other. Must be
+// called before the first run; the partition freezes at first use.
+func (c *Cluster) SetShards(n int) {
+	if c.frozen {
+		panic("netsim: SetShards after the shard partition froze (first run)")
+	}
+	if n < 1 {
+		n = 1
+	}
+	c.nshards = n
+}
+
+// Shards reports the effective shard count (after clamping to the
+// endpoint count once frozen).
+func (c *Cluster) Shards() int {
+	if c.frozen {
+		return len(c.shards)
+	}
+	return c.nshards
+}
+
+// freeze builds the shard partition: nshards contiguous blocks of the
+// endpoint order (clamped so every shard owns at least one endpoint).
+// Endpoints created after the freeze (a late-joining group, say) are
+// assigned round-robin by index in NewEndpoint.
+func (c *Cluster) freeze() {
+	if c.frozen {
+		return
+	}
+	c.frozen = true
+	k := c.nshards
+	if k > len(c.eps) {
+		k = len(c.eps)
+	}
+	if k < 1 {
+		k = 1
+	}
+	c.shards = make([]*shard, k)
+	for i := range c.shards {
+		c.shards[i] = newShard(c, i, k)
+	}
+	for i, ep := range c.eps {
+		s := c.shards[i*k/len(c.eps)]
+		ep.shard = s
+		s.eps = append(s.eps, ep)
+	}
+	for _, ev := range c.pending {
+		c.eps[ev.idx].shard.push(ev)
+	}
+	c.pending = nil
+}
+
+// RegisterShardMetrics adopts the per-shard scheduler counters into reg
+// under "netsim/shard<k>/" scopes (routed events, committed effects,
+// cross-shard transfers in/out). It freezes the shard partition.
+func (c *Cluster) RegisterShardMetrics(reg *obs.Registry) {
+	c.freeze()
+	for _, s := range c.shards {
+		sc := reg.Scope(fmt.Sprintf("netsim/shard%d/", s.id))
+		sc.Adopt("routed", &s.ctrRouted)
+		sc.Adopt("committed", &s.ctrCommitted)
+		sc.Adopt("xshard_in", &s.ctrXIn)
+		sc.Adopt("xshard_out", &s.ctrXOut)
+	}
+}
+
 // SetQuantum sets the batch window in nanoseconds: events within
 // quantum of the earliest pending time are routed together, so members
 // whose deliveries land close in virtual time actually run in parallel
@@ -92,19 +171,24 @@ func (c *Cluster) Net() *Net { return c.net }
 // how much work each barrier round hands the members. The window must
 // not exceed the link latency, or a member's response could be
 // scheduled into the past of the current batch (the scheduler clamps
-// such times forward, which distorts the profile's timing).
+// such times forward to the shard's floor, which distorts the
+// profile's timing).
 func (c *Cluster) SetQuantum(q int64) { c.quantum = q; c.adaptive = false }
 
 // EnableAdaptiveQuantum replaces the fixed quantum with a controller
-// that scales the batch window from observed load: after each batch,
-// if fewer than 4 events per member were routed the window doubles
-// (batches are too fine to coalesce or parallelize), and if more than
-// 32 events per member were routed it halves (batches are so coarse
-// that virtual-time fidelity and memory suffer), clamped to [min, max].
-// The controller reads only the routed-event count — a value that is
-// identical between Run and RunConcurrent by construction — so adaptive
-// runs remain byte-identical per seed across both modes. min is clamped
-// to at least 1ns (a zero quantum could never double).
+// that scales the batch window from observed load: after each round,
+// if every shard routed fewer than 4 events per member the window
+// doubles (batches are too fine to coalesce or parallelize), and if
+// any shard routed more than 32 events per member it halves (batches
+// are so coarse that virtual-time fidelity and memory suffer), clamped
+// to [min, max]. The thresholds scale with the *shard* population, not
+// the cluster's: with per-shard routing the denominator of "events per
+// member" is the shard a member shares a heap with, so one hot shard
+// inside a mostly-idle cluster is enough to hold (or shrink) the
+// window. The controller reads only routed-event counts — identical
+// between Run and RunConcurrent by construction — so adaptive runs
+// remain byte-identical per seed across both modes. min is clamped to
+// at least 1ns (a zero quantum could never double).
 func (c *Cluster) EnableAdaptiveQuantum(min, max int64) {
 	if min < 1 {
 		min = 1
@@ -122,13 +206,57 @@ func (c *Cluster) EnableAdaptiveQuantum(min, max int64) {
 	}
 }
 
+// adaptQuantum is the per-round controller step over the last route
+// phase's per-shard routed counts. Exposed as a method (rather than
+// inlined in run) so the threshold scaling is unit-testable.
+func (c *Cluster) adaptQuantum() {
+	halve, double := false, true
+	for _, s := range c.shards {
+		if len(s.eps) == 0 {
+			continue
+		}
+		if s.routed > 32*int64(len(s.eps)) {
+			halve = true
+		}
+		if s.routed >= 4*int64(len(s.eps)) {
+			double = false
+		}
+	}
+	if halve && c.quantum > c.qMin {
+		c.quantum /= 2
+		if c.quantum < c.qMin {
+			c.quantum = c.qMin
+		}
+	} else if double && !halve && c.quantum < c.qMax {
+		c.quantum *= 2
+		if c.quantum > c.qMax {
+			c.quantum = c.qMax
+		}
+	}
+}
+
 // EnableTrace starts recording the delivery trace (sends at commit
 // time, deliveries and drops at delivery time, in canonical order).
-func (c *Cluster) EnableTrace() { c.tracing = true; c.trace = c.trace[:0] }
+func (c *Cluster) EnableTrace() {
+	c.tracing = true
+	for _, s := range c.shards {
+		s.trace = s.trace[:0]
+	}
+}
 
-// TraceString returns the recorded delivery trace. Identical seeds and
-// workloads yield byte-identical traces in Run and RunConcurrent.
-func (c *Cluster) TraceString() string { return string(c.trace) }
+// TraceString returns the recorded delivery trace: the per-shard trace
+// buffers concatenated in shard order. Identical seeds, workloads, and
+// shard counts yield byte-identical traces in Run and RunConcurrent.
+func (c *Cluster) TraceString() string {
+	if len(c.shards) == 1 {
+		return string(c.shards[0].trace)
+	}
+	var out []byte
+	for _, s := range c.shards {
+		out = append(out, s.trace...)
+	}
+	return string(out)
+}
 
 // Endpoint is one member's attachment to the cluster: it implements the
 // member Network and Clock contracts (structurally; core.Network and
@@ -137,9 +265,10 @@ func (c *Cluster) TraceString() string { return string(c.trace) }
 // owning member's callbacks or from the driving goroutine while no run
 // is in progress.
 type Endpoint struct {
-	c    *Cluster
-	idx  int
-	addr event.Addr
+	c     *Cluster
+	idx   int
+	addr  event.Addr
+	shard *shard
 
 	recv     func(Packet)
 	mailbox  []mail
@@ -170,6 +299,7 @@ const (
 	effSend effKind = iota
 	effCast
 	effAfter
+	effPost
 	effDetach
 )
 
@@ -182,9 +312,11 @@ type effect struct {
 	fn    func()
 }
 
-// NewEndpoint registers a member slot. Endpoints must all be created
-// before the first run; their creation order is the canonical member
-// order of the commit phase.
+// NewEndpoint registers a member slot. Endpoints created before the
+// first run are partitioned into contiguous shard blocks; their
+// creation order is the canonical member order of the commit phase.
+// Endpoints created after the shard partition froze join shards
+// round-robin by index (still deterministic).
 func (c *Cluster) NewEndpoint(addr event.Addr) *Endpoint {
 	if c.running {
 		panic("netsim: NewEndpoint during a run")
@@ -195,6 +327,11 @@ func (c *Cluster) NewEndpoint(addr event.Addr) *Endpoint {
 	ep := &Endpoint{c: c, idx: len(c.eps), addr: addr}
 	c.byAddr[addr] = ep.idx
 	c.eps = append(c.eps, ep)
+	if c.frozen {
+		s := c.shards[ep.idx%len(c.shards)]
+		ep.shard = s
+		s.eps = append(s.eps, ep)
+	}
 	return ep
 }
 
@@ -206,10 +343,10 @@ func (ep *Endpoint) Addr() event.Addr { return ep.addr }
 // intended use is batched-wire flushing: anything fn emits lands in the
 // effect log and is committed at the same barrier as the drain's other
 // effects. The invariant that keeps Run and RunConcurrent identical —
-// the concurrent scheduler skips members with empty mailboxes — is that
-// a member with an empty mailbox has nothing batched, which holds
-// because members only batch while handling mail (and flush direct
-// calls immediately; see InDrain).
+// the scheduler skips members with empty mailboxes — is that a member
+// with an empty mailbox has nothing batched, which holds because
+// members only batch while handling mail (and flush direct calls
+// immediately; see InDrain).
 func (ep *Endpoint) SetDrainFlush(fn func()) { ep.flush = fn }
 
 // InDrain reports whether the endpoint is currently inside its drain
@@ -230,7 +367,9 @@ func (ep *Endpoint) Attach(addr event.Addr, recv func(Packet)) {
 }
 
 // Detach implements the member network contract; the detach takes
-// effect at the next commit, and in-flight packets count as dropped.
+// effect at the round barrier after its commit (so a cast committed by
+// another shard in the same round still fans to — and drops at — the
+// detaching endpoint), and in-flight packets count as dropped.
 func (ep *Endpoint) Detach(addr event.Addr) {
 	if addr != ep.addr {
 		return
@@ -258,6 +397,17 @@ func (ep *Endpoint) Now() int64 { return ep.now }
 // delay nanoseconds after the event being handled.
 func (ep *Endpoint) After(delay int64, fn func()) {
 	ep.effects = append(ep.effects, effect{kind: effAfter, base: ep.now, delay: delay, fn: fn})
+}
+
+// Post schedules fn to run on the member owning the target endpoint,
+// delay nanoseconds after the event being handled — the deterministic
+// cross-member handoff. A relay member bridging two groups uses it to
+// hand work to its peer endpoint without calling into another member's
+// stack directly (which would violate member affinity). fn runs on the
+// target member's goroutine during a later drain phase; if target is
+// not a cluster endpoint the post is silently discarded.
+func (ep *Endpoint) Post(target event.Addr, delay int64, fn func()) {
+	ep.effects = append(ep.effects, effect{kind: effPost, base: ep.now, to: target, delay: delay, fn: fn})
 }
 
 // snapshot copies data into a recycled member-local buffer; the buffer
@@ -295,126 +445,79 @@ func (ep *Endpoint) drain() {
 	ep.draining = false
 }
 
-// AtVirtual schedules fn on the scheduler goroutine at virtual time t
-// (route phase). It is for instrumentation only — snapshotting Net
-// stats at a fixed virtual time, say — and fn must not touch member
-// state or the RNG, or the Run/RunConcurrent determinism guarantee is
-// forfeit.
+// AtVirtual schedules fn on the scheduler goroutine at virtual time t.
+// Global events run at the round cut nearest after t, between the
+// commit barrier and the route phase. It is for instrumentation only —
+// snapshotting Net stats at a fixed virtual time, say — and fn must
+// not touch member state or the RNGs, or the Run/RunConcurrent
+// determinism guarantee is forfeit.
 func (c *Cluster) AtVirtual(t int64, fn func()) { c.sim.At(t, fn) }
 
 // Enqueue schedules fn to run on member idx's goroutine at now+delay —
 // the way a test or benchmark injects application work (casts, sends)
 // into a member. Call it from the driving goroutine between runs, or
-// from a previously enqueued fn on the same member.
+// from a previously enqueued fn on the same member (never from another
+// member's callback: the effect log it appends to is owned by the
+// member being drained). Enqueues before the shard partition froze are
+// buffered so SetShards can still be called after workload setup.
 func (c *Cluster) Enqueue(idx int, delay int64, fn func()) {
-	c.sim.After(delay, func() { c.eps[idx].mailbox = append(c.eps[idx].mailbox, mail{t: c.sim.now, fn: fn}) })
+	ep := c.eps[idx]
+	if c.running {
+		ep.effects = append(ep.effects, effect{kind: effAfter, base: ep.now, delay: delay, fn: fn})
+		return
+	}
+	ev := shardEvent{t: c.sim.now + delay, idx: int32(idx), kind: sevMail, fn: fn}
+	if !c.frozen {
+		c.pending = append(c.pending, ev)
+		return
+	}
+	ep.shard.push(ev)
 }
 
-// route is installed as the Net's delivery hook: schedule the arrival on
-// the authoritative heap; at pop time the scheduler does the accounting
-// and mailbox append.
+// route is installed as the Net's delivery hook, reached only by
+// direct Net.Send/Cast calls from the driving goroutine between runs
+// (during runs, commit delivers through per-shard sinks instead):
+// schedule the arrival on the destination's shard heap.
 func (c *Cluster) route(p Packet, delay int64) {
-	t := c.base + delay
+	c.freeze()
+	t := c.sim.now + delay
 	idx, ok := c.byAddr[p.To]
 	if !ok {
-		// Destination was never a cluster endpoint: account the drop at
-		// what would have been delivery time.
-		c.sim.At(t, func() { c.net.stats.dropped.Inc() })
-		return
-	}
-	c.sim.At(t, func() { c.arrive(idx, p) })
-}
-
-// arrive runs on the scheduler at the packet's delivery time. Delivery
-// (and the trace line, and the books) is per transmission: a batched
-// frame is one 'd' however many wires it carries. The fan-out into one
-// mail per sub-packet happens here, so the member's recv sees exactly
-// the raw-wire interface it always did.
-func (c *Cluster) arrive(idx int, p Packet) {
-	ep := c.eps[idx]
-	if _, attached := c.net.eps[p.To]; !attached || ep.detached || ep.recv == nil {
 		c.net.stats.dropped.Inc()
-		c.traceLine('x', c.sim.now, p)
 		return
 	}
-	c.net.stats.delivered.Inc()
-	c.traceLine('d', c.sim.now, p)
-	if !transport.IsFrame(p.Data) {
-		ep.mailbox = append(ep.mailbox, mail{t: c.sim.now, pkt: p})
-		return
-	}
-	c.net.stats.frames.Inc()
-	t := c.sim.now
-	// The shared walker runs in stable mode, so delta-reconstructed subs
-	// (like classic ones, which alias the per-transmit frame copy) stay
-	// valid from this mailbox append through the member's drain-phase
-	// consumption and beyond.
-	c.net.walker.Walk(p.Data, func(sub []byte) {
-		c.net.stats.subPackets.Inc()
-		q := p
-		q.Data = sub
-		ep.mailbox = append(ep.mailbox, mail{t: t, pkt: q})
-	})
+	c.eps[idx].shard.push(shardEvent{t: t, idx: int32(idx), kind: sevArrive, pkt: p})
 }
 
-func (c *Cluster) traceLine(tag byte, t int64, p Packet) {
-	if !c.tracing {
-		return
-	}
-	c.trace = fmt.Appendf(c.trace, "%c t=%d %d<-%d cast=%t n=%d crc=%08x\n",
-		tag, t, p.To, p.From, p.Cast, len(p.Data), crc32.ChecksumIEEE(p.Data))
-}
-
-// commit replays every member's effect log in canonical member order:
-// this is the only place member-produced work touches the shared RNG,
-// heap, and Net, which is what makes the delivery order independent of
-// drain-phase scheduling.
-func (c *Cluster) commit() {
-	for _, ep := range c.eps {
-		effs := ep.effects
-		ep.effects = ep.effects[:0]
-		for i := range effs {
-			e := &effs[i]
-			c.base = e.base
-			switch e.kind {
-			case effSend:
-				if c.tracing {
-					c.trace = fmt.Appendf(c.trace, "s t=%d %d->%d n=%d crc=%08x\n",
-						e.base, ep.addr, e.to, len(e.data), crc32.ChecksumIEEE(e.data))
-				}
-				c.net.Send(ep.addr, e.to, e.data)
-			case effCast:
-				if c.tracing {
-					c.trace = fmt.Appendf(c.trace, "s t=%d %d->* n=%d crc=%08x\n",
-						e.base, ep.addr, len(e.data), crc32.ChecksumIEEE(e.data))
-				}
-				c.net.Cast(ep.addr, e.data)
-			case effAfter:
-				idx, fn := ep.idx, e.fn
-				c.sim.At(e.base+e.delay, func() {
-					c.eps[idx].mailbox = append(c.eps[idx].mailbox, mail{t: c.sim.now, fn: fn})
-				})
-			case effDetach:
-				ep.detached = true
-				c.net.Detach(ep.addr)
-			}
-			if e.data != nil {
-				ep.spare = append(ep.spare, e.data)
-			}
-			*e = effect{}
+// nextEventTime reports the earliest pending time across every shard
+// heap and the global instrumentation heap.
+func (c *Cluster) nextEventTime() (int64, bool) {
+	var tmin int64
+	ok := false
+	for _, s := range c.shards {
+		if t, has := s.nextTime(); has && (!ok || t < tmin) {
+			tmin, ok = t, true
 		}
 	}
+	if c.sim.pq.Len() > 0 {
+		if t := c.sim.pq[0].t; !ok || t < tmin {
+			tmin, ok = t, true
+		}
+	}
+	return tmin, ok
 }
 
-// Run drives the cluster sequentially until the heap drains or virtual
-// time passes deadline; it returns the number of heap events executed.
-// The trace is identical to RunConcurrent's for the same seed.
+// Run drives the cluster sequentially until the heaps drain or virtual
+// time passes deadline; it returns the number of events executed. The
+// trace is identical to RunConcurrent's for the same seed and shard
+// count.
 func (c *Cluster) Run(deadline int64) int { return c.run(deadline, 1) }
 
-// RunConcurrent is Run with every member draining its mailbox on its
-// own goroutine, at most `workers` members at a time; workers <= 1
-// falls back to sequential draining on the scheduler goroutine. The
-// delivery schedule — and the trace — is byte-identical to Run's.
+// RunConcurrent is Run with the scheduler phases (shard commits, shard
+// routing, member drains) executed by a pool of `workers` goroutines;
+// workers <= 1 falls back to sequential execution on the scheduler
+// goroutine. The delivery schedule — and the trace — is byte-identical
+// to Run's.
 func (c *Cluster) RunConcurrent(deadline int64, workers int) int {
 	return c.run(deadline, workers)
 }
@@ -425,110 +528,81 @@ func (c *Cluster) run(deadline int64, workers int) int {
 	}
 	c.running = true
 	defer func() { c.running = false }()
+	c.freeze()
 
-	var rp *runnerPool
+	var rp *pool
 	if workers > 1 && len(c.eps) > 1 {
-		rp = c.startRunners(workers)
+		rp = newPool(workers)
 		defer rp.stop()
 	}
 
 	n := 0
+	shards := c.shards
+	ready := make([]int32, 0, len(c.eps))
 	for {
-		// Commit effects pending from setup or the previous drain phase.
-		c.commit()
-		if c.sim.pq.Len() == 0 || c.sim.pq[0].t > deadline {
+		// Commit effects pending from setup or the previous drain phase,
+		// then ingest cross-shard deliveries and apply detaches at the
+		// barrier.
+		c.runJob(rp, len(shards), func(i int) { shards[i].commitPhase() })
+		if len(shards) > 1 {
+			c.runJob(rp, len(shards), func(i int) { shards[i].ingestFrom(shards) })
+		}
+		for _, s := range shards {
+			for _, ep := range s.detachQ {
+				c.net.Detach(ep.addr)
+			}
+			s.detachQ = s.detachQ[:0]
+		}
+		tmin, ok := c.nextEventTime()
+		if !ok || tmin > deadline {
 			break
 		}
 		// Route one batch: the earliest pending time plus the quantum
-		// window.
-		batchEnd := c.sim.pq[0].t + c.quantum
+		// window. Global instrumentation events run first, at the cut.
+		batchEnd := tmin + c.quantum
 		if batchEnd > deadline {
 			batchEnd = deadline
 		}
-		routed := 0
 		for c.sim.pq.Len() > 0 && c.sim.pq[0].t <= batchEnd {
 			ev := heap.Pop(&c.sim.pq).(simEvent)
-			c.sim.now = ev.t
-			c.base = ev.t
+			if ev.t > c.sim.now {
+				c.sim.now = ev.t
+			}
 			ev.fn()
-			routed++
+			n++
 		}
-		n += routed
-		// Drain: the only phase where member code runs.
-		if rp != nil {
-			rp.drainAll()
-		} else {
-			for _, ep := range c.eps {
-				ep.drain()
+		c.runJob(rp, len(shards), func(i int) { shards[i].routePhase(batchEnd) })
+		for _, s := range shards {
+			n += int(s.routed)
+		}
+		if c.sim.now < batchEnd {
+			c.sim.now = batchEnd
+		}
+		// Drain: the only phase where member code runs. Only members
+		// with pending mail participate (an empty mailbox means nothing
+		// batched either; see SetDrainFlush).
+		ready = ready[:0]
+		for _, ep := range c.eps {
+			if len(ep.mailbox) > 0 {
+				ready = append(ready, int32(ep.idx))
 			}
 		}
-		// Adaptive quantum: scale the window from this batch's routed
-		// count. The count is a pure function of the (deterministic)
-		// schedule, so the trajectory is identical in Run and
-		// RunConcurrent for the same seed.
+		c.runJob(rp, len(ready), func(i int) { c.eps[ready[i]].drain() })
+		// Adaptive quantum: scale the window from this round's per-shard
+		// routed densities. The counts are a pure function of the
+		// (deterministic) schedule, so the trajectory is identical in
+		// Run and RunConcurrent for the same seed.
 		if c.adaptive {
-			if routed < 4*len(c.eps) && c.quantum < c.qMax {
-				c.quantum *= 2
-				if c.quantum > c.qMax {
-					c.quantum = c.qMax
-				}
-			} else if routed > 32*len(c.eps) && c.quantum > c.qMin {
-				c.quantum /= 2
-				if c.quantum < c.qMin {
-					c.quantum = c.qMin
-				}
-			}
+			c.adaptQuantum()
 		}
 	}
 	if c.sim.now < deadline {
 		c.sim.now = deadline
 	}
-	return n
-}
-
-// runnerPool keeps one goroutine per member alive for the duration of a
-// concurrent run; a semaphore caps how many drain simultaneously.
-type runnerPool struct {
-	c    *Cluster
-	work []chan struct{}
-	wg   sync.WaitGroup
-	sem  chan struct{}
-}
-
-func (c *Cluster) startRunners(workers int) *runnerPool {
-	rp := &runnerPool{c: c, sem: make(chan struct{}, workers)}
-	rp.work = make([]chan struct{}, len(c.eps))
-	for i := range c.eps {
-		ch := make(chan struct{})
-		rp.work[i] = ch
-		go func(i int, ch chan struct{}) {
-			for range ch {
-				rp.sem <- struct{}{}
-				c.eps[i].drain()
-				<-rp.sem
-				rp.wg.Done()
-			}
-		}(i, ch)
-	}
-	return rp
-}
-
-// drainAll releases every member with pending mail and waits for the
-// barrier. The channel send/WaitGroup pair is the happens-before edge
-// that hands mailbox and effect-log ownership across goroutines.
-func (rp *runnerPool) drainAll() {
-	for i, ep := range rp.c.eps {
-		if len(ep.mailbox) == 0 {
-			continue
+	for _, s := range shards {
+		if s.now < deadline {
+			s.now = deadline
 		}
-		rp.wg.Add(1)
-		rp.work[i] <- struct{}{}
 	}
-	rp.wg.Wait()
-}
-
-func (rp *runnerPool) stop() {
-	for _, ch := range rp.work {
-		close(ch)
-	}
+	return n
 }

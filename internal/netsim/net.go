@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"fmt"
+	"math/rand"
 
 	"ensemble/internal/event"
 	"ensemble/internal/obs"
@@ -212,10 +213,7 @@ func (n *Net) Detach(addr event.Addr) {
 // Send transmits a point-to-point packet. The data is copied: the caller
 // may reuse its buffer.
 func (n *Net) Send(from, to event.Addr, data []byte) {
-	n.stats.sent.Inc()
-	n.stats.bytesSent.Add(int64(len(data)))
-	n.stats.bytesOnWire.Add(int64(len(data)))
-	n.transmit(Packet{From: from, To: to, Data: append([]byte(nil), data...)})
+	n.sendVia(n.sim.rng, nil, from, to, data)
 }
 
 // Cast transmits a multicast packet to every attached endpoint except
@@ -223,6 +221,26 @@ func (n *Net) Send(from, to event.Addr, data []byte) {
 // own copy of data: transports decode in place, so a shared backing
 // slice would let one member's decode corrupt another's packet.
 func (n *Net) Cast(from event.Addr, data []byte) {
+	n.castVia(n.sim.rng, nil, from, data)
+}
+
+// sendVia is Send parameterized by the random source and delivery sink:
+// the sharded cluster commit calls it with the emitting shard's RNG so
+// shards can commit in parallel without racing on one generator, and
+// with the shard as sink so deliveries land on shard heaps instead of
+// the global one. sink == nil delivers through the plain simulator
+// path. The draw order (filter, loss, delay, dup, dup delay — per
+// receiver, in attach order) is fixed: it is part of the deterministic
+// schedule.
+func (n *Net) sendVia(rng *rand.Rand, sink *shard, from, to event.Addr, data []byte) {
+	n.stats.sent.Inc()
+	n.stats.bytesSent.Add(int64(len(data)))
+	n.stats.bytesOnWire.Add(int64(len(data)))
+	n.transmitVia(rng, sink, Packet{From: from, To: to, Data: append([]byte(nil), data...)})
+}
+
+// castVia is Cast parameterized like sendVia.
+func (n *Net) castVia(rng *rand.Rand, sink *shard, from event.Addr, data []byte) {
 	n.stats.bytesOnWire.Add(int64(len(data)))
 	for _, to := range n.order {
 		if to == from {
@@ -230,37 +248,45 @@ func (n *Net) Cast(from event.Addr, data []byte) {
 		}
 		n.stats.sent.Inc()
 		n.stats.bytesSent.Add(int64(len(data)))
-		n.transmit(Packet{From: from, To: to, Data: append([]byte(nil), data...), Cast: true})
+		n.transmitVia(rng, sink, Packet{From: from, To: to, Data: append([]byte(nil), data...), Cast: true})
 	}
 }
 
-func (n *Net) transmit(p Packet) {
+func (n *Net) transmitVia(rng *rand.Rand, sink *shard, p Packet) {
 	if n.filter != nil && !n.filter(p.From, p.To) {
 		n.stats.dropped.Inc()
 		return
 	}
-	if n.profile.LossProb > 0 && n.sim.rng.Float64() < n.profile.LossProb {
+	if n.profile.LossProb > 0 && rng.Float64() < n.profile.LossProb {
 		n.stats.dropped.Inc()
 		return
 	}
-	n.deliverAfter(p, n.delay())
-	if n.profile.DupProb > 0 && n.sim.rng.Float64() < n.profile.DupProb {
+	n.deliverVia(sink, p, n.delayVia(rng))
+	if n.profile.DupProb > 0 && rng.Float64() < n.profile.DupProb {
 		n.stats.duplicated.Inc()
 		// The duplicate needs its own buffer too: both copies reach the
 		// same endpoint, and an in-place decode of the first must not
 		// mangle the second.
 		q := p
 		q.Data = append([]byte(nil), p.Data...)
-		n.deliverAfter(q, n.delay())
+		n.deliverVia(sink, q, n.delayVia(rng))
 	}
 }
 
-func (n *Net) delay() int64 {
+func (n *Net) delayVia(rng *rand.Rand) int64 {
 	d := n.profile.Latency
 	if n.profile.Jitter > 0 {
-		d += n.sim.rng.Int63n(n.profile.Jitter)
+		d += rng.Int63n(n.profile.Jitter)
 	}
 	return d
+}
+
+func (n *Net) deliverVia(sink *shard, p Packet, delay int64) {
+	if sink != nil {
+		sink.deliver(p, delay)
+		return
+	}
+	n.deliverAfter(p, delay)
 }
 
 func (n *Net) deliverAfter(p Packet, delay int64) {
