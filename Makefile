@@ -3,7 +3,7 @@
 GO ?= go
 # BENCH_OUT is where bench-gate records the parsed benchmark trajectory;
 # override it to keep a run without clobbering the checked-in record.
-BENCH_OUT ?= BENCH_PR8.json
+BENCH_OUT ?= BENCH_PR9.json
 
 .PHONY: all build test race verify bench bench-throughput bench-gate multiproc flight pooldebug clean
 
@@ -45,13 +45,15 @@ bench-throughput:
 # The batching + observability + dispatch regression gate: the 10-layer
 # two-node throughput benchmarks (batched, delta and observed included)
 # must stay at 0 allocs/op, the 8-member batched network runs must
-# coalesce >= 2 sub-packets per frame, delta header compression must cut
-# the 8-member MACH workload's bytes/msg by >= 25% against the classic
-# frame format, turning the metrics registry + flight recorder on must
-# keep >= 97% of the unobserved 8-member throughput, and the multi-CCP
-# dispatch family must cut the mixed workload's interpreted share to
-# <= 0.5x the single-CCP baseline. The parsed numbers are recorded in
-# $(BENCH_OUT).
+# coalesce >= 2 sub-packets per frame, cross-frame delta compression
+# (the member default) must cut the 8-member MACH workload's bytes/msg
+# by >= 50% against the classic frame format (with the intra-frame delta
+# point present as the ablation), turning the metrics registry + flight
+# recorder on must keep >= 97% of the unobserved 8-member throughput,
+# the multi-CCP dispatch family must cut the mixed workload's
+# interpreted share to <= 0.5x the single-CCP baseline, and the
+# XFrameIdentity probe must stay byte-identical between Run and
+# RunConcurrent. The parsed numbers are recorded in $(BENCH_OUT).
 # The unit side runs 100x, not 1x: at one measured round, a GC landing
 # mid-measurement (emptied sync.Pool victim cache, one refill) counts a
 # stray alloc against the whole op. 100 rounds amortize the blip to 0
@@ -74,12 +76,16 @@ bench-gate:
 # The multi-process equivalence gate: 4 ensemble-node processes on
 # loopback run the seeded 10-layer MACH workload over real UDP and must
 # deliver the exact per-member sequence of the in-process netsim run of
-# the same seed (see DESIGN.md "Deployment"). Bounded wall time; skips
+# the same seed (see DESIGN.md "Deployment"). The second run is the
+# adversarial form: 8 processes with 5% seeded receive-side frame loss
+# on every node and a forced mid-run generation bump, still required to
+# match the loss-free reference byte for byte. Bounded wall time; skips
 # itself (exit 0) when loopback UDP is unavailable; flight dumps from
 # failed runs stay in .multiproc-artifacts/ for flight-diff.
 multiproc:
 	$(GO) build -o .ensemble-node.bin ./cmd/ensemble-node
 	./.ensemble-node.bin -launch 4 -rounds 16 -size 128 -seed 42 -timeout 60s -artifacts .multiproc-artifacts
+	./.ensemble-node.bin -launch 8 -rounds 8 -size 64 -seed 43 -loss 0.05 -lossseed 7 -bump 20 -timeout 90s -artifacts .multiproc-artifacts
 	rm -f .ensemble-node.bin
 
 # A flight recording of the standard 8-member MACH delta-batched

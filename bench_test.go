@@ -310,16 +310,37 @@ func BenchmarkThroughputNet_8Members_FUNC_Conc_Batched(b *testing.B) {
 	benchThroughputNetBatched(b, bench.FUNC, 8, 8)
 }
 
-// The compression gate pair: the same 8-member MACH cast workload at the
-// minimum stamped payload (8 bytes — header-dominated wires, the case
-// delta compression exists for), classic frames vs delta frames. The
-// bench gate requires the delta variant's bytes/msg to come in at least
-// 25% under the classic one.
+// The compression gate ladder: the same 8-member MACH cast workload at
+// the minimum stamped payload (8 bytes — header-dominated wires, the
+// case delta compression exists for), classic frames vs intra-frame
+// delta vs cross-frame delta chains with adaptive flush (the member
+// default). The bench gate requires the cross-frame variant's bytes/msg
+// to come in at no more than half the classic one; the intra-frame
+// point stays in the sweep as the ablation between them.
 func BenchmarkThroughputNet_8Members_MACH_Seq_Batched(b *testing.B) {
 	benchThroughputNetMode(b, bench.MACH, 8, 1, 8, bench.Batched)
 }
 func BenchmarkThroughputNet_8Members_MACH_Seq_BatchedDelta(b *testing.B) {
 	benchThroughputNetMode(b, bench.MACH, 8, 1, 8, bench.BatchedDelta)
+}
+func BenchmarkThroughputNet_8Members_MACH_Seq_BatchedCross(b *testing.B) {
+	benchThroughputNetMode(b, bench.MACH, 8, 1, 8, bench.BatchedCross)
+}
+
+// The wire-format determinism probe behind Gate 7: the 8-member MACH
+// workload with cross-frame delta and adaptive flush left on (plus a
+// mid-run generation bump), run through Run and RunConcurrent and
+// compared byte for byte. Reports identical=1 on a match.
+func BenchmarkThroughputNet_8Members_MACH_XFrameIdentity(b *testing.B) {
+	ok, err := bench.XFrameIdentityProbe(8, 29, scaleConcWorkers())
+	if err != nil {
+		b.Fatal(err)
+	}
+	identical := 0.0
+	if ok {
+		identical = 1
+	}
+	b.ReportMetric(identical, "identical")
 }
 
 // The observability overhead gate pair: the 8-member MACH delta-batched

@@ -10,7 +10,7 @@
 //	ensemble-bench -flight flight.trace.json -metrics
 //	ensemble-bench -table 1a -cpuprofile cpu.pprof -memprofile mem.pprof
 //
-// Tables: 1a, 1b, fig6, 2a, 2b, e2e, ccp, theorems, wire, obs, scale, all.
+// Tables: 1a, 1b, fig6, 2a, 2b, e2e, ccp, theorems, wire, wire64, obs, scale, all.
 //
 // -flight runs the standard 8-member MACH delta-batched workload with
 // the flight recorder on and writes the Chrome trace_event JSON (load
@@ -41,7 +41,7 @@ const (
 )
 
 func main() {
-	table := flag.String("table", "", "which table to regenerate: 1a, 1b, fig6, 2a, 2b, e2e, ccp, theorems, wire, obs, scale, all")
+	table := flag.String("table", "", "which table to regenerate: 1a, 1b, fig6, 2a, 2b, e2e, ccp, theorems, wire, wire64, obs, scale, all")
 	rounds := flag.Int("rounds", 10000, "measurement rounds per configuration (the paper uses 10,000)")
 	flight := flag.String("flight", "", "write a Chrome trace of the 8-member MACH workload to this file")
 	metrics := flag.Bool("metrics", false, "print the unified metrics snapshot of the observed workload")
@@ -142,6 +142,10 @@ func runTables(table string, rounds int) {
 		// default of 10,000 is sized for code-latency sampling, so the
 		// wire ladder caps it to keep `-table all` quick.
 		{"wire", func() (string, error) { return bench.WireTable(min(rounds, 2000)) }},
+		// wire64 is the same ladder at 64 members — the scale point of
+		// the EXPERIMENTS.md bytes-on-wire tables; fewer rounds, since
+		// every cast fans out to 63 receivers.
+		{"wire64", func() (string, error) { return bench.WireTableAt(64, min(rounds, 400)) }},
 		// The obs table measures the observability overhead (recorder
 		// on/off across the wire modes); like wire, it caps the rounds.
 		{"obs", func() (string, error) { return bench.ObsOverheadTable(min(rounds, 20000)) }},

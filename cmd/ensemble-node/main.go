@@ -13,6 +13,9 @@
 //	    across them, and assert delivery equivalence against the
 //	    in-process netsim run of the same seed. Exit status is the
 //	    verdict; artifacts from failed runs are kept for flight-diff.
+//	    -loss F / -lossseed S inject seeded receive-side frame loss on
+//	    every node and -bump N forces a mid-run generation bump after N
+//	    deliveries; the loss-free reference must still be matched.
 //
 //	ensemble-node -merge merged.flight [-trace trace.json] n1.flight n2.flight ...
 //	    interleave per-process flight dumps into one dump and,
@@ -46,6 +49,9 @@ func main() {
 		trace   = flag.String("trace", "", "merge mode: also write a Chrome trace here")
 		dir     = flag.String("artifacts", ".multiproc-artifacts", "launcher mode: artifacts directory")
 		keep    = flag.Bool("keep", false, "launcher mode: keep artifacts even on success")
+		loss     = flag.Float64("loss", 0, "drop this fraction of incoming data frames before decode")
+		lossSeed = flag.Int64("lossseed", 0, "loss pattern seed (each node offsets by its id)")
+		bump     = flag.Int("bump", 0, "bump cross-frame generations after N local deliveries")
 	)
 	flag.Parse()
 
@@ -58,6 +64,7 @@ func main() {
 		w := deploy.Workload{Members: *launch, Rounds: *rounds, Size: *size, Seed: *seed}
 		_, err := deploy.Launch(deploy.LaunchConfig{
 			W: w, Artifacts: *dir, Keep: *keep, Timeout: *timeout, Log: os.Stderr,
+			Loss: *loss, LossSeed: *lossSeed, BumpAfter: *bump,
 		})
 		if errors.Is(err, deploy.ErrNoLoopback) {
 			// No loopback UDP (sandboxed CI): the check cannot run here;
@@ -69,7 +76,7 @@ func main() {
 			fatal(err)
 		}
 	case *id > 0:
-		if err := runNode(*id, *hosts, *rounds, *size, *seed, *timeout, *out, *flight); err != nil {
+		if err := runNode(*id, *hosts, *rounds, *size, *seed, *timeout, *out, *flight, *loss, *lossSeed, *bump); err != nil {
 			fatal(err)
 		}
 	default:
@@ -78,7 +85,7 @@ func main() {
 	}
 }
 
-func runNode(id int, hostsPath string, rounds, size int, seed int64, timeout time.Duration, out, flight string) error {
+func runNode(id int, hostsPath string, rounds, size int, seed int64, timeout time.Duration, out, flight string, loss float64, lossSeed int64, bump int) error {
 	if hostsPath == "" {
 		return fmt.Errorf("node mode needs -hosts")
 	}
@@ -87,10 +94,13 @@ func runNode(id int, hostsPath string, rounds, size int, seed int64, timeout tim
 		return err
 	}
 	res, runErr := deploy.RunNode(deploy.NodeConfig{
-		ID:      id,
-		Hosts:   hosts,
-		W:       deploy.Workload{Rounds: rounds, Size: size, Seed: seed},
-		Timeout: timeout,
+		ID:        id,
+		Hosts:     hosts,
+		W:         deploy.Workload{Rounds: rounds, Size: size, Seed: seed},
+		Timeout:   timeout,
+		Loss:      loss,
+		LossSeed:  lossSeed,
+		BumpAfter: bump,
 	}, os.Stdin, os.Stdout)
 	// Outputs are written even when the run failed: a stalled run's
 	// partial flight is exactly what the launcher archives.

@@ -221,6 +221,56 @@ func flatIdentityProbe(members int, seed int64, workers int) (bool, error) {
 	return seq != "" && seq == conc, nil
 }
 
+// XFrameIdentityProbe is the wire-format determinism check behind Gate
+// 7: a short traced cast workload through a MACH group with the
+// production wire defaults left on — cross-frame delta chains and the
+// adaptive flush controller — replayed in both execution modes and
+// compared byte for byte. A scheduled mid-run generation bump on every
+// member forces the chains through the full-resend state machine under
+// concurrency, so the probe covers exactly the stateful machinery that
+// could have cost determinism.
+func XFrameIdentityProbe(members int, seed int64, workers int) (bool, error) {
+	run := func(workers int) (string, error) {
+		g, err := core.NewOptimizedClusterGroup(members, netsim.Ethernet100(), seed+1, layers.Stack10(), stack.Func, nil)
+		if err != nil {
+			return "", err
+		}
+		g.Cluster.EnableTrace()
+		g.Cluster.EnableAdaptiveQuantum(400_000, 100_000_000)
+		buf := make([]byte, 16)
+		for i := 0; i < 4; i++ {
+			at := int64(i) * scaleInterval
+			for r := 0; r < members; r++ {
+				r := r
+				g.Do(r, at, func() { g.Members[r].Cast(buf) })
+			}
+			if i == 1 {
+				// Between rounds 1 and 2: every chain restarts from a
+				// full-header anchor in a new generation.
+				for r := 0; r < members; r++ {
+					r := r
+					g.Do(r, at+scaleInterval/2, func() { g.Members[r].Batcher().BumpGenerations() })
+				}
+			}
+		}
+		if workers > 1 {
+			g.RunConcurrent(int64(200e6), workers)
+		} else {
+			g.Run(int64(200e6))
+		}
+		return g.Cluster.TraceString(), nil
+	}
+	seq, err := run(1)
+	if err != nil {
+		return false, err
+	}
+	conc, err := run(workers)
+	if err != nil {
+		return false, err
+	}
+	return seq != "" && seq == conc, nil
+}
+
 // hierIdentityProbe is flatIdentityProbe over the hierarchy.
 func hierIdentityProbe(groups, per int, seed int64, workers int) (bool, error) {
 	run := func(workers int) (string, error) {

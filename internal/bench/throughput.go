@@ -24,15 +24,19 @@ import (
 // expected to run allocation-free.
 
 // BatchMode selects how outgoing wires reach the network in a measured
-// run: one transmission per wire (Immediate — the ablation), classic
-// coalesced frames (Batched), or delta-compressed frames (BatchedDelta,
-// the production default for members — see transport/delta.go).
+// run — the wire-format ladder, one rung per mode: one transmission per
+// wire (Immediate — the ablation), classic coalesced frames (Batched),
+// intra-frame delta-compressed frames (BatchedDelta — see
+// transport/delta.go), or cross-frame delta with generation-tagged
+// per-peer state plus the adaptive flush controller (BatchedCross, the
+// production default for members — see transport/xframe.go).
 type BatchMode int
 
 const (
 	Immediate BatchMode = iota
 	Batched
 	BatchedDelta
+	BatchedCross
 )
 
 func (m BatchMode) String() string {
@@ -41,6 +45,8 @@ func (m BatchMode) String() string {
 		return "batched"
 	case BatchedDelta:
 		return "batched+delta"
+	case BatchedCross:
+		return "batched+xframe"
 	default:
 		return "immediate"
 	}

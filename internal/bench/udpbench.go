@@ -83,7 +83,7 @@ func MeasureUDPThroughput(msgs, size, burst int, mode BatchMode) (UDPThroughput,
 	case Immediate:
 		batch.SetImmediate(true)
 	}
-	a.SetDrainFlush(batch.Flush)
+	a.SetDrainFlush(func() { batch.Flush() })
 
 	var received atomic.Int64
 	done := make(chan struct{})

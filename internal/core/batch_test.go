@@ -123,9 +123,13 @@ func TestPt2ptSweepOneFlushPerPeer(t *testing.T) {
 
 // TestBatcherImmediateModeEquivalent: the immediate-mode ablation (one
 // single-sub frame per wire) delivers exactly the same traffic — the
-// receivers cannot tell the difference.
+// receivers cannot tell the difference. With the adaptive flush
+// controller disabled the delivery *order* is identical too; with it
+// enabled, holds re-time frames, so casts can reach the total-order
+// sequencer in a different interleaving and the agreed order may
+// legitimately differ — delivery then matches as a multiset.
 func TestBatcherImmediateModeEquivalent(t *testing.T) {
-	run := func(immediate bool) []string {
+	run := func(immediate, adaptive bool) []string {
 		var log []string
 		g, err := NewGroup(3, netsim.Profile{Latency: 1000}, 17, layers.Stack10(), stack.Imp, func(rank int) Handlers {
 			return Handlers{OnCast: func(origin int, payload []byte) {
@@ -137,9 +141,12 @@ func TestBatcherImmediateModeEquivalent(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if immediate {
-			for _, m := range g.Members {
+		for _, m := range g.Members {
+			if immediate {
 				m.Batcher().SetImmediate(true)
+			}
+			if !adaptive {
+				m.Batcher().DisableAdaptiveFlush()
 			}
 		}
 		for i := 0; i < 10; i++ {
@@ -150,11 +157,27 @@ func TestBatcherImmediateModeEquivalent(t *testing.T) {
 		g.Run(int64(5e9))
 		return log
 	}
-	batched, immediate := run(false), run(true)
+	batched, immediate := run(false, false), run(true, false)
 	if fmt.Sprint(batched) != fmt.Sprint(immediate) {
 		t.Fatalf("delivery diverges:\nbatched:   %v\nimmediate: %v", batched, immediate)
 	}
 	if len(batched) == 0 {
 		t.Fatal("nothing delivered")
+	}
+	adaptive := run(false, true)
+	want, got := map[string]int{}, map[string]int{}
+	for _, x := range batched {
+		want[x]++
+	}
+	for _, x := range adaptive {
+		got[x]++
+	}
+	if len(adaptive) != len(batched) || fmt.Sprint(len(want)) != fmt.Sprint(len(got)) {
+		t.Fatalf("adaptive flush changes the delivered set: %d vs %d entries", len(adaptive), len(batched))
+	}
+	for x, n := range want {
+		if got[x] != n {
+			t.Fatalf("adaptive flush changes the delivered set at %q: %d vs %d", x, got[x], n)
+		}
 	}
 }

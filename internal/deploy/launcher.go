@@ -40,6 +40,13 @@ type LaunchConfig struct {
 	Timeout time.Duration
 	// Log receives progress lines (nil = quiet).
 	Log io.Writer
+	// Loss / LossSeed / BumpAfter are forwarded to every node (see
+	// NodeConfig): injected receive-side frame loss and a forced mid-run
+	// generation bump. The reference run stays loss-free — equivalence
+	// under injected loss is exactly the claim being checked.
+	Loss      float64
+	LossSeed  int64
+	BumpAfter int
 }
 
 // LaunchResult is a completed (not necessarily equivalent) run.
@@ -165,6 +172,15 @@ func Launch(cfg LaunchConfig) (*LaunchResult, error) {
 			"-timeout", timeout.String(),
 			"-out", outPath,
 		)
+		if cfg.Loss > 0 {
+			args = append(args,
+				"-loss", strconv.FormatFloat(cfg.Loss, 'g', -1, 64),
+				"-lossseed", strconv.FormatInt(cfg.LossSeed, 10),
+			)
+		}
+		if cfg.BumpAfter > 0 {
+			args = append(args, "-bump", strconv.Itoa(cfg.BumpAfter))
+		}
 		cmd := exec.Command(nodeCmd[0], args...)
 		stdin, err := cmd.StdinPipe()
 		if err != nil {

@@ -36,6 +36,17 @@ type NodeConfig struct {
 	Ring int
 	// Timeout bounds the workload phase (GO to delivery-complete).
 	Timeout time.Duration
+	// Loss, when > 0, drops that fraction of incoming data frames before
+	// decode (netsim.UDPNet.SetRecvLoss) — the adversarial half of the
+	// equivalence gate: the delivered sequence must still match the
+	// loss-free reference. LossSeed seeds the drop pattern; each node
+	// offsets it by its ID so the processes do not drop in lockstep.
+	Loss     float64
+	LossSeed int64
+	// BumpAfter, when > 0, bumps every cross-frame generation after that
+	// many local deliveries — a forced mid-run resync of all the node's
+	// chains, exercising the 0xB9 generation machinery under real load.
+	BumpAfter int
 }
 
 // NodeResult is what one node run produces.
@@ -86,6 +97,9 @@ func RunNode(cfg NodeConfig, ctrl io.Reader, status io.Writer) (NodeResult, erro
 		return res, err
 	}
 	defer u.Close()
+	if cfg.Loss > 0 {
+		u.SetRecvLoss(cfg.Loss, cfg.LossSeed+int64(cfg.ID))
+	}
 
 	addrs := make([]event.Addr, w.Members)
 	for i := range addrs {
@@ -96,6 +110,7 @@ func RunNode(cfg NodeConfig, ctrl io.Reader, status io.Writer) (NodeResult, erro
 	driver := &chainDriver{w: w, rank: rank}
 	done := make(chan struct{})
 	signaled := false // handler-goroutine only; a dup past the last message must not re-close
+	bumped := false   // handler-goroutine only, like signaled
 	var m *core.Member
 	m, err = core.NewOptimizedMember(u, u, v, layers.Stack10(), stack.Func, core.Handlers{
 		OnCast: func(origin int, payload []byte) {
@@ -104,6 +119,12 @@ func RunNode(cfg NodeConfig, ctrl io.Reader, status io.Writer) (NodeResult, erro
 				id = MsgID{Origin: -1, Index: -1}
 			}
 			driver.deliver(id)
+			if cfg.BumpAfter > 0 && !bumped && len(driver.log) >= cfg.BumpAfter {
+				// Forced mid-run generation bump: every chain restarts
+				// from a full-header anchor, as after a view install.
+				bumped = true
+				m.Batcher().BumpGenerations()
+			}
 			if next, due := driver.next(); due {
 				m.Cast(w.Payload(next))
 			}

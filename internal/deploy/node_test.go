@@ -18,6 +18,14 @@ import (
 // "node", exercised under -race.
 func inprocCluster(t *testing.T, w Workload, timeout time.Duration) ([]NodeResult, []error) {
 	t.Helper()
+	return inprocClusterCfg(t, w, timeout, nil)
+}
+
+// inprocClusterCfg is inprocCluster with a per-node config hook: mod
+// (when non-nil) edits each NodeConfig before RunNode — the seam the
+// loss/generation-bump tests use.
+func inprocClusterCfg(t *testing.T, w Workload, timeout time.Duration, mod func(*NodeConfig)) ([]NodeResult, []error) {
+	t.Helper()
 	if err := LoopbackAvailable(); err != nil {
 		t.Skipf("skipping: %v", err)
 	}
@@ -46,9 +54,11 @@ func inprocCluster(t *testing.T, w Workload, timeout time.Duration) ([]NodeResul
 		wg.Add(1)
 		go func(id int, ctrl io.Reader, status io.Writer) {
 			defer wg.Done()
-			results[id-1], errs[id-1] = RunNode(NodeConfig{
-				ID: id, Hosts: hosts, W: w, Timeout: timeout,
-			}, ctrl, status)
+			cfg := NodeConfig{ID: id, Hosts: hosts, W: w, Timeout: timeout}
+			if mod != nil {
+				mod(&cfg)
+			}
+			results[id-1], errs[id-1] = RunNode(cfg, ctrl, status)
 		}(i+1, ctrlR, statW)
 	}
 	if err := coordinate(handles, timeout); err != nil {
@@ -102,6 +112,50 @@ func TestInProcessClusterMatchesReference(t *testing.T) {
 	}
 	if len(divs) > 0 {
 		t.Fatalf("flight delivery series diverge: %s", divs[0])
+	}
+}
+
+// TestInProcessClusterLossBumpMatchesReference is the adversarial
+// equivalence assertion: an 8-member loopback cluster with seeded
+// receive-side frame loss on every node AND a forced mid-run
+// generation bump (every chain restarts from a full-header anchor,
+// stale-tagged frames land at every peer) must still deliver exactly
+// the loss-free netsim reference sequence — NAK repair plus the 0xBA
+// resync path absorb both injections without reordering anything.
+func TestInProcessClusterLossBumpMatchesReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping 8-member loss run in -short")
+	}
+	w := Workload{Members: 8, Rounds: 4, Size: 64, Seed: 43}
+	results, errs := inprocClusterCfg(t, w, 60*time.Second, func(cfg *NodeConfig) {
+		cfg.Loss = 0.05
+		cfg.LossSeed = 7
+		cfg.BumpAfter = w.Total() / 2
+	})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i+1, err)
+		}
+	}
+
+	logs := make([][]MsgID, w.Members)
+	var drops int64
+	for i, r := range results {
+		logs[i] = r.Log
+		drops += r.UDP.InjectedDrops
+	}
+	// The injection must have actually happened — an equivalence pass
+	// with zero drops would be vacuous.
+	if drops == 0 {
+		t.Fatalf("SetRecvLoss(0.05) dropped nothing across %d nodes", w.Members)
+	}
+
+	ref, err := Reference(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank, pos, a, b, ok := CompareLogs(logs, ref.Logs); !ok {
+		t.Fatalf("delivery divergence under loss+bump at member %d position %d: udp=%+v netsim=%+v", rank, pos, a, b)
 	}
 }
 

@@ -99,25 +99,25 @@ func mnakDef() ir.LayerDef {
 				},
 			},
 			{
-				Variant: "Nak", Tag: int64(mnakTagNak), Fields: []string{"lo", "hi"},
-				Make: func(f []int64) event.Header { return mnakNak{Lo: f[0], Hi: f[1]} },
+				Variant: "Nak", Tag: int64(mnakTagNak), Fields: []string{"origin", "lo", "hi"},
+				Make: func(f []int64) event.Header { return mnakNak{Origin: int32(f[0]), Lo: f[1], Hi: f[2]} },
 				Read: func(h event.Header) ([]int64, bool) {
 					n, ok := h.(mnakNak)
 					if !ok {
 						return nil, false
 					}
-					return []int64{n.Lo, n.Hi}, true
+					return []int64{int64(n.Origin), n.Lo, n.Hi}, true
 				},
 			},
 			{
-				Variant: "Retrans", Tag: int64(mnakTagRetrans), Fields: []string{"seqno"},
-				Make: func(f []int64) event.Header { return mnakRetrans{Seqno: f[0]} },
+				Variant: "Retrans", Tag: int64(mnakTagRetrans), Fields: []string{"origin", "seqno"},
+				Make: func(f []int64) event.Header { return mnakRetrans{Origin: int32(f[0]), Seqno: f[1]} },
 				Read: func(h event.Header) ([]int64, bool) {
 					r, ok := h.(mnakRetrans)
 					if !ok {
 						return nil, false
 					}
-					return []int64{r.Seqno}, true
+					return []int64{int64(r.Origin), r.Seqno}, true
 				},
 			},
 		},

@@ -575,7 +575,14 @@ func (s *membershipState) recordVector(from int, vec []int64, snk layer.Sink) {
 			return
 		}
 	}
-	// All survivors reported: require agreement on surviving origins.
+	// All survivors reported: require agreement on every origin,
+	// including excluded ones. An excluded member's casts may have
+	// reached some survivors and not others; installing the view anyway
+	// would let some members deliver casts the rest never see (and, with
+	// an ordering layer on top, stall the laggards behind a sequence
+	// number that can no longer be filled). The frontier in the next
+	// flush round re-NAKs such gaps, and mnak's kept-receive buffers let
+	// any survivor serve them on the unreachable origin's behalf.
 	var ref []int64
 	for r := 0; r < s.view.N(); r++ {
 		if s.excluded(r) {
@@ -586,7 +593,7 @@ func (s *membershipState) recordVector(from int, vec []int64, snk layer.Sink) {
 			continue
 		}
 		for o := 0; o < s.view.N(); o++ {
-			if !s.excluded(o) && s.vectors[r][o] != ref[o] {
+			if s.vectors[r][o] != ref[o] {
 				return // not yet stable; the timer re-drives the flush
 			}
 		}

@@ -262,16 +262,17 @@ func (s *membershipState) aggMergeMax(vec []int64) {
 	}
 }
 
-// vectorsAgree compares two receive vectors on this round's surviving
-// origins only — the flat protocol's stability condition, applied
-// pairwise up the tree. Equality is transitive, so the root's verdict
-// covers every pair of survivors.
+// vectorsAgree compares two receive vectors on every origin — the flat
+// protocol's stability condition (including excluded origins, whose
+// casts survivors must agree on; see recordVector), applied pairwise up
+// the tree. Equality is transitive, so the root's verdict covers every
+// pair of survivors.
 func (s *membershipState) vectorsAgree(a, b []int64) bool {
-	if a == nil || b == nil {
+	if a == nil || b == nil || len(a) != len(b) {
 		return false
 	}
-	for _, o := range s.agg.surv {
-		if o >= len(a) || o >= len(b) || a[o] != b[o] {
+	for o := range a {
+		if a[o] != b[o] {
 			return false
 		}
 	}

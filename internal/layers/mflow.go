@@ -26,7 +26,21 @@ type mflowState struct {
 	creditSent []int64
 	// queue holds casts blocked on exhausted credit.
 	queue []*savedMsg
+	// blockedSweeps counts consecutive timer sweeps spent with casts
+	// queued, pacing the zero-window probe.
+	blockedSweeps int
 }
+
+// mflowProbeSweeps is the zero-window probe interval in timer sweeps:
+// after this many consecutive sweeps with casts stuck in the queue, one
+// is forced out regardless of credit. Credit only returns when receivers
+// consume; if every in-flight cast was lost — or arrived undecodable,
+// which a delta-coded transport can make of a whole window after one
+// drop — consumption stops, credit never returns, and sender and
+// receivers deadlock waiting on each other. A bounded overcommit of one
+// cast per interval keeps the multicast path live so the reliability
+// layers underneath regain the evidence they need to repair the gap.
+const mflowProbeSweeps = 4
 
 // mflow header variants.
 type (
@@ -168,9 +182,36 @@ func (s *mflowState) HandleUp(ev *event.Event, snk layer.Sink) {
 		default:
 			panic(fmt.Sprintf("mflow: unexpected up header %T", h))
 		}
+	case event.ETimer:
+		if len(s.queue) > 0 {
+			s.blockedSweeps++
+			if s.blockedSweeps >= mflowProbeSweeps {
+				s.blockedSweeps = 0
+				s.probe(snk)
+			}
+		} else {
+			s.blockedSweeps = 0
+		}
+		snk.PassUp(ev)
 	default:
 		snk.PassUp(ev)
 	}
+}
+
+// probe forces the head queued cast out past an exhausted credit limit —
+// the credit scheme's zero-window probe (see mflowProbeSweeps). The
+// overcommitted bytes still count as sent, so regular releases stay
+// blocked until real credit returns.
+func (s *mflowState) probe(snk layer.Sink) {
+	m := s.queue[0]
+	s.queue[0] = nil
+	s.queue = s.queue[1:]
+	s.sentBytes += int64(len(m.payload))
+	out := event.Alloc()
+	out.Dir, out.Type = event.Dn, event.ECast
+	m.transferTo(out)
+	out.Msg.Push(mflowData{})
+	snk.PassDn(out)
 }
 
 // flush releases queued casts that now fit under the credit limit.

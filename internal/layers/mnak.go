@@ -29,6 +29,15 @@ type mnakState struct {
 	// recvBuf[o] buffers out-of-order casts from origin o.
 	recvBuf []map[int64]*savedMsg
 
+	// recvKeep[o] holds copies of already-delivered casts from origin o
+	// until stability, so any member can serve a retransmission on the
+	// origin's behalf. Without it, virtual synchrony has a hole: a cast
+	// whose origin is then partitioned away may have reached some
+	// survivors but not others, and only the (now unreachable) origin
+	// could repair the difference — the view-change flush would either
+	// hang or install a view whose members delivered different casts.
+	recvKeep []map[int64]*savedMsg
+
 	// naked[o] is the highest sequence number already NAKed to origin o,
 	// to avoid duplicate NAKs for the same gap.
 	naked []int64
@@ -43,11 +52,21 @@ type (
 	mnakData struct{ Seqno int64 }
 	// mnakPass tags point-to-point traffic passing through untouched.
 	mnakPass struct{}
-	// mnakNak requests retransmission of [Lo,Hi] from the origin.
-	mnakNak struct{ Lo, Hi int64 }
+	// mnakNak requests retransmission of origin Origin's casts [Lo,Hi].
+	// Usually addressed to the origin itself; during a view-change flush
+	// it fans out to every member, any of which may hold kept copies of
+	// an unreachable origin's casts.
+	mnakNak struct {
+		Origin int32
+		Lo, Hi int64
+	}
 	// mnakRetrans carries a retransmitted cast point-to-point to the
-	// member that NAKed it.
-	mnakRetrans struct{ Seqno int64 }
+	// member that NAKed it. Origin identifies the original sender, which
+	// need not be the retransmitting peer.
+	mnakRetrans struct {
+		Origin int32
+		Seqno  int64
+	}
 )
 
 var mnakDataPool event.HdrPool[mnakData]
@@ -63,10 +82,14 @@ func (mnakPass) Layer() string    { return Mnak }
 func (mnakNak) Layer() string     { return Mnak }
 func (mnakRetrans) Layer() string { return Mnak }
 
-func (h *mnakData) HdrString() string   { return fmt.Sprintf("mnak:Data(%d)", h.Seqno) }
-func (mnakPass) HdrString() string      { return "mnak:Pass" }
-func (h mnakNak) HdrString() string     { return fmt.Sprintf("mnak:Nak(%d,%d)", h.Lo, h.Hi) }
-func (h mnakRetrans) HdrString() string { return fmt.Sprintf("mnak:Retrans(%d)", h.Seqno) }
+func (h *mnakData) HdrString() string { return fmt.Sprintf("mnak:Data(%d)", h.Seqno) }
+func (mnakPass) HdrString() string    { return "mnak:Pass" }
+func (h mnakNak) HdrString() string {
+	return fmt.Sprintf("mnak:Nak(o=%d,%d,%d)", h.Origin, h.Lo, h.Hi)
+}
+func (h mnakRetrans) HdrString() string {
+	return fmt.Sprintf("mnak:Retrans(o=%d,%d)", h.Origin, h.Seqno)
+}
 
 func (h *mnakData) CloneHdr() event.Header { return newMnakData(h.Seqno) }
 func (h *mnakData) FreeHdr()               { mnakDataPool.Put(h) }
@@ -86,6 +109,7 @@ func init() {
 			sendBuf:  make(map[int64]*savedMsg),
 			recvNext: make([]int64, n),
 			recvBuf:  make([]map[int64]*savedMsg, n),
+			recvKeep: make([]map[int64]*savedMsg, n),
 			naked:    make([]int64, n),
 		}
 		for i := range s.naked {
@@ -105,10 +129,12 @@ func init() {
 				w.Byte(mnakTagPass)
 			case mnakNak:
 				w.Byte(mnakTagNak)
+				w.Varint(int64(h.Origin))
 				w.Varint(h.Lo)
 				w.Varint(h.Hi)
 			case mnakRetrans:
 				w.Byte(mnakTagRetrans)
+				w.Varint(int64(h.Origin))
 				w.Varint(h.Seqno)
 			default:
 				panic(fmt.Sprintf("mnak: unknown header %T", h))
@@ -121,9 +147,9 @@ func init() {
 			case mnakTagPass:
 				return mnakPass{}, nil
 			case mnakTagNak:
-				return mnakNak{Lo: r.Varint(), Hi: r.Varint()}, nil
+				return mnakNak{Origin: int32(r.Varint()), Lo: r.Varint(), Hi: r.Varint()}, nil
 			case mnakTagRetrans:
-				return mnakRetrans{Seqno: r.Varint()}, nil
+				return mnakRetrans{Origin: int32(r.Varint()), Seqno: r.Varint()}, nil
 			default:
 				return nil, transport.ErrBadWire("mnak tag %d", tag)
 			}
@@ -162,7 +188,10 @@ func (s *mnakState) HandleDn(ev *event.Event, snk layer.Sink) {
 		// has seen from an origin that we have not. Unlike data-driven
 		// gap detection, this path re-NAKs on every flush round — a lost
 		// NAK or retransmission would otherwise never be retried, since
-		// no new traffic flows while the group is blocked.
+		// no new traffic flows while the group is blocked. The NAK fans
+		// out to every member, not just the origin: the origin may be
+		// exactly the member being flushed out, and then only survivors'
+		// kept copies (recvKeep) can repair the gap.
 		for o, have := range ev.Stability {
 			if o == s.view.Rank || o >= s.view.N() {
 				continue
@@ -171,18 +200,35 @@ func (s *mnakState) HandleDn(ev *event.Event, snk layer.Sink) {
 				if have-1 > s.naked[o] {
 					s.naked[o] = have - 1
 				}
-				s.sendNak(o, s.recvNext[o], have-1, snk)
+				for target := 0; target < s.view.N(); target++ {
+					if target == s.view.Rank {
+						continue
+					}
+					s.sendNak(o, target, s.recvNext[o], have-1, snk)
+				}
 			}
 		}
 		event.Free(ev)
 	case event.EStable:
 		// Casts delivered everywhere can never be NAKed again: drop them
-		// from the retransmission buffer.
+		// from the retransmission buffer and the kept-receive buffers.
 		if me := s.view.Rank; me < len(ev.Stability) {
 			stable := ev.Stability[me]
 			for q, m := range s.sendBuf {
 				if q < stable {
 					delete(s.sendBuf, q)
+					m.release()
+				}
+			}
+		}
+		for o, keep := range s.recvKeep {
+			if o >= len(ev.Stability) {
+				break
+			}
+			stable := ev.Stability[o]
+			for q, m := range keep {
+				if q < stable {
+					delete(keep, q)
 					m.release()
 				}
 			}
@@ -221,10 +267,17 @@ func (s *mnakState) HandleUp(ev *event.Event, snk layer.Sink) {
 			s.handleNak(ev.Peer, h, snk)
 			event.Free(ev)
 		case mnakRetrans:
-			// A retransmission is a cast from the original sender,
-			// carried point-to-point: re-type and deliver.
-			ev.Type = event.ECast
-			s.deliverCast(ev.Peer, h.Seqno, ev, false, snk)
+			// A retransmission is a cast from the original sender — not
+			// necessarily the retransmitting peer — carried
+			// point-to-point: re-type and deliver under its origin.
+			if o := int(h.Origin); o >= 0 && o < s.view.N() {
+				// Re-attribute: the upper layers must see the original
+				// sender, not the retransmitting peer.
+				ev.Type, ev.Peer = event.ECast, o
+				s.deliverCast(o, h.Seqno, ev, false, snk)
+			} else {
+				event.Free(ev)
+			}
 		default:
 			panic(fmt.Sprintf("mnak: unexpected up send header %T", h))
 		}
@@ -241,6 +294,7 @@ func (s *mnakState) deliverCast(origin int, seq int64, ev *event.Event, nak bool
 	next := s.recvNext[origin]
 	switch {
 	case seq == next:
+		s.keep(origin, seq, ev)
 		s.recvNext[origin] = next + 1
 		snk.PassUp(ev)
 		s.drain(origin, snk)
@@ -256,7 +310,7 @@ func (s *mnakState) deliverCast(origin int, seq int64, ev *event.Event, nak bool
 		}
 		if nak && seq-1 > s.naked[origin] {
 			s.naked[origin] = seq - 1
-			s.sendNak(origin, next, seq-1, snk)
+			s.sendNak(origin, origin, next, seq-1, snk)
 		}
 		event.Free(ev)
 	default:
@@ -279,25 +333,50 @@ func (s *mnakState) drain(origin int, snk layer.Sink) {
 		out := event.Alloc()
 		out.Dir, out.Type, out.Peer = event.Up, event.ECast, origin
 		m.transferTo(out)
+		s.keep(origin, next, out)
 		snk.PassUp(out)
 	}
 }
 
-// sendNak emits a point-to-point retransmission request to the origin.
-func (s *mnakState) sendNak(origin int, lo, hi int64, snk layer.Sink) {
+// keep snapshots a cast being delivered into the kept-receive buffer, so
+// this member can later retransmit it on the origin's behalf (see
+// recvKeep). Called just before the delivery PassUp, while the event
+// still holds the upper layers' header stack.
+func (s *mnakState) keep(origin int, seq int64, ev *event.Event) {
+	if s.recvKeep[origin] == nil {
+		s.recvKeep[origin] = make(map[int64]*savedMsg)
+	} else if _, dup := s.recvKeep[origin][seq]; dup {
+		return
+	}
+	s.recvKeep[origin][seq] = saveMsg(ev)
+}
+
+// sendNak emits a point-to-point retransmission request for origin's
+// casts [lo,hi] to target (usually the origin itself; during a flush,
+// any member holding kept copies).
+func (s *mnakState) sendNak(origin, target int, lo, hi int64, snk layer.Sink) {
 	nak := event.Alloc()
-	nak.Dir, nak.Type, nak.Peer = event.Dn, event.ESend, origin
-	nak.Msg.Push(mnakNak{Lo: lo, Hi: hi})
+	nak.Dir, nak.Type, nak.Peer = event.Dn, event.ESend, target
+	nak.Msg.Push(mnakNak{Origin: int32(origin), Lo: lo, Hi: hi})
 	snk.PassDn(nak)
 }
 
 // handleNak retransmits the requested range point-to-point to the
-// requester. Sequence numbers already garbage-collected by stability are
-// silently skipped: stability proves the requester cannot still need
-// them (the NAK was stale).
+// requester: our own casts from the send buffer, other origins' casts
+// from the kept-receive buffer. Sequence numbers already
+// garbage-collected by stability are silently skipped: stability proves
+// the requester cannot still need them (the NAK was stale).
 func (s *mnakState) handleNak(requester int, h mnakNak, snk layer.Sink) {
+	origin := int(h.Origin)
+	if origin < 0 || origin >= s.view.N() {
+		return
+	}
+	buf := s.sendBuf
+	if origin != s.view.Rank {
+		buf = s.recvKeep[origin]
+	}
 	for q := h.Lo; q <= h.Hi; q++ {
-		m, ok := s.sendBuf[q]
+		m, ok := buf[q]
 		if !ok {
 			continue
 		}
@@ -308,7 +387,7 @@ func (s *mnakState) handleNak(requester int, h mnakNak, snk layer.Sink) {
 		// Copy: the buffered entry may be retransmitted again and the
 		// headers appended below would otherwise share its backing array.
 		rt.Msg.Headers = copyHdrs(m.hdrs)
-		rt.Msg.Push(mnakRetrans{Seqno: q})
+		rt.Msg.Push(mnakRetrans{Origin: h.Origin, Seqno: q})
 		snk.PassDn(rt)
 	}
 }

@@ -344,9 +344,14 @@ func (ep *Endpoint) Addr() event.Addr { return ep.addr }
 // effect log and is committed at the same barrier as the drain's other
 // effects. The invariant that keeps Run and RunConcurrent identical —
 // the scheduler skips members with empty mailboxes — is that a member
-// with an empty mailbox has nothing batched, which holds because
-// members only batch while handling mail (and flush direct calls
-// immediately; see InDrain).
+// with an empty mailbox batched nothing *new* since its last drain,
+// which holds because members only batch while handling mail (and
+// flush direct calls immediately; see InDrain). An adaptive flush
+// controller may carry held frames across drains, but a hold decision
+// depends only on the member's virtual clock and its own append
+// history, so a skipped drain leaves the held set untouched and
+// identical in both modes; the member's sweep timers guarantee a
+// future mailbox entry that ages the holds out.
 func (ep *Endpoint) SetDrainFlush(fn func()) { ep.flush = fn }
 
 // InDrain reports whether the endpoint is currently inside its drain

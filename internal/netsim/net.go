@@ -69,6 +69,11 @@ type Stats struct {
 	// Frames counts delivered transmissions that were batched frames;
 	// SubPackets counts the wires fanned out of them.
 	Frames, SubPackets int64
+	// GenMisses counts cross-frame deliveries that could not be decoded
+	// without mirror state the receiver lacked (each answered with one
+	// resync); StaleGenFrames counts pre-bump stragglers surfaced whole
+	// as garbage; Resyncs counts resync packets sent back.
+	GenMisses, StaleGenFrames, Resyncs int64
 }
 
 // netCounters is the live, atomically-updated form of Stats. The
@@ -79,6 +84,7 @@ type netCounters struct {
 	sent, delivered, dropped, duplicated obs.Counter
 	bytesSent, bytesOnWire               obs.Counter
 	frames, subPackets                   obs.Counter
+	genMisses, staleGenFrames, resyncs   obs.Counter
 }
 
 // Net is a simulated network attached to a Sim. It implements both
@@ -171,6 +177,9 @@ func (n *Net) Snapshot() Stats {
 	s.Duplicated = n.stats.duplicated.Load()
 	s.BytesSent = n.stats.bytesSent.Load()
 	s.BytesOnWire = n.stats.bytesOnWire.Load()
+	s.GenMisses = n.stats.genMisses.Load()
+	s.StaleGenFrames = n.stats.staleGenFrames.Load()
+	s.Resyncs = n.stats.resyncs.Load()
 	return s
 }
 
@@ -186,6 +195,9 @@ func (n *Net) RegisterMetrics(reg *obs.Registry) {
 	sc.Adopt("bytes_on_wire", &n.stats.bytesOnWire)
 	sc.Adopt("frames", &n.stats.frames)
 	sc.Adopt("sub_packets", &n.stats.subPackets)
+	sc.Adopt("gen_misses", &n.stats.genMisses)
+	sc.Adopt("stale_gen_frames", &n.stats.staleGenFrames)
+	sc.Adopt("resyncs", &n.stats.resyncs)
 }
 
 // Attach registers an endpoint. The recv callback runs on the simulator
@@ -317,10 +329,27 @@ func (n *Net) deliverNow(p Packet) {
 		return
 	}
 	n.stats.frames.Inc()
-	n.walker.Walk(p.Data, func(sub []byte) {
+	res := n.walker.WalkLink(p.From, p.To, p.Data, func(sub []byte) {
 		n.stats.subPackets.Inc()
 		q := p
 		q.Data = sub
 		recv(q)
 	})
+	n.accountXFrame(res, func(resync []byte) { n.Send(p.To, p.From, resync) })
+}
+
+// accountXFrame counts a cross-frame walk's verdict and, on a
+// generation miss, builds the resync answer and hands it to send. The
+// resync is an ordinary raw send from the receiving endpoint back to
+// the frame's sender, so the Sent/Delivered/Dropped invariant and the
+// deterministic schedule both see it as a normal transmission.
+func (n *Net) accountXFrame(res transport.WalkResult, send func(resync []byte)) {
+	if res.StaleGen {
+		n.stats.staleGenFrames.Inc()
+	}
+	if res.GenMiss {
+		n.stats.genMisses.Inc()
+		n.stats.resyncs.Inc()
+		send(transport.AppendResync(nil, res.Cast, res.Gen))
+	}
 }

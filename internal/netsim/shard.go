@@ -20,9 +20,24 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ensemble/internal/event"
 	"ensemble/internal/obs"
 	"ensemble/internal/transport"
 )
+
+// resyncReq is one queued request to answer a cross-frame generation
+// miss. routePhase cannot emit traffic (shards route in parallel and
+// sends draw from the RNG at commit time), so arrive records the
+// request and the next commitPhase answers it — before replaying
+// member effects, at the queued arrival time — keeping resync emission
+// a deterministic function of the schedule.
+type resyncReq struct {
+	t    int64
+	from event.Addr // the victim receiver, which emits the resync
+	to   event.Addr // the sender whose delta chain must restart
+	cast bool
+	gen  uint64
+}
 
 // shardEvent is one scheduled occurrence inside a shard: a packet
 // arrival (kind sevArrive) or a deferred function destined for a
@@ -94,6 +109,10 @@ type shard struct {
 	// during commit and drained only by the target during barrier
 	// ingest, so no lock is needed.
 	outbox [][]shardEvent
+
+	// resyncQ accumulates generation-miss resync requests observed
+	// during routePhase, drained at the top of the next commitPhase.
+	resyncQ []resyncReq
 
 	// detachQ defers Net-level detach (map and cast-order mutation) to
 	// the barrier: commits run in parallel, and the shared Net tables
@@ -217,13 +236,21 @@ func (s *shard) arrive(ep *Endpoint, t int64, p Packet) {
 	// The walker runs in stable mode, so delta-reconstructed subs (like
 	// classic ones, which alias the per-transmit frame copy) stay valid
 	// from this mailbox append through the member's drain-phase
-	// consumption and beyond.
-	s.walker.Walk(p.Data, func(sub []byte) {
+	// consumption and beyond. Per-link mirror state is consistent
+	// because deliveries to an endpoint always run on its owning shard.
+	res := s.walker.WalkLink(p.From, p.To, p.Data, func(sub []byte) {
 		s.c.net.stats.subPackets.Inc()
 		q := p
 		q.Data = sub
 		ep.mailbox = append(ep.mailbox, mail{t: t, pkt: q})
 	})
+	if res.StaleGen {
+		s.c.net.stats.staleGenFrames.Inc()
+	}
+	if res.GenMiss {
+		s.c.net.stats.genMisses.Inc()
+		s.resyncQ = append(s.resyncQ, resyncReq{t: t, from: p.To, to: p.From, cast: res.Cast, gen: res.Gen})
+	}
 }
 
 // commitPhase replays the effect logs of this shard's members in
@@ -231,6 +258,21 @@ func (s *shard) arrive(ep *Endpoint, t int64, p Packet) {
 // touches the RNG and heaps — and each shard touches only its own,
 // which is what lets commits run in parallel.
 func (s *shard) commitPhase() {
+	// Answer the generation misses the last route phase observed before
+	// replaying member effects: the resync packet leaves the victim at
+	// its arrival time, through the ordinary send path (RNG draw, loss,
+	// delay), so Run and RunConcurrent emit identical resync traffic.
+	if len(s.resyncQ) > 0 {
+		rq := s.resyncQ
+		s.resyncQ = s.resyncQ[:0]
+		for i := range rq {
+			r := &rq[i]
+			s.commitBase = r.t
+			s.c.net.stats.resyncs.Inc()
+			s.c.net.sendVia(s.rng, s, r.from, r.to, transport.AppendResync(nil, r.cast, r.gen))
+			rq[i] = resyncReq{}
+		}
+	}
 	for _, ep := range s.eps {
 		effs := ep.effects
 		ep.effects = ep.effects[:0]

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -60,6 +61,20 @@ type UDPNet struct {
 	drainFlush func()
 	draining   atomic.Bool
 
+	// rebind, when set, runs on the Run goroutine after a known peer's
+	// datagram arrives from a new socket address — the member hooks it
+	// to restart its cross-frame delta chains toward the (presumably
+	// restarted) peer. Guarded by mu like the other hooks.
+	rebind func(event.Addr)
+
+	// lossP/lossRng inject receive-side frame loss for equivalence
+	// testing: batched frames are dropped with probability lossP before
+	// decode, on the Run goroutine only (so the draw order is the
+	// delivery order). Control packets — including resyncs — are never
+	// dropped, so recovery traffic survives the injected loss.
+	lossP   float64
+	lossRng *rand.Rand
+
 	// syncs holds the waiters Sync parked until the current burst —
 	// including its end-of-burst flush — completes. Appended to and
 	// drained on the Run goroutine only.
@@ -84,6 +99,7 @@ type udpPeer struct {
 type udpCounters struct {
 	datagrams, bytesOnWire, sendErrors, droppedOnClose obs.Counter
 	unknownSource, peerMoves                           obs.Counter
+	genMisses, staleGenFrames, resyncs, injectedDrops  obs.Counter
 }
 
 // UDPStats counts the socket-side traffic. Every datagram handed to
@@ -116,6 +132,18 @@ type UDPStats struct {
 	// record (a restarted process rebinding, typically ephemerally).
 	// The new address replaces the old for subsequent sends.
 	PeerMoves int64
+	// GenMisses counts cross-frame (0xB9) arrivals whose first sub
+	// needed a peer base this endpoint did not hold (a lost or reordered
+	// predecessor); each one was answered with a resync request.
+	GenMisses int64
+	// StaleGenFrames counts cross-frame arrivals tagged with a
+	// generation older than the mirror's — late traffic from before a
+	// chain restart, dropped as garbage without a resync.
+	StaleGenFrames int64
+	// Resyncs counts resync requests this endpoint sent.
+	Resyncs int64
+	// InjectedDrops counts frames discarded by SetRecvLoss.
+	InjectedDrops int64
 }
 
 // maxBurst bounds how many mailbox items one burst may absorb before a
@@ -186,6 +214,10 @@ func (u *UDPNet) Snapshot() UDPStats {
 		DroppedOnClose: u.stats.droppedOnClose.Load(),
 		UnknownSource:  u.stats.unknownSource.Load(),
 		PeerMoves:      u.stats.peerMoves.Load(),
+		GenMisses:      u.stats.genMisses.Load(),
+		StaleGenFrames: u.stats.staleGenFrames.Load(),
+		Resyncs:        u.stats.resyncs.Load(),
+		InjectedDrops:  u.stats.injectedDrops.Load(),
 	}
 }
 
@@ -199,6 +231,33 @@ func (u *UDPNet) RegisterMetrics(reg *obs.Registry) {
 	sc.Adopt("dropped_on_close", &u.stats.droppedOnClose)
 	sc.Adopt("unknown_source", &u.stats.unknownSource)
 	sc.Adopt("peer_moves", &u.stats.peerMoves)
+	sc.Adopt("gen_misses", &u.stats.genMisses)
+	sc.Adopt("stale_gen_frames", &u.stats.staleGenFrames)
+	sc.Adopt("resyncs", &u.stats.resyncs)
+	sc.Adopt("injected_drops", &u.stats.injectedDrops)
+}
+
+// SetRebindHook registers fn to run on the Run goroutine when a known
+// peer's datagrams start arriving from a new socket address (the
+// process behind the identity restarted). A member hooks this to bump
+// its cross-frame generation toward the peer, so its next frame is
+// decodable by the peer's fresh, mirror-less state without waiting for
+// a resync round trip.
+func (u *UDPNet) SetRebindHook(fn func(event.Addr)) {
+	u.mu.Lock()
+	u.rebind = fn
+	u.mu.Unlock()
+}
+
+// SetRecvLoss arranges for incoming batched frames to be dropped with
+// probability prob (deterministically per seed) before decode — a
+// receive-side loss injector for exercising the cross-frame resync
+// path over real sockets. Control packets, including resyncs, are
+// never dropped. Call before Run; the draw happens on the Run
+// goroutine in delivery order.
+func (u *UDPNet) SetRecvLoss(prob float64, seed int64) {
+	u.lossP = prob
+	u.lossRng = rand.New(rand.NewSource(seed))
 }
 
 // Attach implements the member network contract.
@@ -443,9 +502,24 @@ func (u *UDPNet) identify(data []byte, raddr *net.UDPAddr) ([]byte, event.Addr, 
 				if cur := p.addr.Load(); cur == nil || cur.Port != raddr.Port || !cur.IP.Equal(raddr.IP) {
 					// Known peer, new socket address: the process behind
 					// the identity rebound. Track it so replies reach the
-					// new binding instead of the stale hosts-file one.
+					// new binding instead of the stale hosts-file one, and
+					// restart cross-frame state on the Run goroutine: the
+					// receive mirrors for the old incarnation are invalid,
+					// and the member (via the rebind hook) bumps its send
+					// generation so the fresh peer can decode without a
+					// resync round trip. identify runs on the reader
+					// goroutine, so the work is posted, not done inline.
 					p.addr.Store(raddr)
 					u.stats.peerMoves.Inc()
+					u.Do(func() {
+						u.walker.InvalidateFrom(from)
+						u.mu.Lock()
+						hook := u.rebind
+						u.mu.Unlock()
+						if hook != nil {
+							hook(from)
+						}
+					})
 				}
 				return data[1+n:], from, true
 			}
@@ -476,11 +550,28 @@ func (u *UDPNet) deliver(p Packet) {
 		recv(p)
 		return
 	}
-	u.walker.Walk(p.Data, func(sub []byte) {
+	if u.lossRng != nil && u.lossP > 0 && u.lossRng.Float64() < u.lossP {
+		u.stats.injectedDrops.Inc()
+		return
+	}
+	res := u.walker.WalkLink(p.From, p.To, p.Data, func(sub []byte) {
 		q := p
 		q.Data = sub
 		recv(q)
 	})
+	if res.StaleGen {
+		u.stats.staleGenFrames.Inc()
+	}
+	if res.GenMiss {
+		// A cross-frame arrival we could not anchor: ask the sender to
+		// restart its delta chain. The resync is a raw control datagram —
+		// not a frame — so injected loss cannot eat the recovery.
+		u.stats.genMisses.Inc()
+		if pr, ok := u.peers[p.From]; ok {
+			u.stats.resyncs.Inc()
+			u.write(transport.AppendResync(nil, res.Cast, res.Gen), pr.addr.Load())
+		}
+	}
 }
 
 // addrOf maps a socket address back to a member address — the legacy

@@ -180,7 +180,7 @@ func TestUDPBurstFlushCoalesces(t *testing.T) {
 	// Stand in for a member: a batcher flushed by the burst-end hook.
 	batch := transport.NewBatcher(a, 1, 0)
 	batch.EnableDelta(transport.EpochPrefixUvarints)
-	a.SetDrainFlush(batch.Flush)
+	a.SetDrainFlush(func() { batch.Flush() })
 
 	var mu sync.Mutex
 	var got [][]byte
@@ -259,7 +259,7 @@ func TestUDPCloseDropsPendingBatch(t *testing.T) {
 
 	batch := transport.NewBatcher(a, 1, 0)
 	batch.EnableDelta(transport.EpochPrefixUvarints)
-	a.SetDrainFlush(batch.Flush)
+	a.SetDrainFlush(func() { batch.Flush() })
 
 	done := make(chan error, 1)
 	go func() { done <- a.Run() }()

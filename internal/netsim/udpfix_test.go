@@ -191,7 +191,7 @@ func TestUDPCloseFlushRace(t *testing.T) {
 	for iter := 0; iter < 25; iter++ {
 		a, b := udpPair(t)
 		batch := transport.NewBatcher(a, 1, 0)
-		a.SetDrainFlush(batch.Flush)
+		a.SetDrainFlush(func() { batch.Flush() })
 		runDone := make(chan error, 1)
 		go func() { runDone <- a.Run() }()
 		go b.Run()
@@ -234,7 +234,7 @@ func TestUDPSyncFlushesBeforeClose(t *testing.T) {
 	a, b := udpPair(t)
 	defer b.Close()
 	batch := transport.NewBatcher(a, 1, 0)
-	a.SetDrainFlush(batch.Flush)
+	a.SetDrainFlush(func() { batch.Flush() })
 	go a.Run()
 	go b.Run()
 

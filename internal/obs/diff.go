@@ -201,7 +201,7 @@ func ParseKind(name string) (Kind, bool) {
 			return k, true
 		}
 	}
-	for k := KindPktOut; k <= KindCCPMiss; k++ {
+	for k := KindPktOut; k <= KindFlushDecision; k++ {
 		if strings.EqualFold(k.String(), name) {
 			return k, true
 		}

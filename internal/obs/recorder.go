@@ -34,6 +34,10 @@ const (
 	KindCCPHit
 	// KindCCPMiss marks a MACH engine falling through to the full stack.
 	KindCCPMiss
+	// KindFlushDecision marks an adaptive flush controller verdict that
+	// left frames pending at a flush point: Layer carries the
+	// transport.FlushCause and Seq the sub-packets still held.
+	KindFlushDecision
 )
 
 // String names the kind; event-mirroring kinds borrow event.Type names.
@@ -58,6 +62,8 @@ func (k Kind) String() string {
 		return "CCPHit"
 	case KindCCPMiss:
 		return "CCPMiss"
+	case KindFlushDecision:
+		return "FlushDecision"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }

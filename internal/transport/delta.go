@@ -23,13 +23,20 @@ package transport
 //	    flag & 0x01  (delta):  optional fields selected by the flag bits
 //	                           (0x02 epoch: prefix uvarints; 0x04 stack
 //	                           id: 2 bytes; 0x08 sender: uvarint), then
-//	                           varint seqno delta, uvarint rest length,
-//	                           rest bytes (the remaining varying fields
-//	                           and payload, verbatim)
+//	                           varint seqno delta; if 0x20 is set, a
+//	                           uvarint shared-suffix length s; uvarint
+//	                           rest length, rest bytes — the remaining
+//	                           varying fields and payload, verbatim,
+//	                           followed (when 0x20) by the previous
+//	                           sub's last s bytes
 //	    flag == 0x10 (prefix): uvarint shared-prefix length n, uvarint
 //	                           rest length, rest bytes — the sub is the
 //	                           previous sub's first n bytes followed by
 //	                           rest, verbatim
+//	    flag == 0x30 (prefix+suffix): uvarint n, uvarint s, uvarint mid
+//	                           length, mid bytes — the sub is the
+//	                           previous sub's first n bytes, mid, then
+//	                           the previous sub's last s bytes
 //	}
 //
 // The 0x10 prefix form is the shape-agnostic fallback for wires the
@@ -38,6 +45,14 @@ package transport
 // most of their header bytes even though the coder has no model of their
 // fields, so eliding the shared byte prefix against the previous sub
 // still recovers most of the redundancy.
+//
+// The 0x20 suffix bit (both forms) recovers the redundancy *after* the
+// varying bytes: consecutive wires typically differ in one or two
+// mid-header varints and a few low payload bytes while their tails —
+// trailing header fields, the high bytes of little-endian stamps —
+// repeat verbatim, so the encoder elides the longest shared byte suffix
+// against the previous sub the same way the prefix forms elide the
+// front.
 //
 // Any sub can fall back to full encoding — a wire that is not a
 // compressed image (CCP miss, control traffic) and shares no useful
@@ -76,12 +91,20 @@ const (
 	deltaStack  = 0x04 // stack id differs: explicit 2 bytes follow
 	deltaSender = 0x08 // sender differs: explicit uvarint follows
 	subPrefix   = 0x10 // shared byte prefix of the previous sub, then rest
-	deltaKnown  = subIsDelta | deltaEpoch | deltaStack | deltaSender
+	deltaSuffix = 0x20 // shared byte suffix of the previous sub elided
+	deltaKnown  = subIsDelta | deltaEpoch | deltaStack | deltaSender | deltaSuffix
+	// subPrefixSuffix is the prefix form with a shared suffix too: the sub
+	// is prev[:n] + mid + prev[len(prev)-s:].
+	subPrefixSuffix = subPrefix | deltaSuffix
 )
 
 // minPrefixLen is the shortest shared prefix worth eliding: below four
 // bytes the flag byte and the two uvarint lengths eat the saving.
 const minPrefixLen = 4
+
+// minSuffixLen is the shortest shared suffix worth eliding: the elision
+// costs one extra uvarint, so a one-byte suffix is a wash.
+const minSuffixLen = 2
 
 // commonPrefixLen is the length of the longest shared byte prefix.
 func commonPrefixLen(a, b []byte) int {
@@ -91,6 +114,19 @@ func commonPrefixLen(a, b []byte) int {
 	}
 	i := 0
 	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// commonSuffixLen is the length of the longest shared byte suffix.
+func commonSuffixLen(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[len(a)-1-i] == b[len(b)-1-i] {
 		i++
 	}
 	return i
@@ -171,13 +207,20 @@ func parseSub(wire []byte, nPrefix int) (m subMeta) {
 	return
 }
 
-// appendDeltaSub encodes wire (parsed as cur) against base into buf.
-// It reports false — leaving buf untouched — when the seqno delta would
-// overflow; the caller then falls back to a full sub.
-func appendDeltaSub(buf []byte, wire []byte, cur, base subMeta, nPrefix int) ([]byte, bool) {
+// appendDeltaSub encodes wire (parsed as cur) against base into buf;
+// prev is the previous sub's full bytes, the base for shared-suffix
+// elision of the rest. It reports false — leaving buf untouched — when
+// the seqno delta would overflow; the caller then falls back to a full
+// sub.
+func appendDeltaSub(buf []byte, wire []byte, cur, base subMeta, nPrefix int, prev []byte) ([]byte, bool) {
 	d := cur.seq - base.seq
 	if (cur.seq >= base.seq) != (d >= 0) {
 		return buf, false
+	}
+	rest := wire[cur.restOff:]
+	s := commonSuffixLen(rest, prev)
+	if s < minSuffixLen {
+		s = 0
 	}
 	flag := byte(subIsDelta)
 	if cur.prefix != base.prefix {
@@ -188,6 +231,9 @@ func appendDeltaSub(buf []byte, wire []byte, cur, base subMeta, nPrefix int) ([]
 	}
 	if cur.sender != base.sender {
 		flag |= deltaSender
+	}
+	if s > 0 {
+		flag |= deltaSuffix
 	}
 	buf = append(buf, flag)
 	if flag&deltaEpoch != 0 {
@@ -202,9 +248,12 @@ func appendDeltaSub(buf []byte, wire []byte, cur, base subMeta, nPrefix int) ([]
 		buf = binary.AppendUvarint(buf, cur.sender)
 	}
 	buf = binary.AppendVarint(buf, d)
-	rest := wire[cur.restOff:]
-	buf = binary.AppendUvarint(buf, uint64(len(rest)))
-	return append(buf, rest...), true
+	if s > 0 {
+		buf = binary.AppendUvarint(buf, uint64(s))
+	}
+	mid := rest[:len(rest)-s]
+	buf = binary.AppendUvarint(buf, uint64(len(mid)))
+	return append(buf, mid...), true
 }
 
 // FrameWalker unpacks batched frames — classic and delta — into their
@@ -229,6 +278,9 @@ type FrameWalker struct {
 	stable  bool
 	base    subMeta
 	scratch []byte
+	// links holds the per-(from, to, cast) cross-frame mirrors WalkLink
+	// maintains (see xframe.go); plain Walk never touches them.
+	links map[linkKey]*linkMirror
 }
 
 // NewFrameWalker builds a walker; see the type comment for the knobs.
@@ -243,33 +295,59 @@ func NewFrameWalker(prefixUvarints int, stableSubs bool) *FrameWalker {
 // order, and returns the number of subs surfaced. Non-frames surface
 // whole; classic frames behave exactly like WalkFrame; delta frames
 // additionally reconstruct delta subs (see FrameWalker for lifetimes).
-// Malformed framing — truncated fields, a delta sub with no base, flag
-// bytes with unknown bits, overrunning lengths, an overflowing seqno
-// delta — surfaces the remaining bytes (from the offending sub's flag
-// byte on) as one final garbage sub, so the sender's byte count is
-// always accounted for downstream (stray-packet accounting), and never
-// panics.
+// Cross-frame (0xB9) frames decode statelessly — a link-blind caller
+// can always decode a frame whose first sub rides full, and one that
+// needed the cross-frame base lands in garbage accounting; WalkLink is
+// the mirror-keeping entry point. Malformed framing — truncated fields,
+// a delta sub with no base, flag bytes with unknown bits, overrunning
+// lengths, an overflowing seqno delta — surfaces the remaining bytes
+// (from the offending sub's flag byte on) as one final garbage sub, so
+// the sender's byte count is always accounted for downstream
+// (stray-packet accounting), and never panics.
 func (w *FrameWalker) Walk(data []byte, fn func(sub []byte)) int {
+	if IsXFrame(data) {
+		_, _, _, off, ok := parseXHeader(data)
+		if !ok {
+			fn(data)
+			return 1
+		}
+		w.base = subMeta{}
+		subs, _, _ := w.walkSubs(data, off, nil, fn)
+		return subs
+	}
 	if !IsDeltaFrame(data) {
 		return WalkFrame(data, fn)
 	}
 	w.base = subMeta{}
+	subs, _, _ := w.walkSubs(data, 1, nil, fn)
+	return subs
+}
+
+// walkSubs decodes the delta sub grammar from data[off:]. The caller
+// pre-seeds w.base and prev (zero/nil for a self-contained frame, the
+// link mirror for cross-frame continuity). It returns the subs surfaced
+// (a trailing garbage sub included), the last surfaced sub's bytes (the
+// seeded prev if none), and whether the decode ran clean — !clean means
+// the tail from the offending sub's flag byte on went to fn as garbage.
+func (w *FrameWalker) walkSubs(data []byte, off int, prev []byte, fn func(sub []byte)) (int, []byte, bool) {
 	// prev is the previous surfaced sub's bytes — the base for subPrefix
-	// reconstruction. It may point into data (full subs) or into out
-	// (reconstructed subs); out is never truncated mid-walk, and growth
-	// leaves earlier backing arrays readable, so prev stays valid.
-	var prev []byte
+	// reconstruction. It may point into data (full subs), into out
+	// (reconstructed subs), or into mirror-owned storage (the seed); out
+	// is never truncated mid-walk, and growth leaves earlier backing
+	// arrays readable, so prev stays valid.
 	var out []byte
 	if !w.stable {
 		out = w.scratch[:0]
 	}
 	subs := 0
-	off := 1
 	for off < len(data) {
 		subStart := off
-		garbage := func() int {
+		garbage := func() (int, []byte, bool) {
 			fn(data[subStart:])
-			return subs + 1
+			if !w.stable {
+				w.scratch = out[:0]
+			}
+			return subs + 1, prev, false
 		}
 		flag := data[off]
 		off++
@@ -291,15 +369,25 @@ func (w *FrameWalker) Walk(data []byte, fn func(sub []byte)) int {
 			off = end
 			continue
 		}
-		if flag == subPrefix {
+		if flag == subPrefix || flag == subPrefixSuffix {
 			// Shared-prefix sub: the previous sub's first n bytes plus an
-			// explicit rest. No base (first in frame) or a prefix longer
-			// than the previous sub is undecodable.
+			// explicit rest — and, in the prefix+suffix form, the previous
+			// sub's last s bytes after it. No base (first in frame with
+			// nothing seeded) or an elided run longer than the previous
+			// sub is undecodable.
 			n, k := binary.Uvarint(data[off:])
 			if k <= 0 || prev == nil || n > uint64(len(prev)) {
 				return garbage()
 			}
 			off += k
+			var sfx uint64
+			if flag == subPrefixSuffix {
+				sfx, k = binary.Uvarint(data[off:])
+				if k <= 0 || sfx > uint64(len(prev)) {
+					return garbage()
+				}
+				off += k
+			}
 			m, k := binary.Uvarint(data[off:])
 			if k <= 0 {
 				return garbage()
@@ -312,6 +400,9 @@ func (w *FrameWalker) Walk(data []byte, fn func(sub []byte)) int {
 			start := len(out)
 			out = append(out, prev[:n]...)
 			out = append(out, data[off:end]...)
+			if sfx > 0 {
+				out = append(out, prev[uint64(len(prev))-sfx:]...)
+			}
 			sub := out[start:len(out):len(out)]
 			w.base = parseSub(sub, w.nPrefix)
 			prev = sub
@@ -322,8 +413,8 @@ func (w *FrameWalker) Walk(data []byte, fn func(sub []byte)) int {
 		}
 		if flag&subIsDelta == 0 || flag&^byte(deltaKnown) != 0 || !w.base.ok {
 			// Unknown flag bits, or a delta sub with nothing to be a
-			// delta of (first in frame, or after an unparseable full
-			// sub): the tail is undecodable from here on.
+			// delta of (first in frame with no seeded base, or after an
+			// unparseable full sub): the tail is undecodable from here on.
 			return garbage()
 		}
 		cur := w.base
@@ -362,6 +453,17 @@ func (w *FrameWalker) Walk(data []byte, fn func(sub []byte)) int {
 			return garbage()
 		}
 		cur.seq = seq
+		var sfx uint64
+		if flag&deltaSuffix != 0 {
+			// Shared-suffix elision: the rest's last sfx bytes are the
+			// previous sub's tail. No previous sub, or a suffix longer
+			// than it, is undecodable.
+			sfx, k = binary.Uvarint(data[off:])
+			if k <= 0 || prev == nil || sfx > uint64(len(prev)) {
+				return garbage()
+			}
+			off += k
+		}
 		n, k := binary.Uvarint(data[off:])
 		if k <= 0 {
 			return garbage()
@@ -384,6 +486,9 @@ func (w *FrameWalker) Walk(data []byte, fn func(sub []byte)) int {
 		out = binary.AppendVarint(out, cur.seq)
 		cur.restOff = len(out) - start
 		out = append(out, data[off:end]...)
+		if sfx > 0 {
+			out = append(out, prev[uint64(len(prev))-sfx:]...)
+		}
 		w.base = cur
 		sub := out[start:len(out):len(out)]
 		prev = sub
@@ -394,5 +499,5 @@ func (w *FrameWalker) Walk(data []byte, fn func(sub []byte)) int {
 	if !w.stable {
 		w.scratch = out[:0]
 	}
-	return subs
+	return subs, prev, true
 }

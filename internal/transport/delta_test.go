@@ -456,12 +456,14 @@ func FuzzFrameWalker(f *testing.F) {
 	prefixSeed, _ := mustDeltaFrame(0, []byte("opaque-one"), []byte("opaque-two"))
 	f.Add(prefixSeed)
 	f.Add([]byte{DeltaFrameMagic, subPrefix, 0x04, 0x00})
+	f.Add([]byte{XFrameMagic, 0x00, 0x01, 0x01, subIsDelta, 0x02, 0x00})
+	f.Add([]byte{XFrameMagic, 0x01, 0x03, 0x02, subFull, 0x01, 0xAB})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		for _, nPrefix := range []int{0, 2} {
 			for _, stable := range []bool{true, false} {
 				w := NewFrameWalker(nPrefix, stable)
 				n := w.Walk(data, func([]byte) {})
-				if len(data) > 0 && n == 0 && data[0] != FrameMagic && data[0] != DeltaFrameMagic {
+				if len(data) > 0 && n == 0 && data[0] != FrameMagic && data[0] != DeltaFrameMagic && data[0] != XFrameMagic {
 					t.Fatalf("non-frame surfaced no subs")
 				}
 				w.Walk(data, func([]byte) {}) // walker state survives reuse

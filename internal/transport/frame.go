@@ -40,11 +40,12 @@ const FrameMagic = 0xB7
 // rather than grown past roughly one MTU's worth of sub-packets.
 const DefaultFrameBytes = 1400
 
-// IsFrame reports whether data begins a batched frame — classic or
-// delta-compressed (see delta.go). Pair it with FrameWalker.Walk, which
-// decodes both; WalkFrame below decodes only the classic format.
+// IsFrame reports whether data begins a batched frame — classic,
+// delta-compressed (delta.go), or cross-frame (xframe.go). Pair it with
+// FrameWalker.Walk (or WalkLink, which activates cross-frame state);
+// WalkFrame below decodes only the classic format.
 func IsFrame(data []byte) bool {
-	return len(data) > 0 && (data[0] == FrameMagic || data[0] == DeltaFrameMagic)
+	return len(data) > 0 && (data[0] == FrameMagic || data[0] == DeltaFrameMagic || data[0] == XFrameMagic)
 }
 
 // WalkFrame fans a batched frame out into its sub-packets, calling fn
@@ -140,6 +141,38 @@ type BatcherStats struct {
 	// FrameBytes counts frame bytes handed to the sink — the batcher's
 	// own bytes-on-wire figure, for substrates that do not keep one.
 	FrameBytes int64
+	// XFrames counts cross-frame (generation-tagged) frames created;
+	// XFirstFull and XFirstDelta split them by whether the first sub rode
+	// full or encoded against the previous frame's last sub — the figure
+	// that says how often the cross-frame base actually paid off.
+	XFrames, XFirstFull, XFirstDelta int64
+	// GenBumps counts local generation bumps (view installs, peer
+	// rebinds); ResyncBumps counts bumps forced by a peer's resync packet
+	// (a detected drop or a restarted receiver).
+	GenBumps, ResyncBumps int64
+	// Holds counts frames the adaptive flush controller kept pending at a
+	// flush point that would otherwise have emitted them.
+	Holds int64
+}
+
+// Add accumulates o into s — for harnesses aggregating the per-member
+// batching counters of a whole group.
+func (s *BatcherStats) Add(o BatcherStats) {
+	s.SubPackets += o.SubPackets
+	s.Frames += o.Frames
+	s.Flushes += o.Flushes
+	s.SizeFlushes += o.SizeFlushes
+	s.EntryEndFlushes += o.EntryEndFlushes
+	s.BarrierFlushes += o.BarrierFlushes
+	s.DeltaSubs += o.DeltaSubs
+	s.PrefixSubs += o.PrefixSubs
+	s.FrameBytes += o.FrameBytes
+	s.XFrames += o.XFrames
+	s.XFirstFull += o.XFirstFull
+	s.XFirstDelta += o.XFirstDelta
+	s.GenBumps += o.GenBumps
+	s.ResyncBumps += o.ResyncBumps
+	s.Holds += o.Holds
 }
 
 // batchFrame is one pending coalesced frame: a cast frame fans out to
@@ -153,6 +186,11 @@ type batchFrame struct {
 	// next append. Tail-only append makes this well defined: only the
 	// newest frame ever grows, so one base per frame is the whole state.
 	base subMeta
+	// st is the destination chain's state (set when cross-frame or
+	// adaptive flush is on) and born the frame's creation time (adaptive
+	// flush only) — cached here so flush decisions skip the map.
+	st   *peerState
+	born int64
 }
 
 // Batcher coalesces outgoing wire images into per-destination frames.
@@ -175,6 +213,18 @@ type Batcher struct {
 	// is the epoch prefix length the sub parser expects (see delta.go).
 	delta   bool
 	nPrefix int
+	// xframe selects the cross-frame format (magic XFrameMagic, implies
+	// delta): frames carry generation-tagged headers and chain their
+	// delta state across frame boundaries per destination (xframe.go).
+	xframe bool
+	// peers holds the per-chain generation/shadow/cadence state, keyed by
+	// destination (one shared entry for the cast chain).
+	peers map[xKey]*peerState
+	// adaptive enables the per-destination flush controller: now is the
+	// owner's clock and aCfg its tuning (xframe.go).
+	adaptive bool
+	now      func() int64
+	aCfg     AdaptiveFlushConfig
 
 	frames []batchFrame
 	free   [][]byte
@@ -221,10 +271,22 @@ func (b *Batcher) EnableDelta(prefixUvarints int) {
 }
 
 // DisableDelta restores the classic frame format — the ablation knob for
-// measuring what delta compression buys.
+// measuring what delta compression buys. Cross-frame encoding rides on
+// delta, so it is disabled too.
 func (b *Batcher) DisableDelta() {
 	b.Flush()
 	b.delta = false
+	b.xframe = false
+}
+
+// DisableCrossFrame drops back from the cross-frame format to plain
+// intra-frame delta — the ablation knob that isolates what chaining the
+// delta state across frame boundaries buys on top of 0xB8. Pending
+// frames are flushed first; per-chain generation state is kept, so
+// re-enabling resumes where the chains left off.
+func (b *Batcher) DisableCrossFrame() {
+	b.Flush()
+	b.xframe = false
 }
 
 // DeltaEnabled reports whether the delta frame format is selected.
@@ -248,6 +310,20 @@ func (b *Batcher) append(cast bool, to event.Addr, wire []byte) {
 	b.stats.SubPackets++
 	need := 1 + binary.MaxVarintLen32 + len(wire)
 	f := b.tail(cast, to, need)
+	if b.adaptive && f.st != nil {
+		// Feed the chain's append-cadence estimate: a fast EWMA of the
+		// inter-append gap, the signal the flush controller holds on.
+		now := b.now()
+		if f.st.lastAppend >= 0 {
+			gap := now - f.st.lastAppend
+			if f.st.gapEWMA < 0 {
+				f.st.gapEWMA = gap
+			} else {
+				f.st.gapEWMA = (3*f.st.gapEWMA + gap) / 4
+			}
+		}
+		f.st.lastAppend = now
+	}
 	if b.delta {
 		b.appendDelta(f, wire)
 	} else {
@@ -270,23 +346,45 @@ func (b *Batcher) append(cast bool, to event.Addr, wire []byte) {
 // following delta sub can never refer past an opaque one) and the next
 // prefix base.
 func (b *Batcher) appendDelta(f *batchFrame, wire []byte) {
+	// In a cross-frame frame the first sub may encode against the
+	// previous frame's last sub (the seeded base/prev): count how often
+	// that pays off versus riding full.
+	first := b.xframe && f.subs == 0
 	cur := parseSub(wire, b.nPrefix)
 	if cur.ok && f.base.ok {
-		if buf, ok := appendDeltaSub(f.buf, wire, cur, f.base, b.nPrefix); ok {
+		if buf, ok := appendDeltaSub(f.buf, wire, cur, f.base, b.nPrefix, b.prev); ok {
 			f.buf = buf
 			f.base = cur
 			b.stats.DeltaSubs++
+			if first {
+				b.stats.XFirstDelta++
+			}
 			b.prev = append(b.prev[:0], wire...)
 			return
 		}
 	}
 	if n := commonPrefixLen(b.prev, wire); n >= minPrefixLen {
-		f.buf = append(f.buf, subPrefix)
-		f.buf = binary.AppendUvarint(f.buf, uint64(n))
-		f.buf = binary.AppendUvarint(f.buf, uint64(len(wire)-n))
-		f.buf = append(f.buf, wire[n:]...)
+		s := commonSuffixLen(wire[n:], b.prev[n:])
+		if s < minSuffixLen {
+			s = 0
+		}
+		if s > 0 {
+			f.buf = append(f.buf, subPrefixSuffix)
+			f.buf = binary.AppendUvarint(f.buf, uint64(n))
+			f.buf = binary.AppendUvarint(f.buf, uint64(s))
+			f.buf = binary.AppendUvarint(f.buf, uint64(len(wire)-n-s))
+			f.buf = append(f.buf, wire[n:len(wire)-s]...)
+		} else {
+			f.buf = append(f.buf, subPrefix)
+			f.buf = binary.AppendUvarint(f.buf, uint64(n))
+			f.buf = binary.AppendUvarint(f.buf, uint64(len(wire)-n))
+			f.buf = append(f.buf, wire[n:]...)
+		}
 		f.base = cur
 		b.stats.PrefixSubs++
+		if first {
+			b.stats.XFirstDelta++
+		}
 		b.prev = append(b.prev[:0], wire...)
 		return
 	}
@@ -294,6 +392,9 @@ func (b *Batcher) appendDelta(f *batchFrame, wire []byte) {
 	f.buf = binary.AppendUvarint(f.buf, uint64(len(wire)))
 	f.buf = append(f.buf, wire...)
 	f.base = cur
+	if first {
+		b.stats.XFirstFull++
+	}
 	b.prev = append(b.prev[:0], wire...)
 }
 
@@ -308,32 +409,89 @@ func (b *Batcher) tail(cast bool, to event.Addr, need int) *batchFrame {
 			return f
 		}
 	}
+	// The current tail stops being appendable: bank its trailing state as
+	// the chain's cross-frame shadow before b.prev is repurposed.
+	b.closeTail()
 	var buf []byte
 	if n := len(b.free); n > 0 {
 		buf = b.free[n-1]
 		b.free = b.free[:n-1]
 	}
-	magic := byte(FrameMagic)
-	if b.delta {
-		magic = DeltaFrameMagic
+	var st *peerState
+	if b.xframe || b.adaptive {
+		st = b.peer(cast, to)
 	}
-	b.prev = b.prev[:0] // a fresh frame has no in-frame predecessor
-	b.frames = append(b.frames, batchFrame{cast: cast, to: to, buf: append(buf[:0], magic)})
+	b.prev = b.prev[:0] // a fresh frame has no in-frame predecessor...
+	var base subMeta
+	if b.xframe {
+		st.frameSeq++
+		flag := byte(0)
+		if cast {
+			flag = xflagCast
+		}
+		buf = append(buf[:0], XFrameMagic, flag)
+		buf = binary.AppendUvarint(buf, st.gen)
+		buf = binary.AppendUvarint(buf, st.frameSeq)
+		if st.hasShadow && st.sinceFull < xAnchorEvery {
+			// ...unless the chain's shadow carries one across the frame
+			// boundary: the receiver's mirror holds the same bytes. Every
+			// xAnchorEvery-th frame forgoes the shadow and rides a full
+			// first sub — a self-contained anchor the receiver can adopt
+			// statelessly, which bounds how many in-flight frames one
+			// loss can render undecodable before the resync round trip
+			// lands (see xframe.go).
+			base = st.shadowMeta
+			b.prev = append(b.prev[:0], st.shadow...)
+			st.sinceFull++
+		} else {
+			st.sinceFull = 0
+		}
+		b.stats.XFrames++
+	} else {
+		magic := byte(FrameMagic)
+		if b.delta {
+			magic = DeltaFrameMagic
+		}
+		buf = append(buf[:0], magic)
+	}
+	var born int64
+	if b.adaptive {
+		born = b.now()
+	}
+	b.frames = append(b.frames, batchFrame{cast: cast, to: to, buf: buf, base: base, st: st, born: born})
 	return &b.frames[len(b.frames)-1]
 }
 
 // Flush hands every pending frame to the sink, in creation order, and
-// recycles the buffers. Safe to call with nothing pending.
-func (b *Batcher) Flush() { b.FlushFor(FlushExplicit) }
+// recycles the buffers. Safe to call with nothing pending. Explicit
+// flushes never hold: shutdown and mode switches need the wire empty.
+func (b *Batcher) Flush() int { return b.FlushFor(FlushExplicit) }
 
 // FlushFor is Flush with the trigger recorded in the per-cause stats;
 // the member and scheduler flush points call it so the counters say
-// where coalescing windows close.
-func (b *Batcher) FlushFor(cause FlushCause) {
+// where coalescing windows close. It returns the number of frames
+// emitted: with the adaptive controller on, an entry-end or barrier
+// flush may hold back a suffix of the queue (frames still small, young,
+// and headed to chains appending at short gaps) — emitting only a
+// prefix preserves the append-order emission guarantee, and held frames
+// age out at the next flush point (the owner's sweep tick bounds that).
+func (b *Batcher) FlushFor(cause FlushCause) int {
 	if len(b.frames) == 0 {
-		return
+		return 0
 	}
-	for i := range b.frames {
+	b.closeTail()
+	cut := len(b.frames)
+	if b.adaptive && (cause == FlushEntryEnd || cause == FlushBarrier) {
+		now := b.now()
+		for cut > 0 && b.holdable(&b.frames[cut-1], now) {
+			cut--
+		}
+		b.stats.Holds += int64(len(b.frames) - cut)
+	}
+	if cut == 0 {
+		return 0
+	}
+	for i := 0; i < cut; i++ {
 		f := &b.frames[i]
 		if f.cast {
 			b.sink.Cast(b.from, f.buf)
@@ -343,9 +501,12 @@ func (b *Batcher) FlushFor(cause FlushCause) {
 		b.stats.Frames++
 		b.stats.FrameBytes += int64(len(f.buf))
 		b.free = append(b.free, f.buf)
-		*f = batchFrame{}
 	}
-	b.frames = b.frames[:0]
+	held := copy(b.frames, b.frames[cut:])
+	for i := held; i < len(b.frames); i++ {
+		b.frames[i] = batchFrame{}
+	}
+	b.frames = b.frames[:held]
 	b.stats.Flushes++
 	switch cause {
 	case FlushSize:
@@ -355,4 +516,5 @@ func (b *Batcher) FlushFor(cause FlushCause) {
 	case FlushBarrier:
 		b.stats.BarrierFlushes++
 	}
+	return cut
 }
