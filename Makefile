@@ -3,9 +3,9 @@
 GO ?= go
 # BENCH_OUT is where bench-gate records the parsed benchmark trajectory;
 # override it to keep a run without clobbering the checked-in record.
-BENCH_OUT ?= BENCH_PR9.json
+BENCH_OUT ?= BENCH_PR10.json
 
-.PHONY: all build test race verify bench bench-throughput bench-gate multiproc flight pooldebug clean
+.PHONY: all build test race verify bench bench-throughput bench-gate multiproc flight fuzz pooldebug clean
 
 all: build test
 
@@ -51,9 +51,13 @@ bench-throughput:
 # point present as the ablation), turning the metrics registry + flight
 # recorder on must keep >= 97% of the unobserved 8-member throughput,
 # the multi-CCP dispatch family must cut the mixed workload's
-# interpreted share to <= 0.5x the single-CCP baseline, and the
+# interpreted share to <= 0.5x the single-CCP baseline, the
 # XFrameIdentity probe must stay byte-identical between Run and
-# RunConcurrent. The parsed numbers are recorded in $(BENCH_OUT).
+# RunConcurrent, and the observability plane must measure latency for
+# free: histogram-instrumented (_ObsHist) benchmarks at 0 allocs/op,
+# the obs-ratio bar with live histograms, and complete causal-span
+# reconstruction of the 8-member netsim run (SpanRecon, Gate 8). The
+# parsed numbers are recorded in $(BENCH_OUT).
 # The unit side runs 100x, not 1x: at one measured round, a GC landing
 # mid-measurement (emptied sync.Pool victim cache, one refill) counts a
 # stray alloc against the whole op. 100 rounds amortize the blip to 0
@@ -87,6 +91,16 @@ multiproc:
 	./.ensemble-node.bin -launch 4 -rounds 16 -size 128 -seed 42 -timeout 60s -artifacts .multiproc-artifacts
 	./.ensemble-node.bin -launch 8 -rounds 8 -size 64 -seed 43 -loss 0.05 -lossseed 7 -bump 20 -timeout 90s -artifacts .multiproc-artifacts
 	rm -f .ensemble-node.bin
+
+# A short fuzzing smoke pass over the stateful wire-format decoders:
+# the cross-frame walker under adversarial frames (seeded and cold
+# mirrors) and the encode/decode round trip. The checked-in seed
+# corpora under internal/transport/testdata/fuzz/ run as regular tests
+# in every `make test`; this target additionally mutates for a few
+# seconds per target.
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzXFrameWalkLink -fuzztime 10s ./internal/transport/
+	$(GO) test -run xxx -fuzz FuzzXFrameRoundTrip -fuzztime 10s ./internal/transport/
 
 # A flight recording of the standard 8-member MACH delta-batched
 # workload, exported as Chrome trace_event JSON — open flight.trace.json

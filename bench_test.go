@@ -214,6 +214,46 @@ func BenchmarkThroughput_10Layer_FUNC_Batched_Obs(b *testing.B) {
 	benchThroughputObs(b, bench.FUNC, layers.Stack10(), 4, bench.Batched)
 }
 
+// The _ObsHist variants (Gate 8) run the observed workload and then
+// assert the zero-alloc latency histograms actually sampled it: every
+// emitted wire lands one log-linear bucket add (member<m>/wire_bytes).
+// They carry the _10Layer_ tag so the zero-allocation scan (Gate 1)
+// holds the histogram-instrumented path to 0 allocs/op too.
+func benchThroughputObsHist(b *testing.B, cfg bench.Config, names []string, size int, mode bench.BatchMode) {
+	b.Helper()
+	r, err := bench.NewObservedThroughputRunner(cfg, names, size, mode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r.Run(520)
+	before := r.Delivered()
+	b.ReportAllocs()
+	b.ResetTimer()
+	r.Run(b.N)
+	b.StopTimer()
+	if got := r.Delivered() - before; got < b.N {
+		b.Fatalf("%d rounds but only %d deliveries", b.N, got)
+	}
+	snap := r.Metrics()
+	n, ok := snap.Get("member0/wire_bytes/count")
+	if !ok || n == 0 {
+		b.Fatalf("wire-size histogram sampled nothing (count=%d ok=%t)", n, ok)
+	}
+	p99, _ := snap.Get("member0/wire_bytes/p99")
+	if p99 <= 0 {
+		b.Fatalf("wire-size histogram has empty quantiles (p99=%d)", p99)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msgs/sec")
+	b.ReportMetric(float64(p99), "hist-p99-bytes")
+}
+
+func BenchmarkThroughput_10Layer_MACH_BatchedDelta_ObsHist(b *testing.B) {
+	benchThroughputObsHist(b, bench.MACH, layers.Stack10(), 4, bench.BatchedDelta)
+}
+func BenchmarkThroughput_10Layer_FUNC_Batched_ObsHist(b *testing.B) {
+	benchThroughputObsHist(b, bench.FUNC, layers.Stack10(), 4, bench.Batched)
+}
+
 // §4.2: the common-case-predicate check itself ("checking the CCPs takes
 // only about 3 µs" on the paper's hardware).
 
@@ -341,6 +381,24 @@ func BenchmarkThroughputNet_8Members_MACH_XFrameIdentity(b *testing.B) {
 		identical = 1
 	}
 	b.ReportMetric(identical, "identical")
+}
+
+// The causal-trace reconstruction probe behind Gate 8: the 8-member
+// netsim reference workload's flight dump stitched into per-message
+// spans. Reports the span count and spans-complete=1 when every
+// delivered message mapped to a complete chain — origin cast, the
+// frame off the origin, every member's receive and ordered delivery.
+func BenchmarkThroughputNet_8Members_MACH_SpanRecon(b *testing.B) {
+	stats, err := bench.SpanReconProbe(8, 16, 64, 29)
+	if err != nil {
+		b.Fatal(err)
+	}
+	complete := 0.0
+	if stats.Spans > 0 && stats.Complete == stats.Spans {
+		complete = 1
+	}
+	b.ReportMetric(float64(stats.Spans), "spans")
+	b.ReportMetric(complete, "spans-complete")
 }
 
 // The observability overhead gate pair: the 8-member MACH delta-batched

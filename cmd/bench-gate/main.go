@@ -32,7 +32,13 @@
 //   - the stateful wire format stays deterministic: the XFrameIdentity
 //     probe (8-member MACH, cross-frame delta + adaptive flush on, a
 //     mid-run generation bump) must report identical=1 between Run and
-//     RunConcurrent.
+//     RunConcurrent;
+//   - the observability plane measures latency for free: the
+//     histogram-instrumented _ObsHist unit benchmarks must exist, sample
+//     their runs, and hold 0 allocs/op under the 10-layer scan; the
+//     obs-ratio bar must hold with live histograms; and the SpanRecon
+//     probe must map every delivered message of the 8-member netsim run
+//     to a complete causal chain (spans > 0, spans-complete = 1).
 //
 // It optionally records the parsed numbers as a JSON trajectory file so
 // the repository keeps a machine-readable history of the batching
@@ -43,7 +49,7 @@
 //	go test -run xxx -bench 'BenchmarkThroughput_' -benchtime 100x . > unit.out
 //	go test -run xxx -bench 'BenchmarkThroughputNet_' -benchtime 150x . > net.out
 //	go test -run xxx -bench 'BenchmarkMixedTraffic_' -benchtime 1x . > mixed.out
-//	go run ./cmd/bench-gate -unit unit.out -net net.out -mixed mixed.out -out BENCH_PR9.json
+//	go run ./cmd/bench-gate -unit unit.out -net net.out -mixed mixed.out -out BENCH_PR10.json
 package main
 
 import (
@@ -354,10 +360,54 @@ func main() {
 		}
 	}
 
+	// Gate 8: the observability plane measures latency, not just counts.
+	// Three legs: (a) the histogram-instrumented _ObsHist unit benchmarks
+	// exist (the _10Layer_ tag already holds them to 0 allocs/op in Gate
+	// 1) and their histograms sampled the run (hist-p99-bytes > 0);
+	// (b) the obs-ratio bar of Gate 4 still holds now that the observed
+	// runners carry live histograms — re-asserted here so a Gate 4
+	// regression under histograms reads as a Gate 8 failure too; (c) the
+	// causal-trace reconstruction probe maps every delivered message of
+	// the 8-member netsim run to a complete span (origin cast, wire out,
+	// every receive, every ordered delivery).
+	const spanReconName = "BenchmarkThroughputNet_8Members_MACH_SpanRecon"
+	spanCount := 0.0
+	obsHistUnit := 0
+	for _, name := range sortedNames(unit) {
+		if !strings.Contains(name, "_10Layer_") || !strings.HasSuffix(name, "_ObsHist") {
+			continue
+		}
+		obsHistUnit++
+		if p99, ok := unit[name]["hist-p99-bytes"]; !ok || p99 <= 0 {
+			fail("%s histogram sampled nothing (hist-p99-bytes=%.0f)", name, p99)
+		}
+	}
+	if *unitPath != "" && obsHistUnit == 0 {
+		fail("no histogram-instrumented (_ObsHist) 10-layer throughput benchmarks found in %s", *unitPath)
+	}
+	if *netPath != "" {
+		if obsRatio > 0 && obsRatio < 0.97 {
+			fail("histogram-enabled observability costs %.1f%% throughput (obs-ratio %.3f), want >= 0.97",
+				(1-obsRatio)*100, obsRatio)
+		}
+		spans, okS := net[spanReconName]["spans"]
+		complete, okC := net[spanReconName]["spans-complete"]
+		switch {
+		case !okS || !okC:
+			fail("%s reports no spans/spans-complete metrics", spanReconName)
+		case spans <= 0:
+			fail("%s reconstructed no spans from the flight dump", spanReconName)
+		case complete != 1:
+			fail("%s has incomplete causal chains (spans-complete=%.0f): some delivered message lacks its cast, wire, or delivery evidence", spanReconName, complete)
+		default:
+			spanCount = spans
+		}
+	}
+
 	if *outPath != "" {
 		doc := map[string]any{
-			"pr":    9,
-			"title": "Cross-frame delta encoding with generation-tagged peer state + adaptive per-peer flush",
+			"pr":    10,
+			"title": "Causal cross-member tracing, zero-alloc latency histograms, and a live telemetry plane",
 			"date":  time.Now().Format("2006-01-02"),
 			"method": "make bench-gate: go test -run xxx -bench BenchmarkThroughput_ -benchtime 100x (alloc gate), " +
 				"-bench BenchmarkThroughputNet_ -benchtime 150x (coalescing + compression + obs-overhead + scaling gates; " +
@@ -385,6 +435,9 @@ func main() {
 				"measured_scale_ratios":        scaleRatios,
 				"scale_points":                 scalePoints,
 				"scale_256_skipped":            scale256Skipped,
+				"obshist_unit_benchmarks":      obsHistUnit,
+				"span_recon_complete":          1,
+				"measured_span_count":          spanCount,
 			},
 			"throughput":     unit,
 			"net_throughput": net,
@@ -407,8 +460,8 @@ func main() {
 	if scale256Skipped {
 		scale256 = "skipped (<4 cores)"
 	}
-	fmt.Printf("bench-gate: OK (%d ten-layer benchmarks at 0 allocs/op incl. %d observed, %d batched 8-member net runs >= 2 subs/frame, xframe bytes/msg ratio %.3f (intra-delta %.3f), obs-ratio %.3f, interp-share ratio %.3f, %d scale points identical, xframe identity OK, 256-member point %s)\n",
-		tenLayer, obsUnit, netBatched8, bytesRatio, deltaRatio, obsRatio, interpRatio, scalePoints, scale256)
+	fmt.Printf("bench-gate: OK (%d ten-layer benchmarks at 0 allocs/op incl. %d observed and %d histogram-instrumented, %d batched 8-member net runs >= 2 subs/frame, xframe bytes/msg ratio %.3f (intra-delta %.3f), obs-ratio %.3f, interp-share ratio %.3f, %d scale points identical, xframe identity OK, %.0f causal spans complete, 256-member point %s)\n",
+		tenLayer, obsUnit, obsHistUnit, netBatched8, bytesRatio, deltaRatio, obsRatio, interpRatio, scalePoints, spanCount, scale256)
 }
 
 func fatal(format string, args ...any) {

@@ -10,7 +10,7 @@
 //	ensemble-bench -flight flight.trace.json -metrics
 //	ensemble-bench -table 1a -cpuprofile cpu.pprof -memprofile mem.pprof
 //
-// Tables: 1a, 1b, fig6, 2a, 2b, e2e, ccp, theorems, wire, wire64, obs, scale, all.
+// Tables: 1a, 1b, fig6, 2a, 2b, e2e, ccp, theorems, wire, wire64, obs, scale, latency, all.
 //
 // -flight runs the standard 8-member MACH delta-batched workload with
 // the flight recorder on and writes the Chrome trace_event JSON (load
@@ -41,7 +41,7 @@ const (
 )
 
 func main() {
-	table := flag.String("table", "", "which table to regenerate: 1a, 1b, fig6, 2a, 2b, e2e, ccp, theorems, wire, wire64, obs, scale, all")
+	table := flag.String("table", "", "which table to regenerate: 1a, 1b, fig6, 2a, 2b, e2e, ccp, theorems, wire, wire64, obs, scale, latency, all")
 	rounds := flag.Int("rounds", 10000, "measurement rounds per configuration (the paper uses 10,000)")
 	flight := flag.String("flight", "", "write a Chrome trace of the 8-member MACH workload to this file")
 	metrics := flag.Bool("metrics", false, "print the unified metrics snapshot of the observed workload")
@@ -153,6 +153,10 @@ func runTables(table string, rounds int) {
 		// hierarchical 16x16) and compares flat vs tree membership
 		// dissemination; its workload sizes are fixed internally.
 		{"scale", func() (string, error) { return bench.ScaleTable(scaleWorkers()) }},
+		// The latency table reconstructs causal spans from an 8-member
+		// reference run's flight dump and reports per-hop percentiles,
+		// cross-checked against the members' zero-alloc histograms.
+		{"latency", func() (string, error) { return bench.LatencyTable(8, min(rounds, 50), 64, 29) }},
 	}
 	ran := false
 	for _, g := range gens {

@@ -52,6 +52,7 @@ func main() {
 		loss     = flag.Float64("loss", 0, "drop this fraction of incoming data frames before decode")
 		lossSeed = flag.Int64("lossseed", 0, "loss pattern seed (each node offsets by its id)")
 		bump     = flag.Int("bump", 0, "bump cross-frame generations after N local deliveries")
+		telem    = flag.String("telemetry", "", "node mode: serve live metrics over HTTP at host:port (\"127.0.0.1:0\" picks a port; announced as TELEM <addr>)")
 	)
 	flag.Parse()
 
@@ -76,7 +77,7 @@ func main() {
 			fatal(err)
 		}
 	case *id > 0:
-		if err := runNode(*id, *hosts, *rounds, *size, *seed, *timeout, *out, *flight, *loss, *lossSeed, *bump); err != nil {
+		if err := runNode(*id, *hosts, *rounds, *size, *seed, *timeout, *out, *flight, *loss, *lossSeed, *bump, *telem); err != nil {
 			fatal(err)
 		}
 	default:
@@ -85,7 +86,7 @@ func main() {
 	}
 }
 
-func runNode(id int, hostsPath string, rounds, size int, seed int64, timeout time.Duration, out, flight string, loss float64, lossSeed int64, bump int) error {
+func runNode(id int, hostsPath string, rounds, size int, seed int64, timeout time.Duration, out, flight string, loss float64, lossSeed int64, bump int, telem string) error {
 	if hostsPath == "" {
 		return fmt.Errorf("node mode needs -hosts")
 	}
@@ -101,6 +102,7 @@ func runNode(id int, hostsPath string, rounds, size int, seed int64, timeout tim
 		Loss:      loss,
 		LossSeed:  lossSeed,
 		BumpAfter: bump,
+		Telemetry: telem,
 	}, os.Stdin, os.Stdout)
 	// Outputs are written even when the run failed: a stalled run's
 	// partial flight is exactly what the launcher archives.

@@ -42,7 +42,8 @@ func main() {
 		for _, name := range strings.Split(*kinds, ",") {
 			k, ok := obs.ParseKind(strings.TrimSpace(name))
 			if !ok {
-				fmt.Fprintf(os.Stderr, "flight-diff: unknown kind %q\n", name)
+				fmt.Fprintf(os.Stderr, "flight-diff: unknown kind %q (valid: %s)\n",
+					name, strings.Join(obs.KindNames(), ", "))
 				os.Exit(2)
 			}
 			opt.Kinds = append(opt.Kinds, k)

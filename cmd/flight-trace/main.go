@@ -1,0 +1,98 @@
+// Command flight-trace reconstructs per-message causal chains from a
+// merged flight dump: each chained-workload message's origin cast, the
+// frame that carried it off the origin, every member's receive, and
+// every member's ordered delivery, stitched into one span. The default
+// output is the reconstruction scorecard plus per-hop latency
+// percentiles; -trace also writes a Chrome trace (chrome://tracing,
+// Perfetto) whose flow arrows connect each cast to its deliveries
+// across member tracks.
+//
+//	flight-trace merged.flight               span stats + hop percentiles
+//	flight-trace -trace spans.json merged.flight
+//
+// Exit status: 0 when every delivered message maps to a complete
+// chain, 1 when chains are incomplete (ring wraparound or a stalled
+// run trims evidence), 2 on usage or parse errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ensemble/internal/obs"
+)
+
+func main() {
+	trace := flag.String("trace", "", "also write a Chrome trace with causal flow arrows here")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: flight-trace [flags] merged.flight\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	dump, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	spans, stats, err := obs.SpansFromDump(dump)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("members:          %d\n", stats.Members)
+	fmt.Printf("spans:            %d\n", stats.Spans)
+	fmt.Printf("complete:         %d\n", stats.Complete)
+	fmt.Printf("missing cast:     %d\n", stats.MissingCast)
+	fmt.Printf("missing deliver:  %d\n", stats.MissingDeliver)
+	fmt.Printf("missing wire:     %d\n", stats.MissingWire)
+	fmt.Printf("wrapped tracks:   %d\n", stats.WrappedTracks)
+
+	lat := obs.CollectHopLatencies(spans)
+	if len(lat.E2E) > 0 {
+		fmt.Printf("\n%-8s %12s %12s %12s  (ns, complete spans only)\n", "hop", "p50", "p90", "p99")
+		row := func(name string, vals []int64) {
+			if len(vals) == 0 {
+				return
+			}
+			fmt.Printf("%-8s %12d %12d %12d\n",
+				name,
+				obs.SpanQuantile(vals, 50, 100),
+				obs.SpanQuantile(vals, 90, 100),
+				obs.SpanQuantile(vals, 99, 100))
+		}
+		row("submit", lat.Submit)
+		row("wire", lat.Wire)
+		row("recv", lat.Recv)
+		row("e2e", lat.E2E)
+		row("self", lat.Self)
+	}
+
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := obs.WriteChromeTraceSpans(f, dump); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nchrome trace: %s\n", *trace)
+	}
+
+	if stats.Complete < stats.Spans {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flight-trace:", err)
+	os.Exit(2)
+}

@@ -79,9 +79,10 @@ type ThroughputRunner struct {
 	// flight record. This is the configuration the overhead gate (Gate 4)
 	// measures — it must stay allocation-free and within 3% of the
 	// unobserved throughput.
-	obsReg *obs.Registry
-	obsRec *obs.Recorder
-	obsOut [2]*obs.Counter
+	obsReg  *obs.Registry
+	obsRec  *obs.Recorder
+	obsOut  [2]*obs.Counter
+	obsHist [2]*obs.Histogram
 }
 
 func (r *ThroughputRunner) batched() bool { return r.mode != Immediate }
@@ -174,6 +175,7 @@ func newObservedThroughputRunner(cfg Config, names []string, size int, mode Batc
 		for m := range r.obsOut {
 			sc := r.obsReg.Scope(fmt.Sprintf("member%d/", m))
 			r.obsOut[m] = sc.Counter("wires_out")
+			r.obsHist[m] = sc.Histogram("wire_bytes")
 		}
 		r.obsReg.Func("delivered", func() int64 { return int64(r.delivered) })
 		r.obsReg.Func("rounds", func() int64 { return int64(r.rounds) })
@@ -220,15 +222,18 @@ func (r *ThroughputRunner) emitters(pump *wirePump) [2]func(to int, wire []byte)
 	if r.obsReg == nil {
 		return emit
 	}
-	// Observed runner: count and flight-record every emitted wire. Both
-	// operations are allocation-free (atomic add, fixed-ring store), so
-	// the observed hot path stays at 0 allocs/op — that is the point.
+	// Observed runner: count, flight-record, and histogram every emitted
+	// wire. All three operations are allocation-free (atomic adds,
+	// fixed-ring store, fixed-bucket add), so the observed hot path
+	// stays at 0 allocs/op — that is the point.
 	for m := range emit {
 		inner := emit[m]
 		cnt := r.obsOut[m]
+		hist := r.obsHist[m]
 		trk := r.obsRec.Track(m)
 		emit[m] = func(to int, wire []byte) {
 			cnt.Inc()
+			hist.Observe(int64(len(wire)))
 			trk.Record(int64(r.rounds), obs.KindPktOut, obs.DirDn, 0, cnt.Load())
 			inner(to, wire)
 		}

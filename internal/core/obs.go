@@ -38,6 +38,14 @@ func (m *Member) EnableObs(sc *obs.Scope, trk *obs.Track) {
 		sc.Func("batch/flush_barrier", func() int64 { return m.batch.Stats().BarrierFlushes })
 		sc.Func("batch/delta_subs", func() int64 { return m.batch.Stats().DeltaSubs })
 		sc.Func("batch/prefix_subs", func() int64 { return m.batch.Stats().PrefixSubs })
+		// Latency distributions (histogram.go): each sample is one atomic
+		// bucket add, so the observed hot paths keep their 0 allocs/op
+		// and ≥0.97 obs-ratio gates with these on. Times come from the
+		// member's clock — virtual under netsim, monotonic under UDPNet.
+		m.latE2E = sc.Histogram("lat/e2e_ns")
+		m.latHold = sc.Histogram("lat/hold_ns")
+		m.latView = sc.Histogram("lat/view_ns")
+		m.batch.SetHoldObserver(m.latHold.Observe)
 	}
 	if m.optimized {
 		// MACH dispatch accounting. Each routing decision lands on exactly

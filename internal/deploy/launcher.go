@@ -10,6 +10,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"time"
 
 	"ensemble/internal/netsim"
@@ -63,6 +64,9 @@ type LaunchResult struct {
 	FlightDivs []obs.Divergence
 	// UDP is each node's socket accounting.
 	UDP []netsim.UDPStats
+	// Telemetry holds the final live-plane snapshot polled from each
+	// node after DONE, before EXIT (nil entries for unreachable nodes).
+	Telemetry []obs.Snapshot
 	// Artifacts is where the run's files are (empty if removed).
 	Artifacts string
 }
@@ -171,6 +175,7 @@ func Launch(cfg LaunchConfig) (*LaunchResult, error) {
 			"-seed", strconv.FormatInt(w.Seed, 10),
 			"-timeout", timeout.String(),
 			"-out", outPath,
+			"-telemetry", "127.0.0.1:0",
 		)
 		if cfg.Loss > 0 {
 			args = append(args,
@@ -208,13 +213,35 @@ func Launch(cfg LaunchConfig) (*LaunchResult, error) {
 	for i, p := range procs {
 		handles[i] = p.handle
 	}
-	if err := coordinate(handles, timeout); err != nil {
+	// The barrier protocol, phase by phase, with the telemetry plane
+	// interleaved: capture each node's TELEM address at READY, poll the
+	// live registries between GO and DONE (the health table is the
+	// mid-run view), and take a final poll after DONE — while every
+	// node is still alive, holding its complete counters — to check
+	// against the flight dumps later.
+	coordErr := func() error {
+		if err := gatherReady(handles, timeout); err != nil {
+			return err
+		}
+		if err := broadcast(handles, protoGo); err != nil {
+			return err
+		}
+		if snaps := pollTelemetry(handles); cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, "multiproc: mid-run cluster health:\n%s", HealthTable(snaps))
+		}
+		if err := gatherDone(handles, timeout); err != nil {
+			return err
+		}
+		res.Telemetry = pollTelemetry(handles)
+		return broadcast(handles, protoExit)
+	}()
+	if coordErr != nil {
 		for _, p := range procs {
 			if p.stderr.Len() > 0 {
 				logf("%s stderr: %s", p.handle.name, p.stderr.String())
 			}
 		}
-		return res, fmt.Errorf("deploy: %w (artifacts kept in %s)", err, dir)
+		return res, fmt.Errorf("deploy: %w (artifacts kept in %s)", coordErr, dir)
 	}
 	// Reap: every node got EXIT; give them the phase timeout to flush
 	// their outputs and go.
@@ -264,6 +291,39 @@ func Launch(cfg LaunchConfig) (*LaunchResult, error) {
 		return res, err
 	}
 
+	// The live plane must agree with the post-mortem evidence: each
+	// node's final telemetry snapshot (taken after DONE, while the
+	// process was still alive) must report exactly the deliveries its
+	// flight dump recorded — which is the full workload, since the
+	// flight ring is sized not to wrap at launcher workloads.
+	tracks, err := obs.ParseDump(res.Merged)
+	if err != nil {
+		return res, fmt.Errorf("deploy: parsing merged flight: %w", err)
+	}
+	for rank, s := range res.Telemetry {
+		if s == nil {
+			return res, fmt.Errorf("deploy: node %d telemetry unreachable at final poll (artifacts kept in %s)", rank+1, dir)
+		}
+		delivered, _ := s.Get(fmt.Sprintf("member%d/casts_delivered", rank))
+		var dumped int64
+		for _, r := range tracks[rank] {
+			if r.Kind == obs.KindDeliver {
+				dumped++
+			}
+		}
+		if dumped < int64(referenceRing) && delivered != dumped {
+			return res, fmt.Errorf(
+				"deploy: member %d telemetry says %d delivered but the merged flight holds %d delivery records (artifacts kept in %s)",
+				rank, delivered, dumped, dir)
+		}
+		if delivered != int64(w.Total()) {
+			return res, fmt.Errorf(
+				"deploy: member %d telemetry says %d delivered, want the %d-message workload (artifacts kept in %s)",
+				rank, delivered, w.Total(), dir)
+		}
+	}
+	logf("multiproc: telemetry plane consistent with flight dumps on all %d nodes", w.Members)
+
 	// The in-process reference of the same workload.
 	res.Ref, err = Reference(w)
 	if err != nil {
@@ -299,36 +359,79 @@ func Launch(cfg LaunchConfig) (*LaunchResult, error) {
 
 // nodeHandle is one node's control channel: the launcher's view of a
 // spawned process — or, in the in-process harness the tests use, of a
-// goroutine running RunNode behind a pipe pair.
+// goroutine running RunNode behind a pipe pair. telem fills in during
+// the READY gather when the node announced a telemetry address.
 type nodeHandle struct {
 	name  string
 	in    io.Writer
 	lines <-chan string
+	telem string
 }
 
 // coordinate drives the barrier protocol over a set of nodes: gather
 // READY from all, broadcast GO, gather DONE from all, broadcast EXIT.
 // Any node missing a phase fails the run with its name attached.
 func coordinate(nodes []*nodeHandle, timeout time.Duration) error {
+	if err := gatherReady(nodes, timeout); err != nil {
+		return err
+	}
+	if err := broadcast(nodes, protoGo); err != nil {
+		return err
+	}
+	if err := gatherDone(nodes, timeout); err != nil {
+		return err
+	}
+	return broadcast(nodes, protoExit)
+}
+
+// gatherReady collects READY from every node, capturing any "TELEM
+// <addr>" announcement that precedes it into the handle.
+func gatherReady(nodes []*nodeHandle, timeout time.Duration) error {
 	for _, n := range nodes {
-		if _, err := protoExpect(n.lines, timeout, protoReady); err != nil {
+		observe := func(line string) {
+			if addr, ok := strings.CutPrefix(line, protoTelem+" "); ok {
+				n.telem = strings.TrimSpace(addr)
+			}
+		}
+		if _, err := protoExpectObs(n.lines, timeout, observe, protoReady); err != nil {
 			return fmt.Errorf("%s never became %s: %w", n.name, protoReady, err)
 		}
 	}
-	for _, n := range nodes {
-		if _, err := fmt.Fprintln(n.in, protoGo); err != nil {
-			return fmt.Errorf("sending %s to %s: %w", protoGo, n.name, err)
-		}
-	}
+	return nil
+}
+
+// gatherDone collects DONE from every node (the pre-DONE STATS line is
+// protocol chatter and falls through).
+func gatherDone(nodes []*nodeHandle, timeout time.Duration) error {
 	for _, n := range nodes {
 		if _, err := protoExpect(n.lines, timeout, protoDone); err != nil {
 			return fmt.Errorf("%s never reported %s: %w", n.name, protoDone, err)
 		}
 	}
+	return nil
+}
+
+// broadcast sends one protocol word down to every node.
+func broadcast(nodes []*nodeHandle, word string) error {
 	for _, n := range nodes {
-		if _, err := fmt.Fprintln(n.in, protoExit); err != nil {
-			return fmt.Errorf("sending %s to %s: %w", protoExit, n.name, err)
+		if _, err := fmt.Fprintln(n.in, word); err != nil {
+			return fmt.Errorf("sending %s to %s: %w", word, n.name, err)
 		}
 	}
 	return nil
+}
+
+// pollTelemetry fetches a snapshot from every node that announced a
+// telemetry address; unreachable nodes yield a nil entry.
+func pollTelemetry(nodes []*nodeHandle) []obs.Snapshot {
+	snaps := make([]obs.Snapshot, len(nodes))
+	for i, n := range nodes {
+		if n.telem == "" {
+			continue
+		}
+		if s, err := FetchSnapshot(n.telem); err == nil {
+			snaps[i] = s
+		}
+	}
+	return snaps
 }

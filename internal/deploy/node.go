@@ -47,6 +47,11 @@ type NodeConfig struct {
 	// many local deliveries — a forced mid-run resync of all the node's
 	// chains, exercising the 0xB9 generation machinery under real load.
 	BumpAfter int
+	// Telemetry, when non-empty, is the host:port ("127.0.0.1:0" for an
+	// ephemeral port) the node's live telemetry server binds. The bound
+	// address is announced as "TELEM <addr>" on the status stream before
+	// READY, so a launcher can poll the registry mid-run.
+	Telemetry string
 }
 
 // NodeResult is what one node run produces.
@@ -157,6 +162,31 @@ func RunNode(cfg NodeConfig, ctrl io.Reader, status io.Writer) (NodeResult, erro
 		res.UDP = u.Snapshot()
 	}
 
+	// Live telemetry: a loopback HTTP server over the registry. The
+	// snapshot closure hops onto the Run goroutine (Func gauges read
+	// plain member fields), with a bounded wait so a poll racing
+	// shutdown gets the server's cached last snapshot instead of
+	// hanging.
+	if cfg.Telemetry != "" {
+		ts, terr := StartTelemetry(cfg.Telemetry, func() (obs.Snapshot, bool) {
+			ch := make(chan obs.Snapshot, 1)
+			u.Do(func() { ch <- reg.Snapshot() })
+			select {
+			case s := <-ch:
+				return s, true
+			case <-time.After(2 * time.Second):
+				return nil, false
+			}
+		})
+		if terr != nil {
+			return res, terr
+		}
+		defer ts.Close()
+		if status != nil {
+			fmt.Fprintf(status, "TELEM %s\n", ts.Addr())
+		}
+	}
+
 	// Barrier up: socket bound, member built — tell the launcher and
 	// wait for the group-wide GO.
 	lines := protoLines(ctrl)
@@ -195,6 +225,13 @@ func RunNode(cfg NodeConfig, ctrl io.Reader, status io.Writer) (NodeResult, erro
 			cfg.ID, len(res.Log), w.Total(), timeout)
 	}
 	if status != nil {
+		// The socket-side scorecard rides the status stream right before
+		// DONE (protocol waits tolerate the chatter): how much resync and
+		// drop traffic this run actually generated, without digging into
+		// the JSON artifact.
+		s := u.Snapshot()
+		fmt.Fprintf(status, "STATS gen_misses=%d stale_gen_frames=%d resyncs=%d injected_drops=%d peer_moves=%d\n",
+			s.GenMisses, s.StaleGenFrames, s.Resyncs, s.InjectedDrops, s.PeerMoves)
 		fmt.Fprintln(status, protoDone)
 	}
 	// Stay alive until the launcher has seen DONE from every node: this
@@ -214,12 +251,16 @@ func RunNode(cfg NodeConfig, ctrl io.Reader, status io.Writer) (NodeResult, erro
 	return res, nil
 }
 
-// The launcher wire protocol.
+// The launcher wire protocol. TELEM and STATS are one-way
+// announcements on the status stream (node → launcher), not barrier
+// words: protocol waits that are not looking for them skip them as
+// chatter.
 const (
 	protoReady = "READY"
 	protoGo    = "GO"
 	protoDone  = "DONE"
 	protoExit  = "EXIT"
+	protoTelem = "TELEM"
 )
 
 // protoLines pumps ctrl into a line channel so protocol waits can carry
@@ -241,6 +282,13 @@ func protoLines(ctrl io.Reader) <-chan string {
 
 // protoExpect waits for one of the expected protocol words.
 func protoExpect(lines <-chan string, d time.Duration, want ...string) (string, error) {
+	return protoExpectObs(lines, d, nil, want...)
+}
+
+// protoExpectObs waits for one of the expected protocol words, handing
+// every other line to observe (when non-nil) — how the launcher picks
+// TELEM announcements out of the pre-READY chatter.
+func protoExpectObs(lines <-chan string, d time.Duration, observe func(string), want ...string) (string, error) {
 	deadline := time.After(d)
 	for {
 		select {
@@ -254,7 +302,10 @@ func protoExpect(lines <-chan string, d time.Duration, want ...string) (string, 
 				}
 			}
 			// Tolerate chatter (a shell echo, a stray blank): only
-			// protocol words matter.
+			// protocol words matter — but let the observer see it.
+			if observe != nil {
+				observe(line)
+			}
 		case <-deadline:
 			return "", fmt.Errorf("timed out after %v", d)
 		}

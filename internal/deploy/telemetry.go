@@ -1,0 +1,220 @@
+package deploy
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"ensemble/internal/obs"
+)
+
+// The live telemetry plane: each node process exposes its metrics
+// registry — member counters, latency histograms, UDP socket stats —
+// over a loopback HTTP listener while the run is in flight, so the
+// launcher (or a human with curl) can watch the cluster converge
+// instead of waiting for the post-mortem flight dumps. Three
+// endpoints:
+//
+//	/metrics   Prometheus-style text exposition (one "ensemble_<name>
+//	           <value>" line per metric, names sanitized).
+//	/snapshot  one length-prefixed binary snapshot frame (4-byte
+//	           big-endian length, then obs.EncodeSnapshot bytes).
+//	/stream    length-prefixed frames repeated every interval
+//	           (?ms=N, default 100) until the client disconnects.
+//
+// The snapshot function is the node's bridge onto its Run goroutine;
+// when the endpoint has shut down underneath it the server replies
+// with the last snapshot it served, so a final poll racing node
+// shutdown degrades to slightly stale data instead of an error.
+
+// TelemetryServer serves a node's metrics registry over loopback HTTP.
+type TelemetryServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	snap func() (obs.Snapshot, bool)
+	last atomic.Pointer[obs.Snapshot]
+}
+
+// StartTelemetry binds addr (host:port; ":0" picks a port) and serves
+// snapshots produced by snap. snap reports ok=false when a live
+// snapshot cannot be taken (endpoint closed); the server then falls
+// back to the last good one.
+func StartTelemetry(addr string, snap func() (obs.Snapshot, bool)) (*TelemetryServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("deploy: telemetry listen %q: %w", addr, err)
+	}
+	t := &TelemetryServer{ln: ln, snap: snap}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", t.handleMetrics)
+	mux.HandleFunc("/snapshot", t.handleSnapshot)
+	mux.HandleFunc("/stream", t.handleStream)
+	t.srv = &http.Server{Handler: mux}
+	go t.srv.Serve(ln)
+	return t, nil
+}
+
+// Addr reports the bound listener address (useful with port 0).
+func (t *TelemetryServer) Addr() string { return t.ln.Addr().String() }
+
+// Close stops the listener and any in-flight streams.
+func (t *TelemetryServer) Close() error { return t.srv.Close() }
+
+// take produces the freshest snapshot available: live if the node's
+// Run goroutine still answers, else the last one served.
+func (t *TelemetryServer) take() (obs.Snapshot, bool) {
+	if s, ok := t.snap(); ok {
+		t.last.Store(&s)
+		return s, true
+	}
+	if p := t.last.Load(); p != nil {
+		return *p, true
+	}
+	return nil, false
+}
+
+func (t *TelemetryServer) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s, ok := t.take()
+	if !ok {
+		http.Error(w, "no snapshot available", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	for _, m := range s {
+		fmt.Fprintf(w, "ensemble_%s %d\n", promName(m.Name), m.Value)
+	}
+}
+
+func (t *TelemetryServer) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	s, ok := t.take()
+	if !ok {
+		http.Error(w, "no snapshot available", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	writeSnapshotFrame(w, s)
+}
+
+func (t *TelemetryServer) handleStream(w http.ResponseWriter, r *http.Request) {
+	interval := 100 * time.Millisecond
+	if msStr := r.URL.Query().Get("ms"); msStr != "" {
+		ms, err := strconv.Atoi(msStr)
+		if err != nil || ms < 1 {
+			http.Error(w, "bad ms parameter", http.StatusBadRequest)
+			return
+		}
+		interval = time.Duration(ms) * time.Millisecond
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	fl, _ := w.(http.Flusher)
+	for {
+		s, ok := t.take()
+		if !ok {
+			return
+		}
+		if err := writeSnapshotFrame(w, s); err != nil {
+			return
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(interval):
+		}
+	}
+}
+
+// writeSnapshotFrame writes one length-prefixed binary snapshot: a
+// 4-byte big-endian frame length, then the obs.EncodeSnapshot bytes.
+func writeSnapshotFrame(w io.Writer, s obs.Snapshot) error {
+	enc := obs.EncodeSnapshot(s)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(enc)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(enc)
+	return err
+}
+
+// promName sanitizes a registry metric name into the Prometheus
+// exposition charset: every byte outside [a-zA-Z0-9_:] becomes '_'.
+func promName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}
+
+// FetchSnapshot polls one node's /snapshot endpoint and decodes the
+// length-prefixed binary frame back into a Snapshot.
+func FetchSnapshot(addr string) (obs.Snapshot, error) {
+	c := &http.Client{Timeout: 5 * time.Second}
+	resp, err := c.Get("http://" + addr + "/snapshot")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("deploy: telemetry %s: %s", addr, resp.Status)
+	}
+	return readSnapshotFrame(resp.Body)
+}
+
+// readSnapshotFrame reads one length-prefixed snapshot frame.
+func readSnapshotFrame(r io.Reader) (obs.Snapshot, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("deploy: telemetry frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	const maxFrame = 16 << 20
+	if n > maxFrame {
+		return nil, fmt.Errorf("deploy: telemetry frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("deploy: telemetry frame body: %w", err)
+	}
+	return obs.ParseSnapshot(buf)
+}
+
+// HealthTable renders an aggregated cluster health table from one
+// snapshot per member: deliveries, resync traffic, and the p99
+// end-to-end cast latency each member measured on its own casts. A nil
+// snapshot (node unreachable) renders as dashes rather than failing
+// the table.
+func HealthTable(snaps []obs.Snapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %12s %10s %10s %12s\n", "member", "delivered", "resyncs", "gen-miss", "p99(e2e)")
+	for rank, s := range snaps {
+		if s == nil {
+			fmt.Fprintf(&b, "%-8d %12s %10s %10s %12s\n", rank, "-", "-", "-", "-")
+			continue
+		}
+		pre := fmt.Sprintf("member%d/", rank)
+		casts, _ := s.Get(pre + "casts_delivered")
+		sends, _ := s.Get(pre + "sends_delivered")
+		resyncs, _ := s.Get("udp/resyncs")
+		misses, _ := s.Get("udp/gen_misses")
+		p99, ok := s.Get(pre + "lat/e2e_ns/p99")
+		p99s := "-"
+		if ok {
+			p99s = time.Duration(p99).String()
+		}
+		fmt.Fprintf(&b, "%-8d %12d %10d %10d %12s\n", rank, casts+sends, resyncs, misses, p99s)
+	}
+	return b.String()
+}

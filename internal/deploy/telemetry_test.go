@@ -1,0 +1,173 @@
+package deploy
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"ensemble/internal/obs"
+)
+
+// testSnap builds a small snapshot the telemetry tests serve.
+func testSnap() obs.Snapshot {
+	reg := obs.NewRegistry()
+	reg.Counter("member0/casts_delivered").Add(24)
+	reg.Counter("udp/resyncs").Add(3)
+	h := reg.Histogram("member0/lat/e2e_ns")
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i * 1000)
+	}
+	return reg.Snapshot()
+}
+
+func TestTelemetryEndpoints(t *testing.T) {
+	want := testSnap()
+	ts, err := StartTelemetry("127.0.0.1:0", func() (obs.Snapshot, bool) { return want, true })
+	if err != nil {
+		t.Skipf("no loopback TCP: %v", err)
+	}
+	defer ts.Close()
+
+	// /snapshot round-trips the binary frame.
+	got, err := FetchSnapshot(ts.Addr())
+	if err != nil {
+		t.Fatalf("FetchSnapshot: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("snapshot has %d metrics, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("metric %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+
+	// /metrics serves Prometheus text with sanitized names.
+	resp, err := http.Get("http://" + ts.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("/metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %s", resp.Status)
+	}
+	text := string(body)
+	for _, line := range []string{
+		"ensemble_member0_casts_delivered 24",
+		"ensemble_udp_resyncs 3",
+		"ensemble_member0_lat_e2e_ns_count 100",
+	} {
+		if !strings.Contains(text, line) {
+			t.Errorf("/metrics missing %q in:\n%s", line, text)
+		}
+	}
+	if strings.ContainsAny(text, "/") {
+		t.Errorf("/metrics leaked unsanitized name chars:\n%s", text)
+	}
+
+	// /stream yields consecutive length-prefixed frames.
+	sresp, err := http.Get("http://" + ts.Addr() + "/stream?ms=10")
+	if err != nil {
+		t.Fatalf("/stream: %v", err)
+	}
+	defer sresp.Body.Close()
+	for i := 0; i < 3; i++ {
+		s, err := readSnapshotFrame(sresp.Body)
+		if err != nil {
+			t.Fatalf("stream frame %d: %v", i, err)
+		}
+		if v, ok := s.Get("member0/casts_delivered"); !ok || v != 24 {
+			t.Fatalf("stream frame %d: casts_delivered=%d ok=%v", i, v, ok)
+		}
+	}
+}
+
+func TestTelemetryServesCachedAfterSourceDies(t *testing.T) {
+	want := testSnap()
+	live := true
+	ts, err := StartTelemetry("127.0.0.1:0", func() (obs.Snapshot, bool) {
+		if live {
+			return want, true
+		}
+		return nil, false
+	})
+	if err != nil {
+		t.Skipf("no loopback TCP: %v", err)
+	}
+	defer ts.Close()
+	if _, err := FetchSnapshot(ts.Addr()); err != nil {
+		t.Fatalf("live fetch: %v", err)
+	}
+	live = false
+	got, err := FetchSnapshot(ts.Addr())
+	if err != nil {
+		t.Fatalf("cached fetch: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("cached snapshot has %d metrics, want %d", len(got), len(want))
+	}
+}
+
+func TestTelemetryNoSnapshotIs503(t *testing.T) {
+	ts, err := StartTelemetry("127.0.0.1:0", func() (obs.Snapshot, bool) { return nil, false })
+	if err != nil {
+		t.Skipf("no loopback TCP: %v", err)
+	}
+	defer ts.Close()
+	resp, err := http.Get("http://" + ts.Addr() + "/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %s, want 503", resp.Status)
+	}
+}
+
+// TestInProcessClusterTelemetry runs the in-process cluster with the
+// live plane on: every node announces a TELEM address before READY,
+// answers a mid-run poll, and its final snapshot agrees with the
+// workload and the flight dump it wrote.
+func TestInProcessClusterTelemetry(t *testing.T) {
+	w := Workload{Members: 3, Rounds: 4, Size: 64, Seed: 17}
+	results, errs := inprocClusterCfg(t, w, 30*time.Second, func(cfg *NodeConfig) {
+		cfg.Telemetry = "127.0.0.1:0"
+	})
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("node %d: %v", i+1, err)
+		}
+	}
+	for i, r := range results {
+		if int64(len(r.Log)) != int64(w.Total()) {
+			t.Fatalf("node %d delivered %d of %d", i+1, len(r.Log), w.Total())
+		}
+		name := fmt.Sprintf("member%d/casts_delivered", i)
+		v, ok := r.Metrics.Get(name)
+		if !ok || v != int64(w.Total()) {
+			t.Fatalf("node %d final %s=%d ok=%v, want %d", i+1, name, v, ok, w.Total())
+		}
+	}
+}
+
+func TestHealthTableRendersAndToleratesNil(t *testing.T) {
+	snaps := []obs.Snapshot{testSnap(), nil}
+	table := HealthTable(snaps)
+	lines := strings.Split(strings.TrimRight(table, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table has %d lines, want header + 2 rows:\n%s", len(lines), table)
+	}
+	if !strings.Contains(lines[0], "p99(e2e)") {
+		t.Errorf("missing header: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "24") {
+		t.Errorf("row 0 missing delivered count: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "-") {
+		t.Errorf("nil row should render dashes: %q", lines[2])
+	}
+}

@@ -82,6 +82,15 @@ type UDPNet struct {
 
 	stats  udpCounters
 	walker *transport.FrameWalker
+
+	// resyncRTT samples the resync round trip: the gap between sending a
+	// 0xBA resync toward a peer (first GenMiss) and the next cleanly
+	// decoded cross-frame from that peer — how long a lost-base episode
+	// actually keeps a link undecodable. pendResync holds the per-peer
+	// send marks; both are touched on the Run goroutine only (deliver),
+	// and the map is preallocated so the receive path never allocates.
+	resyncRTT  obs.Histogram
+	pendResync map[event.Addr]int64
 }
 
 // udpPeer is one peer's last known socket address. The peer *set* is
@@ -174,15 +183,16 @@ func NewUDPNet(self event.Addr, listen string, peers map[event.Addr]string) (*UD
 		return nil, fmt.Errorf("netsim: listen %q: %w", listen, err)
 	}
 	u := &UDPNet{
-		self:   self,
-		conn:   conn,
-		peers:  map[event.Addr]*udpPeer{},
-		hdr:    binary.AppendUvarint([]byte{udpMagic}, uint64(self)),
-		t0:     time.Now(),
-		funcs:  make(chan func(), 256),
-		closed: make(chan struct{}),
-		timers: map[*time.Timer]struct{}{},
-		walker: transport.NewFrameWalker(transport.EpochPrefixUvarints, true),
+		self:       self,
+		conn:       conn,
+		peers:      map[event.Addr]*udpPeer{},
+		hdr:        binary.AppendUvarint([]byte{udpMagic}, uint64(self)),
+		t0:         time.Now(),
+		funcs:      make(chan func(), 256),
+		closed:     make(chan struct{}),
+		timers:     map[*time.Timer]struct{}{},
+		walker:     transport.NewFrameWalker(transport.EpochPrefixUvarints, true),
+		pendResync: map[event.Addr]int64{},
 	}
 	for a, hostport := range peers {
 		ua, err := net.ResolveUDPAddr("udp", hostport)
@@ -235,6 +245,7 @@ func (u *UDPNet) RegisterMetrics(reg *obs.Registry) {
 	sc.Adopt("stale_gen_frames", &u.stats.staleGenFrames)
 	sc.Adopt("resyncs", &u.stats.resyncs)
 	sc.Adopt("injected_drops", &u.stats.injectedDrops)
+	sc.AdoptHistogram("resync_rtt_ns", &u.resyncRTT)
 }
 
 // SetRebindHook registers fn to run on the Run goroutine when a known
@@ -570,6 +581,16 @@ func (u *UDPNet) deliver(p Packet) {
 		if pr, ok := u.peers[p.From]; ok {
 			u.stats.resyncs.Inc()
 			u.write(transport.AppendResync(nil, res.Cast, res.Gen), pr.addr.Load())
+			if _, pending := u.pendResync[p.From]; !pending {
+				u.pendResync[p.From] = u.Now()
+			}
+		}
+	} else if res.XFrame && !res.StaleGen && res.Subs > 0 {
+		// First cleanly decoded cross-frame after an outstanding resync
+		// closes the round trip: the link is decodable again.
+		if t, pending := u.pendResync[p.From]; pending {
+			u.resyncRTT.Observe(u.Now() - t)
+			delete(u.pendResync, p.From)
 		}
 	}
 }

@@ -14,13 +14,19 @@ import (
 // microseconds without truncation (fractional ts is allowed).
 
 type chromeEvent struct {
-	Name  string         `json:"name"`
-	Phase string         `json:"ph"`
-	Scope string         `json:"s,omitempty"`
-	TS    float64        `json:"ts"`
-	PID   int            `json:"pid"`
-	TID   int            `json:"tid"`
-	Args  map[string]any `json:"args,omitempty"`
+	Name  string  `json:"name"`
+	Phase string  `json:"ph"`
+	Scope string  `json:"s,omitempty"`
+	TS    float64 `json:"ts"`
+	PID   int     `json:"pid"`
+	TID   int     `json:"tid"`
+	// Cat, ID, and BindPoint carry flow events ("s"/"f" phases, see
+	// spans.go): Chrome pairs a flow's start and finish by (cat, id),
+	// and bp:"e" binds the finish to the enclosing event.
+	Cat       string         `json:"cat,omitempty"`
+	ID        int64          `json:"id,omitempty"`
+	BindPoint string         `json:"bp,omitempty"`
+	Args      map[string]any `json:"args,omitempty"`
 }
 
 // WriteChromeTrace writes the recorder's flight as Chrome trace_event
@@ -49,6 +55,13 @@ func WriteChromeTraceDump(w io.Writer, dump []byte) error {
 // trace_event JSON; ranks are emitted in ascending order so the output
 // is deterministic.
 func WriteChromeTraceTracks(w io.Writer, tracks map[int][]Rec) error {
+	return writeChromeEvents(w, chromeTrackEvents(tracks))
+}
+
+// chromeTrackEvents builds the metadata + per-record instant events for
+// per-rank record slices, ranks ascending so the output is
+// deterministic. The span exporter appends its flow events to these.
+func chromeTrackEvents(tracks map[int][]Rec) []chromeEvent {
 	ranks := make([]int, 0, len(tracks))
 	for r := range tracks {
 		ranks = append(ranks, r)
@@ -78,6 +91,10 @@ func WriteChromeTraceTracks(w io.Writer, tracks map[int][]Rec) error {
 			})
 		}
 	}
+	return events
+}
+
+func writeChromeEvents(w io.Writer, events []chromeEvent) error {
 	enc := json.NewEncoder(w)
 	return enc.Encode(map[string]any{"traceEvents": events})
 }

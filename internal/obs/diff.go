@@ -201,10 +201,29 @@ func ParseKind(name string) (Kind, bool) {
 			return k, true
 		}
 	}
-	for k := KindPktOut; k <= KindFlushDecision; k++ {
+	for k := KindPktOut; k <= kindMax; k++ {
 		if strings.EqualFold(k.String(), name) {
 			return k, true
 		}
 	}
 	return 0, false
+}
+
+// KindNames lists every kind name ParseKind accepts, member-level kinds
+// first — the vocabulary flight-diff and flight-trace print when a
+// -kinds token does not resolve.
+func KindNames() []string {
+	var out []string
+	for k := KindPktOut; k <= kindMax; k++ {
+		out = append(out, k.String())
+	}
+	for k := Kind(0); k < 32; k++ {
+		name := event.Type(k).String()
+		// event.Type names unknown values like "Type(17)"; those are not
+		// parseable vocabulary, so keep only the real names.
+		if !strings.Contains(name, "(") {
+			out = append(out, name)
+		}
+	}
+	return out
 }

@@ -1,0 +1,157 @@
+package obs
+
+// Histogram is a fixed-size log-linear (HDR-style) latency histogram:
+// 8 linear sub-buckets per power of two, covering the whole nonnegative
+// int64 range in 496 buckets (~4 KB). Observe is one atomic add into a
+// pointer-indexed bucket — no map, no lock, no allocation — so the
+// zero-allocation bench gates can keep histogram sampling on the hot
+// paths (cast→deliver latency, adaptive-flush hold time, resync round
+// trips). The zero value is ready to use and all methods are nil-safe,
+// mirroring Counter, so instrumented paths need no wiring check.
+//
+// Resolution: within each power of two the 8 sub-buckets bound the
+// relative quantization error at 2^-3 = 12.5%. Snapshot reports each
+// quantile as the upper edge of its bucket (the "highest equivalent
+// value"), so reported percentiles never understate the observation and
+// two snapshots of equal bucket contents are byte-identical.
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+const (
+	// histSubBits is the log2 of the linear sub-bucket count per power
+	// of two; histSub the count itself.
+	histSubBits = 3
+	histSub     = 1 << histSubBits
+	// histBucketCount covers values 0..MaxInt64: histSub exact buckets
+	// for the linear region below histSub, then histSub buckets per
+	// remaining bit position.
+	histBucketCount = (63-histSubBits)<<histSubBits + histSub
+)
+
+// Histogram is a fixed array of atomic buckets. Copying a Histogram is
+// a bug (the atomics would fork); always share by pointer.
+type Histogram struct {
+	buckets [histBucketCount]atomic.Int64
+}
+
+// Observe records one sample. Negative values clamp to zero (latencies
+// are nonnegative; a clock step mid-sample should not crash the path).
+// Exactly one atomic add, no allocation — safe on hot paths and on a
+// nil receiver.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[histBucket(v)].Add(1)
+}
+
+// histBucket maps a value to its bucket index: identity below histSub,
+// log-linear above (top histSubBits bits after the leading one select
+// the sub-bucket).
+func histBucket(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	if u < histSub {
+		return int(u)
+	}
+	e := bits.Len64(u) - 1
+	return ((e-histSubBits)<<histSubBits + int((u>>uint(e-histSubBits))&(histSub-1)) + histSub)
+}
+
+// histLow returns the smallest value mapping to bucket i.
+func histLow(i int) int64 {
+	if i < histSub {
+		return int64(i)
+	}
+	block := (i - histSub) >> histSubBits
+	off := i & (histSub - 1)
+	return int64(histSub+off) << uint(block)
+}
+
+// histHigh returns the largest value mapping to bucket i.
+func histHigh(i int) int64 {
+	if i >= histBucketCount-1 {
+		return int64(^uint64(0) >> 1)
+	}
+	return histLow(i+1) - 1
+}
+
+// HistSnapshot is a deterministic reading of a histogram: the sample
+// count and the p50/p90/p99/max estimates (bucket upper edges; exact
+// below histSub, ≤12.5% high above).
+type HistSnapshot struct {
+	Count              int64
+	P50, P90, P99, Max int64
+}
+
+// Snapshot reads the buckets and extracts the quantiles. Like every obs
+// read path it is allowed to be slow; concurrent Observes land in
+// whichever side of the read they land, as with Counter.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	var counts [histBucketCount]int64
+	var total int64
+	maxI := -1
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		counts[i] = c
+		total += c
+		if c > 0 {
+			maxI = i
+		}
+	}
+	if total == 0 {
+		return HistSnapshot{}
+	}
+	q := func(num, den int64) int64 {
+		rank := (total*num + den - 1) / den // ceil(total * num/den)
+		if rank < 1 {
+			rank = 1
+		}
+		var cum int64
+		for i := 0; i < histBucketCount; i++ {
+			cum += counts[i]
+			if cum >= rank {
+				return histHigh(i)
+			}
+		}
+		return histHigh(maxI)
+	}
+	return HistSnapshot{
+		Count: total,
+		P50:   q(50, 100),
+		P90:   q(90, 100),
+		P99:   q(99, 100),
+		Max:   histHigh(maxI),
+	}
+}
+
+// Histogram registers and returns a fresh histogram under name. The
+// registry's Snapshot expands it into five derived metrics —
+// name/count, name/p50, name/p90, name/p99, name/max — so every
+// existing snapshot consumer (String, Get, the binary telemetry codec)
+// carries distributions without a second code path.
+func (r *Registry) Histogram(name string) *Histogram {
+	h := &Histogram{}
+	r.add(entry{name: name, h: h})
+	return h
+}
+
+// AdoptHistogram registers an existing histogram under name, for
+// components that embed their histograms in their own stats structs.
+func (r *Registry) AdoptHistogram(name string, h *Histogram) {
+	r.add(entry{name: name, h: h})
+}
+
+// Histogram registers a fresh histogram under prefix+name.
+func (s *Scope) Histogram(name string) *Histogram { return s.r.Histogram(s.prefix + name) }
+
+// AdoptHistogram registers an existing histogram under prefix+name.
+func (s *Scope) AdoptHistogram(name string, h *Histogram) { s.r.AdoptHistogram(s.prefix+name, h) }

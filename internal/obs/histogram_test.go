@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramExactLinearRegion(t *testing.T) {
+	var h Histogram
+	// 100 samples of value 5: every quantile is exactly 5 (the linear
+	// region below histSub quantizes nothing).
+	for i := 0; i < 100; i++ {
+		h.Observe(5)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 || s.P50 != 5 || s.P90 != 5 || s.P99 != 5 || s.Max != 5 {
+		t.Fatalf("constant-5 histogram snapshot = %+v", s)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1..1000: true p50=500, p90=900, p99=990, max=1000. The log-linear
+	// buckets may overstate by at most 12.5% and never understate.
+	for v := int64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	check := func(name string, got, want int64) {
+		if got < want || got > want+want/8+1 {
+			t.Errorf("%s = %d, want within [%d, %d]", name, got, want, want+want/8+1)
+		}
+	}
+	check("p50", s.P50, 500)
+	check("p90", s.P90, 900)
+	check("p99", s.P99, 990)
+	check("max", s.Max, 1000)
+}
+
+func TestHistogramEdgeValues(t *testing.T) {
+	var h Histogram
+	h.Observe(-17) // clamps to 0
+	h.Observe(0)
+	h.Observe(int64(^uint64(0) >> 1)) // MaxInt64 lands in the top bucket
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count = %d, want 3", s.Count)
+	}
+	if s.P50 != 0 {
+		t.Fatalf("p50 = %d, want 0 (two of three samples are 0)", s.P50)
+	}
+	if s.Max != int64(^uint64(0)>>1) {
+		t.Fatalf("max = %d, want MaxInt64", s.Max)
+	}
+}
+
+func TestHistogramNilAndEmpty(t *testing.T) {
+	var h *Histogram
+	h.Observe(42) // must not panic
+	if s := h.Snapshot(); s != (HistSnapshot{}) {
+		t.Fatalf("nil histogram snapshot = %+v", s)
+	}
+	var empty Histogram
+	if s := empty.Snapshot(); s != (HistSnapshot{}) {
+		t.Fatalf("empty histogram snapshot = %+v", s)
+	}
+}
+
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	// Every bucket's bounds map back to that bucket, buckets tile the
+	// range without gaps, and bounds are monotonic.
+	for i := 0; i < histBucketCount; i++ {
+		lo, hi := histLow(i), histHigh(i)
+		if lo > hi {
+			t.Fatalf("bucket %d: lo %d > hi %d", i, lo, hi)
+		}
+		if histBucket(lo) != i {
+			t.Fatalf("bucket %d: histBucket(lo=%d) = %d", i, lo, histBucket(lo))
+		}
+		if histBucket(hi) != i {
+			t.Fatalf("bucket %d: histBucket(hi=%d) = %d", i, hi, histBucket(hi))
+		}
+		if i+1 < histBucketCount && histLow(i+1) != hi+1 {
+			t.Fatalf("gap between bucket %d (hi %d) and %d (lo %d)", i, hi, i+1, histLow(i+1))
+		}
+	}
+}
+
+func TestRegistryHistogramDerivedMetrics(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat/e2e_ns")
+	sc := reg.Scope("member0/")
+	h2 := sc.Histogram("lat/hold_ns")
+	for i := int64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	h2.Observe(7)
+	s := reg.Snapshot()
+	if v, ok := s.Get("lat/e2e_ns/count"); !ok || v != 100 {
+		t.Fatalf("lat/e2e_ns/count = %d %v", v, ok)
+	}
+	if v, ok := s.Get("lat/e2e_ns/p50"); !ok || v < 50 || v > 57 {
+		t.Fatalf("lat/e2e_ns/p50 = %d %v", v, ok)
+	}
+	for _, name := range []string{"lat/e2e_ns/p90", "lat/e2e_ns/p99", "lat/e2e_ns/max"} {
+		if _, ok := s.Get(name); !ok {
+			t.Fatalf("missing derived metric %s in %s", name, s)
+		}
+	}
+	if v, ok := s.Get("member0/lat/hold_ns/p99"); !ok || v != 7 {
+		t.Fatalf("member0/lat/hold_ns/p99 = %d %v", v, ok)
+	}
+	// The rendered snapshot carries the derived names.
+	if !strings.Contains(s.String(), "lat/e2e_ns/p99") {
+		t.Fatal("snapshot String() missing histogram metrics")
+	}
+}
+
+func TestRegistryHistogramDuplicatePanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate histogram name did not panic")
+		}
+	}()
+	reg.Histogram("h")
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i))
+	}
+	if h.Snapshot().Count != int64(b.N) {
+		b.Fatal("lost samples")
+	}
+}

@@ -245,3 +245,130 @@ func TestParseKind(t *testing.T) {
 		t.Fatal("ParseKind accepted garbage")
 	}
 }
+
+// --- Edge cases: the shapes a merge/diff pipeline meets in the wild ---
+
+// TestMergeDumpsNoInput: merging nothing is a valid (empty) dump, and
+// diffing two empty dumps reports nothing — the degenerate base case a
+// launcher hits when every node failed before dumping.
+func TestMergeDumpsNoInput(t *testing.T) {
+	merged, err := MergeDumps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracks, err := ParseDump(merged)
+	if err != nil {
+		t.Fatalf("empty merge does not round-trip: %v", err)
+	}
+	if len(tracks) != 0 {
+		t.Fatalf("empty merge has %d tracks", len(tracks))
+	}
+	if divs, err := DiffDumps(merged, merged, DiffOptions{}); err != nil || len(divs) != 0 {
+		t.Fatalf("empty-vs-empty diff: %v %v", divs, err)
+	}
+}
+
+// TestMergeDumpsSingleInput: a one-dump merge is the identity — same
+// bytes out, all-empty tracks preserved.
+func TestMergeDumpsSingleInput(t *testing.T) {
+	d := nodeDump(3, 2, 4)
+	merged, err := MergeDumps(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged, d) {
+		t.Fatal("single-input merge is not the identity")
+	}
+	// Even a dump whose every track is empty merges to itself.
+	empty := NewRecorder(2, 8).DumpBytes()
+	merged, err = MergeDumps(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(merged, empty) {
+		t.Fatal("all-empty merge is not the identity")
+	}
+}
+
+// TestDiffDumpsDuplicateSeq: a ring that recorded the same
+// (rank,kind,seq) twice (a retransmitted wire image, a re-recorded
+// delivery) must diff clean against an identical ring and diverge
+// against one that collapsed the duplicate — duplicates are data, not
+// noise to be dropped.
+func TestDiffDumpsDuplicateSeq(t *testing.T) {
+	mk := func(dup bool) []byte {
+		rec := NewRecorder(1, 64)
+		trk := rec.Track(0)
+		trk.Record(100, KindDeliver, DirUp, 0, 1)
+		trk.Record(200, KindDeliver, DirUp, 0, 2)
+		if dup {
+			trk.Record(250, KindDeliver, DirUp, 0, 2) // the duplicate
+		}
+		trk.Record(300, KindDeliver, DirUp, 0, 3)
+		return rec.DumpBytes()
+	}
+	if divs, err := DiffDumps(mk(true), mk(true), DiffOptions{}); err != nil || len(divs) != 0 {
+		t.Fatalf("identical dumps with duplicates diverge: %v %v", divs, err)
+	}
+	divs, err := DiffDumps(mk(true), mk(false), DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(divs) == 0 {
+		t.Fatal("diff missed a collapsed duplicate record")
+	}
+}
+
+// TestDiffDumpsRingsWrappedAtDifferentPoints: both sides wrapped, but
+// at different positions — the surviving windows only partially
+// overlap. The common suffix still compares clean; perturbing a record
+// inside the overlap is still caught.
+func TestDiffDumpsRingsWrappedAtDifferentPoints(t *testing.T) {
+	mk := func(ring int, perturbAt int64) []byte {
+		rec := NewRecorder(1, ring)
+		trk := rec.Track(0)
+		for s := int64(1); s <= 100; s++ {
+			layer := uint8(2)
+			if s == perturbAt {
+				layer = 9
+			}
+			trk.Record(s*10, KindDeliver, DirUp, layer, s)
+		}
+		return rec.DumpBytes()
+	}
+	// 32-slot ring keeps seqs 69..100, 48-slot keeps 53..100: different
+	// wrap points, overlapping suffix, no divergence.
+	if divs, err := DiffDumps(mk(32, -1), mk(48, -1), DiffOptions{}); err != nil || len(divs) != 0 {
+		t.Fatalf("different wrap points reported as divergence: %v %v", divs, err)
+	}
+	// A perturbation inside the overlap is still found at its seqno.
+	divs, err := DiffDumps(mk(32, -1), mk(48, 80), DiffOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(divs) != 1 || divs[0].Seq != 80 {
+		t.Fatalf("perturbation inside the overlap misreported: %v", divs)
+	}
+	// A perturbation outside the overlap (only the bigger ring retains
+	// it) cannot be seen — and must not produce a false divergence.
+	if divs, _ := DiffDumps(mk(32, -1), mk(48, 60), DiffOptions{}); len(divs) != 0 {
+		t.Fatalf("perturbation outside the common window reported: %v", divs)
+	}
+}
+
+// TestMergeDumpsDisjointRanks: dumps carrying disjoint populated ranks
+// with different track counts merge into the union.
+func TestMergeDumpsDisjointRanks(t *testing.T) {
+	merged, err := MergeDumps(nodeDump(4, 0, 2), nodeDump(4, 3, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracks, err := ParseDump(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tracks) != 4 || len(tracks[0]) != 2 || len(tracks[3]) != 5 || len(tracks[1]) != 0 {
+		t.Fatalf("union merge wrong: %d tracks, %d/%d/%d recs",
+			len(tracks), len(tracks[0]), len(tracks[3]), len(tracks[1]))
+	}
+}

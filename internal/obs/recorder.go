@@ -38,7 +38,17 @@ const (
 	// left frames pending at a flush point: Layer carries the
 	// transport.FlushCause and Seq the sub-packets still held.
 	KindFlushDecision
+	// KindCastSubmit marks the application handing a cast payload to the
+	// member — the root of a message's causal chain. Seq is the member's
+	// own-cast submission count, so the chained workload's canonical
+	// order maps each delivery back to exactly one CastSubmit (spans.go).
+	KindCastSubmit
 )
+
+// kindMax is the highest defined kind — the upper bound ParseKind and
+// KindNames iterate to, so adding a kind above cannot silently fall out
+// of the name table.
+const kindMax = KindCastSubmit
 
 // String names the kind; event-mirroring kinds borrow event.Type names.
 func (k Kind) String() string {
@@ -64,6 +74,8 @@ func (k Kind) String() string {
 		return "CCPMiss"
 	case KindFlushDecision:
 		return "FlushDecision"
+	case KindCastSubmit:
+		return "CastSubmit"
 	}
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }

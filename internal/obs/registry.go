@@ -136,13 +136,15 @@ func (s Snapshot) String() string {
 	return b.String()
 }
 
-// entry is one registered metric: either a Counter the registry owns a
-// pointer to, or an adopted read function over a counter some component
-// already maintains.
+// entry is one registered metric: a Counter the registry owns a pointer
+// to, an adopted read function over a counter some component already
+// maintains, or a histogram (expanded into derived metrics at snapshot
+// time — see histogram.go).
 type entry struct {
 	name string
 	c    *Counter
 	read func() int64
+	h    *Histogram
 }
 
 // Registry is a set of named metrics. Registration (Counter, Func,
@@ -207,6 +209,19 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.Unlock()
 	out := make(Snapshot, 0, len(entries))
 	for _, e := range entries {
+		if e.h != nil {
+			// One bucket read per histogram; the five derived metrics
+			// come from the same consistent snapshot.
+			hs := e.h.Snapshot()
+			out = append(out,
+				Metric{Name: e.name + "/count", Value: hs.Count},
+				Metric{Name: e.name + "/p50", Value: hs.P50},
+				Metric{Name: e.name + "/p90", Value: hs.P90},
+				Metric{Name: e.name + "/p99", Value: hs.P99},
+				Metric{Name: e.name + "/max", Value: hs.Max},
+			)
+			continue
+		}
 		v := int64(0)
 		if e.c != nil {
 			v = e.c.Load()

@@ -1,0 +1,60 @@
+package obs
+
+// Binary snapshot codec — the frame payload of the live telemetry
+// plane. A Snapshot is already deterministic (sorted names), so the
+// encoding is a straight walk: magic, metric count, then per metric a
+// length-prefixed name and a zigzag-varint value. Equal snapshots
+// encode byte-identically.
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// snapMagic heads a binary snapshot; the trailing byte versions the
+// layout.
+var snapMagic = []byte("ENSMET\x01")
+
+// EncodeSnapshot serializes a snapshot for the telemetry wire.
+func EncodeSnapshot(s Snapshot) []byte {
+	out := append([]byte(nil), snapMagic...)
+	out = binary.AppendUvarint(out, uint64(len(s)))
+	for _, m := range s {
+		out = binary.AppendUvarint(out, uint64(len(m.Name)))
+		out = append(out, m.Name...)
+		out = binary.AppendVarint(out, m.Value)
+	}
+	return out
+}
+
+// ParseSnapshot decodes an EncodeSnapshot image. The result keeps the
+// encoded order (sorted by name, per the Snapshot contract), so Get
+// works on it directly.
+func ParseSnapshot(data []byte) (Snapshot, error) {
+	if len(data) < len(snapMagic) || string(data[:len(snapMagic)]) != string(snapMagic) {
+		return nil, fmt.Errorf("obs: not a telemetry snapshot")
+	}
+	off := len(snapMagic)
+	count, k := binary.Uvarint(data[off:])
+	if k <= 0 {
+		return nil, fmt.Errorf("obs: truncated snapshot header")
+	}
+	off += k
+	out := make(Snapshot, 0, count)
+	for i := uint64(0); i < count; i++ {
+		nameLen, k := binary.Uvarint(data[off:])
+		if k <= 0 || uint64(len(data)-off-k) < nameLen {
+			return nil, fmt.Errorf("obs: truncated snapshot name (metric %d)", i)
+		}
+		off += k
+		name := string(data[off : off+int(nameLen)])
+		off += int(nameLen)
+		v, k := binary.Varint(data[off:])
+		if k <= 0 {
+			return nil, fmt.Errorf("obs: truncated snapshot value (metric %q)", name)
+		}
+		off += k
+		out = append(out, Metric{Name: name, Value: v})
+	}
+	return out, nil
+}

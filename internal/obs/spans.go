@@ -1,0 +1,279 @@
+package obs
+
+// Causal span reconstruction. A merged flight dump holds every member's
+// record ring; the chained workload (internal/deploy) delivers casts in
+// one canonical global order, so the k-th Deliver on any member (seq
+// k, 1-based) IS canonical position k-1 = message (origin pos%N, index
+// pos/N). That identity lets the offline reader stitch the per-member
+// rings back into per-message causal chains — origin CastSubmit →
+// origin PktOut → per-member PktIn → Deliver — without any message id
+// ever traveling on the wire or costing the hot path a byte.
+//
+// Wire-hop correlation is by time, not identity: PktOut/PktIn records
+// carry packet counters (frames, not messages — batching coalesces
+// many casts into one datagram), so a span's wire hop is the *frame
+// that carried it*: the first PktOut on the origin at or after the
+// submit, and the latest PktIn on the receiver at or before the
+// delivery. Both exist for every cleanly delivered message (delivery
+// happens while processing the carrying packet); missing ones are
+// counted in SpanStats, never silently dropped.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// SpanHop is one member's leg of a span: when the carrying frame
+// arrived and when the message was delivered. Times are -1 when the
+// record is absent from the dump (ring wrap, lost message, origin
+// self-delivery without a wire hop).
+type SpanHop struct {
+	Rank     int
+	PktInT   int64
+	DeliverT int64
+}
+
+// Span is one message's reconstructed causal chain.
+type Span struct {
+	// Origin and Index identify the message (the chained workload's
+	// MsgID); Pos is its canonical global position Index*N+Origin.
+	Origin, Index, Pos int
+	// CastT is the origin's CastSubmit time, PktOutT the first wire
+	// image the origin emitted at or after it (-1 when absent).
+	CastT, PktOutT int64
+	// Hops has one entry per member, rank order. Hops[Origin] is the
+	// self-delivery leg (PktInT may be -1 on stacks that bounce the
+	// origin's copy locally).
+	Hops []SpanHop
+	// Complete reports a full chain: CastSubmit present, origin PktOut
+	// present, and every member's Deliver (plus every non-origin
+	// member's PktIn) present.
+	Complete bool
+}
+
+// SpanStats accounts for every delivery in the dump: spans that
+// reconstructed completely, and the reasons the rest did not. A gate
+// asserting Complete == Spans knows nothing went silently missing.
+type SpanStats struct {
+	Members int
+	// Spans is the number of messages seen (max Deliver seq across
+	// members); Complete how many reconstructed fully.
+	Spans, Complete int
+	// MissingCast / MissingDeliver / MissingWire count incomplete spans
+	// by first cause (a span missing its CastSubmit is not also counted
+	// against its wire hops).
+	MissingCast, MissingDeliver, MissingWire int
+	// WrappedTracks counts members whose ring dropped history (their
+	// oldest surviving Deliver seq > 1) — the benign way records go
+	// missing on long runs.
+	WrappedTracks int
+}
+
+// SpansFromDump reconstructs per-message causal chains from a flight
+// dump (single-process or merged) of a chained-workload run. The member
+// count is the dump's track count.
+func SpansFromDump(dump []byte) ([]Span, SpanStats, error) {
+	tracks, err := ParseDump(dump)
+	if err != nil {
+		return nil, SpanStats{}, err
+	}
+	if len(tracks) == 0 {
+		return nil, SpanStats{}, fmt.Errorf("obs: dump has no tracks")
+	}
+	members := len(tracks)
+	for r := 0; r < members; r++ {
+		if _, ok := tracks[r]; !ok {
+			return nil, SpanStats{}, fmt.Errorf("obs: dump tracks are not ranks 0..%d (missing %d)", members-1, r)
+		}
+	}
+
+	// Split each track into the series the stitcher walks. Records are
+	// ring-ordered (oldest first) and each series' Seq is monotone, so
+	// the splits stay sorted.
+	type series struct {
+		deliver []Rec // seq = delivery count
+		casts   []Rec // seq = own-cast count
+		pktIn   []int64
+		pktOut  []int64
+	}
+	st := SpanStats{Members: members}
+	byRank := make([]series, members)
+	for r := 0; r < members; r++ {
+		s := &byRank[r]
+		for _, rec := range tracks[r] {
+			switch rec.Kind {
+			case KindDeliver:
+				s.deliver = append(s.deliver, rec)
+			case KindCastSubmit:
+				s.casts = append(s.casts, rec)
+			case KindPktIn:
+				s.pktIn = append(s.pktIn, rec.T)
+			case KindPktOut:
+				s.pktOut = append(s.pktOut, rec.T)
+			}
+		}
+		if len(s.deliver) > 0 && s.deliver[0].Seq > 1 {
+			st.WrappedTracks++
+		}
+		if v := int64(len(s.deliver)); v > 0 && s.deliver[len(s.deliver)-1].Seq > int64(st.Spans) {
+			st.Spans = int(s.deliver[len(s.deliver)-1].Seq)
+		}
+	}
+
+	// deliverT(r, pos) = member r's Deliver at canonical position pos.
+	deliverT := func(r, pos int) int64 {
+		s := byRank[r].deliver
+		seq := int64(pos + 1)
+		i := sort.Search(len(s), func(i int) bool { return s[i].Seq >= seq })
+		if i < len(s) && s[i].Seq == seq {
+			return s[i].T
+		}
+		return -1
+	}
+	castT := func(origin, index int) int64 {
+		s := byRank[origin].casts
+		seq := int64(index + 1)
+		i := sort.Search(len(s), func(i int) bool { return s[i].Seq >= seq })
+		if i < len(s) && s[i].Seq == seq {
+			return s[i].T
+		}
+		return -1
+	}
+	// firstAtOrAfter / lastAtOrBefore correlate wire records by time.
+	firstAtOrAfter := func(ts []int64, t int64) int64 {
+		i := sort.Search(len(ts), func(i int) bool { return ts[i] >= t })
+		if i < len(ts) {
+			return ts[i]
+		}
+		return -1
+	}
+	lastAtOrBefore := func(ts []int64, t int64) int64 {
+		i := sort.Search(len(ts), func(i int) bool { return ts[i] > t })
+		if i == 0 {
+			return -1
+		}
+		return ts[i-1]
+	}
+
+	spans := make([]Span, 0, st.Spans)
+	for pos := 0; pos < st.Spans; pos++ {
+		sp := Span{Origin: pos % members, Index: pos / members, Pos: pos}
+		sp.CastT = castT(sp.Origin, sp.Index)
+		sp.PktOutT = -1
+		if sp.CastT >= 0 {
+			sp.PktOutT = firstAtOrAfter(byRank[sp.Origin].pktOut, sp.CastT)
+		}
+		sp.Hops = make([]SpanHop, members)
+		delivers, wires := 0, 0
+		for r := 0; r < members; r++ {
+			h := SpanHop{Rank: r, PktInT: -1, DeliverT: deliverT(r, pos)}
+			if h.DeliverT >= 0 {
+				delivers++
+				h.PktInT = lastAtOrBefore(byRank[r].pktIn, h.DeliverT)
+				if h.PktInT >= 0 || r == sp.Origin {
+					wires++
+				}
+			}
+			sp.Hops[r] = h
+		}
+		switch {
+		case sp.CastT < 0:
+			st.MissingCast++
+		case delivers < members:
+			st.MissingDeliver++
+		case sp.PktOutT < 0 || wires < members:
+			st.MissingWire++
+		default:
+			sp.Complete = true
+			st.Complete++
+		}
+		spans = append(spans, sp)
+	}
+	return spans, st, nil
+}
+
+// SpanQuantile returns the q-th (num/den) quantile of vals (need not be
+// sorted); 0 when empty. It sorts a copy — offline-path cost rules.
+func SpanQuantile(vals []int64, num, den int) int64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), vals...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	rank := (len(s)*num + den - 1) / den
+	if rank < 1 {
+		rank = 1
+	}
+	return s[rank-1]
+}
+
+// HopLatencies collects the per-hop deltas of complete spans, the raw
+// material for the latency table. Submit is origin processing
+// (CastSubmit→PktOut), Wire the frame transit (origin PktOut→receiver
+// PktIn), Recv receiver processing (PktIn→Deliver), E2E the whole
+// chain (CastSubmit→Deliver), all per non-origin hop; Self is the
+// origin's own CastSubmit→Deliver.
+type HopLatencies struct {
+	Submit, Wire, Recv, E2E, Self []int64
+}
+
+// CollectHopLatencies extracts hop deltas from complete spans.
+func CollectHopLatencies(spans []Span) HopLatencies {
+	var hl HopLatencies
+	for _, sp := range spans {
+		if !sp.Complete {
+			continue
+		}
+		hl.Submit = append(hl.Submit, sp.PktOutT-sp.CastT)
+		for _, h := range sp.Hops {
+			if h.Rank == sp.Origin {
+				hl.Self = append(hl.Self, h.DeliverT-sp.CastT)
+				continue
+			}
+			hl.Wire = append(hl.Wire, h.PktInT-sp.PktOutT)
+			hl.Recv = append(hl.Recv, h.DeliverT-h.PktInT)
+			hl.E2E = append(hl.E2E, h.DeliverT-sp.CastT)
+		}
+	}
+	return hl
+}
+
+// WriteChromeTraceSpans writes a dump as Chrome trace_event JSON with
+// causal flow arrows: the per-record instant events of
+// WriteChromeTraceDump plus, for every reconstructed span, one flow
+// edge ("s" at the origin's CastSubmit, "f" at each member's Deliver)
+// so chrome://tracing and Perfetto draw the cast fanning out across
+// member tracks. Returns the span stats it reconstructed.
+func WriteChromeTraceSpans(w io.Writer, dump []byte) (SpanStats, error) {
+	tracks, err := ParseDump(dump)
+	if err != nil {
+		return SpanStats{}, err
+	}
+	spans, st, err := SpansFromDump(dump)
+	if err != nil {
+		return SpanStats{}, err
+	}
+	events := chromeTrackEvents(tracks)
+	for _, sp := range spans {
+		if sp.CastT < 0 {
+			continue
+		}
+		name := fmt.Sprintf("cast o%d#%d", sp.Origin, sp.Index)
+		for _, h := range sp.Hops {
+			if h.DeliverT < 0 || h.Rank == sp.Origin {
+				continue
+			}
+			// One flow id per edge: Chrome binds "s"/"f" pairs by id, and
+			// an id may carry only one finish.
+			id := int64(sp.Pos)*int64(len(sp.Hops)) + int64(h.Rank) + 1
+			events = append(events,
+				chromeEvent{Name: name, Phase: "s", Cat: "span", ID: id,
+					TS: float64(sp.CastT) / 1e3, PID: 0, TID: sp.Origin},
+				chromeEvent{Name: name, Phase: "f", Cat: "span", ID: id, BindPoint: "e",
+					TS: float64(h.DeliverT) / 1e3, PID: 0, TID: h.Rank},
+			)
+		}
+	}
+	return st, writeChromeEvents(w, events)
+}

@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// chainedDump synthesizes the flight a chained-workload run of N
+// members and R rounds records: every member delivers all N*R casts in
+// canonical order, each origin records a CastSubmit per own cast, and
+// wire records bracket each delivery. Timing: message pos is submitted
+// at (pos+1)*1000, the carrying frame leaves at +100, arrives at +200,
+// and delivers at +300 (+10 per rank to spread the tracks).
+func chainedDump(members, rounds int) []byte {
+	rec := NewRecorder(members, 4096)
+	total := members * rounds
+	var casts = make([]int64, members)
+	var pktOut = make([]int64, members)
+	var pktIn = make([]int64, members)
+	var delivered = make([]int64, members)
+	for pos := 0; pos < total; pos++ {
+		origin := pos % members
+		base := int64(pos+1) * 1000
+		casts[origin]++
+		rec.Track(origin).Record(base, KindCastSubmit, DirDn, 0, casts[origin])
+		pktOut[origin]++
+		rec.Track(origin).Record(base+100, KindPktOut, DirDn, 0, pktOut[origin])
+		for r := 0; r < members; r++ {
+			if r != origin {
+				pktIn[r]++
+				rec.Track(r).Record(base+200+int64(r)*10, KindPktIn, DirUp, 0, pktIn[r])
+			}
+			delivered[r]++
+			rec.Track(r).Record(base+300+int64(r)*10, KindDeliver, DirUp, 0, delivered[r])
+		}
+	}
+	return rec.DumpBytes()
+}
+
+func TestSpansFromDumpComplete(t *testing.T) {
+	const members, rounds = 4, 3
+	spans, st, err := SpansFromDump(chainedDump(members, rounds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Spans != members*rounds || st.Complete != st.Spans {
+		t.Fatalf("stats = %+v, want %d complete spans", st, members*rounds)
+	}
+	if st.MissingCast+st.MissingDeliver+st.MissingWire != 0 || st.WrappedTracks != 0 {
+		t.Fatalf("clean dump reports missing records: %+v", st)
+	}
+	// Spot-check span at pos 5: origin 1, index 1.
+	sp := spans[5]
+	if sp.Origin != 1 || sp.Index != 1 || !sp.Complete {
+		t.Fatalf("span 5 = %+v", sp)
+	}
+	if sp.CastT != 6000 || sp.PktOutT != 6100 {
+		t.Fatalf("span 5 origin leg: cast %d pktout %d", sp.CastT, sp.PktOutT)
+	}
+	if h := sp.Hops[2]; h.PktInT != 6220 || h.DeliverT != 6320 {
+		t.Fatalf("span 5 hop 2 = %+v", h)
+	}
+	// The origin's own hop has a delivery but no wire leg.
+	if h := sp.Hops[1]; h.DeliverT != 6310 {
+		t.Fatalf("span 5 self hop = %+v", h)
+	}
+
+	hl := CollectHopLatencies(spans)
+	if len(hl.E2E) != st.Spans*(members-1) || len(hl.Self) != st.Spans {
+		t.Fatalf("hop latency counts: e2e %d self %d", len(hl.E2E), len(hl.Self))
+	}
+	if q := SpanQuantile(hl.Submit, 50, 100); q != 100 {
+		t.Fatalf("submit p50 = %d, want 100", q)
+	}
+}
+
+func TestSpansFromDumpAccountsMissing(t *testing.T) {
+	// Build a 2-member dump where message pos 1 (origin 1, index 0) has
+	// no CastSubmit and member 0 never delivers pos 2.
+	rec := NewRecorder(2, 256)
+	rec.Track(0).Record(1000, KindCastSubmit, DirDn, 0, 1) // pos 0
+	rec.Track(0).Record(1100, KindPktOut, DirDn, 0, 1)
+	rec.Track(0).Record(1300, KindDeliver, DirUp, 0, 1)
+	rec.Track(1).Record(1200, KindPktIn, DirUp, 0, 1)
+	rec.Track(1).Record(1300, KindDeliver, DirUp, 0, 1)
+	// pos 1: origin 1 delivers both sides but the CastSubmit record is
+	// absent (as after a ring wrap).
+	rec.Track(1).Record(2300, KindDeliver, DirUp, 0, 2)
+	rec.Track(0).Record(2200, KindPktIn, DirUp, 0, 1)
+	rec.Track(0).Record(2300, KindDeliver, DirUp, 0, 2)
+	// pos 2: origin 0 casts and delivers; member 1 never does.
+	rec.Track(0).Record(3000, KindCastSubmit, DirDn, 0, 2)
+	rec.Track(0).Record(3100, KindPktOut, DirDn, 0, 2)
+	rec.Track(0).Record(3300, KindDeliver, DirUp, 0, 3)
+
+	spans, st, err := SpansFromDump(rec.DumpBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Spans != 3 || st.Complete != 1 || st.MissingCast != 1 || st.MissingDeliver != 1 {
+		t.Fatalf("stats = %+v, want 3 spans / 1 complete / 1 missing cast / 1 missing deliver", st)
+	}
+	if !spans[0].Complete || spans[1].Complete || spans[2].Complete {
+		t.Fatalf("completeness flags wrong: %v %v %v", spans[0].Complete, spans[1].Complete, spans[2].Complete)
+	}
+}
+
+func TestSpansFromDumpRejectsGarbage(t *testing.T) {
+	if _, _, err := SpansFromDump([]byte("junk")); err == nil {
+		t.Fatal("garbage dump built spans")
+	}
+	// A dump with zero tracks is an error, not an empty success.
+	if _, _, err := SpansFromDump(NewRecorder(0, 8).DumpBytes()); err == nil {
+		t.Fatal("zero-track dump built spans")
+	}
+}
+
+func TestWriteChromeTraceSpansFlowEvents(t *testing.T) {
+	var buf bytes.Buffer
+	st, err := WriteChromeTraceSpans(&buf, chainedDump(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Complete != 6 {
+		t.Fatalf("stats = %+v", st)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+			ID    int64  `json:"id"`
+			TID   int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not JSON: %v", err)
+	}
+	starts := map[int64]int{}
+	finishes := map[int64]int{}
+	for _, e := range doc.TraceEvents {
+		switch e.Phase {
+		case "s":
+			starts[e.ID]++
+		case "f":
+			finishes[e.ID]++
+		}
+	}
+	// 6 messages × 2 non-origin receivers = 12 edges, each exactly one
+	// start and one finish, ids disjointly paired.
+	if len(starts) != 12 || !reflect.DeepEqual(starts, finishes) {
+		t.Fatalf("flow edges: %d starts, %d finishes", len(starts), len(finishes))
+	}
+	for id, n := range starts {
+		if n != 1 || finishes[id] != 1 {
+			t.Fatalf("flow id %d has %d starts / %d finishes", id, n, finishes[id])
+		}
+	}
+}
+
+func TestSnapshotCodecRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a/count").Add(41)
+	reg.Counter("udp/resyncs").Add(-3) // gauges may go negative; zigzag handles it
+	reg.Histogram("lat/e2e_ns").Observe(777)
+	s := reg.Snapshot()
+	got, err := ParseSnapshot(EncodeSnapshot(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s, got) {
+		t.Fatalf("round trip mangled snapshot:\n%s\nvs\n%s", s, got)
+	}
+	if _, err := ParseSnapshot([]byte("ENSMET\x01garbage")); err == nil {
+		t.Fatal("garbage snapshot parsed")
+	}
+	if _, err := ParseSnapshot(EncodeSnapshot(s)[:10]); err == nil {
+		t.Fatal("truncated snapshot parsed")
+	}
+}

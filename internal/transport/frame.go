@@ -221,10 +221,13 @@ type Batcher struct {
 	// destination (one shared entry for the cast chain).
 	peers map[xKey]*peerState
 	// adaptive enables the per-destination flush controller: now is the
-	// owner's clock and aCfg its tuning (xframe.go).
+	// owner's clock and aCfg its tuning (xframe.go). holdObs, when set,
+	// observes each emitted frame's queue residency (emit time minus
+	// creation time, ns) — the hold-duration histogram feed.
 	adaptive bool
 	now      func() int64
 	aCfg     AdaptiveFlushConfig
+	holdObs  func(int64)
 
 	frames []batchFrame
 	free   [][]byte
@@ -491,8 +494,17 @@ func (b *Batcher) FlushFor(cause FlushCause) int {
 	if cut == 0 {
 		return 0
 	}
+	var emitT int64
+	if b.adaptive && b.holdObs != nil {
+		emitT = b.now()
+	}
 	for i := 0; i < cut; i++ {
 		f := &b.frames[i]
+		if b.adaptive && b.holdObs != nil {
+			// Queue residency: how long the adaptive controller let this
+			// frame coalesce before it reached the wire.
+			b.holdObs(emitT - f.born)
+		}
 		if f.cast {
 			b.sink.Cast(b.from, f.buf)
 		} else {

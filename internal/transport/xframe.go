@@ -332,6 +332,15 @@ func (b *Batcher) DisableAdaptiveFlush() {
 // AdaptiveFlushEnabled reports whether the controller is on.
 func (b *Batcher) AdaptiveFlushEnabled() bool { return b.adaptive }
 
+// SetHoldObserver installs a per-frame queue-residency observer: at
+// every emit, obs receives the frame's age (emit time minus creation
+// time, in the adaptive clock's nanoseconds). The member wires an
+// obs.Histogram's Observe here — the hold-duration distribution that
+// says what the adaptive controller's holds actually cost in latency.
+// Only meaningful with the adaptive controller on (frames are not
+// timestamped otherwise); nil uninstalls.
+func (b *Batcher) SetHoldObserver(obs func(int64)) { b.holdObs = obs }
+
 // PendingSubs reports the number of wires awaiting a flush across all
 // pending frames — what a held flush decision left behind.
 func (b *Batcher) PendingSubs() int {
